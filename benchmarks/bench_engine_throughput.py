@@ -1,0 +1,62 @@
+"""Engine performance: simulated slots per second.
+
+The only benchmark here measuring *wall-clock performance* rather than a
+reproduced result: how fast the contention engine simulates the paper's
+default scenario.  Useful for spotting performance regressions and for
+estimating how long paper-scale (n = 2000) runs would take.
+"""
+
+from __future__ import annotations
+
+from repro.core.addc import AddcPolicy
+from repro.core.pcr import PcrParameters, compute_pcr, db_to_linear
+from repro.graphs.tree import build_collection_tree
+from repro.network.deployment import deploy_crn
+from repro.rng import StreamFactory
+from repro.sim.engine import SlottedEngine
+from repro.spectrum.sensing import CarrierSenseMap
+
+
+def test_engine_slots_per_second(benchmark, base_config):
+    factory = StreamFactory(base_config.seed).spawn("perf")
+    topology = deploy_crn(base_config.deployment_spec(), factory)
+    pcr = compute_pcr(
+        PcrParameters(
+            alpha=base_config.alpha,
+            pu_power=base_config.pu_power,
+            su_power=base_config.su_power,
+            pu_radius=base_config.pu_radius,
+            su_radius=base_config.su_radius,
+            eta_p_db=base_config.eta_p_db,
+            eta_s_db=base_config.eta_s_db,
+        )
+    )
+    sense_map = CarrierSenseMap(topology, pcr.pcr)
+    tree = build_collection_tree(topology.secondary.graph, 0)
+    run_index = [0]
+
+    def one_collection():
+        run_index[0] += 1
+        engine = SlottedEngine(
+            topology=topology,
+            sense_map=sense_map,
+            policy=AddcPolicy(tree),
+            streams=factory.spawn(f"run-{run_index[0]}"),
+            alpha=base_config.alpha,
+            eta_s=db_to_linear(base_config.eta_s_db),
+            max_slots=base_config.max_slots,
+        )
+        engine.load_snapshot()
+        return engine.run()
+
+    result = benchmark.pedantic(one_collection, rounds=3, iterations=1)
+    assert result.completed
+    slots_per_second = result.slots_simulated / benchmark.stats.stats.mean
+    print()
+    print(
+        f"  {result.slots_simulated} slots, {topology.secondary.num_sus} SUs: "
+        f"{slots_per_second:,.0f} slots/s"
+    )
+    # Performance floor: a regression below this makes the figure
+    # benchmarks impractically slow.
+    assert slots_per_second > 2_000

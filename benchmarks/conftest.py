@@ -1,0 +1,34 @@
+"""Shared benchmark configuration.
+
+Every Figure 6 benchmark runs the density-preserving bench scale (60 x 60,
+N = 23, n = 115 — the paper's exact PU/SU densities) with 2 repetitions per
+point, under the paper's mean-field blocking model (see DESIGN.md).  Set
+``REPRO_BENCH_FULL=1`` for 3 repetitions at a larger area (slower, tighter
+error bars).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+def bench_base_config() -> ExperimentConfig:
+    """The base scenario every figure sweep varies around."""
+    if os.environ.get("REPRO_BENCH_FULL") == "1":
+        return ExperimentConfig(
+            area=100.0 * 100.0,
+            num_pus=64,
+            num_sus=320,
+            repetitions=3,
+            max_slots=1_500_000,
+        )
+    return ExperimentConfig.bench_scale().with_overrides(repetitions=2)
+
+
+@pytest.fixture(scope="session")
+def base_config() -> ExperimentConfig:
+    return bench_base_config()

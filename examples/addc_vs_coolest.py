@@ -1,0 +1,44 @@
+"""ADDC vs the Coolest baseline, under both blocking models.
+
+Reproduces the paper's central comparison (Section V) at laptop scale and
+additionally shows the exact-geometry extension: with real PU positions the
+margin narrows because Coolest's temperature metric genuinely routes around
+PU-dense regions.
+
+Run with::
+
+    python examples/addc_vs_coolest.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentConfig, run_comparison_point
+
+
+def main() -> None:
+    base = ExperimentConfig.quick_scale().with_overrides(repetitions=3)
+
+    print("scenario:", f"{base.num_sus} SUs, {base.num_pus} PUs, "
+          f"area {base.area:.0f}, p_t {base.p_t}, {base.repetitions} repetitions")
+    print()
+    header = (
+        f"{'blocking model':>14} | {'ADDC delay (ms)':>16} | "
+        f"{'Coolest delay (ms)':>18} | {'speedup':>7} | {'reduction':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for blocking in ("homogeneous", "geometric"):
+        point = run_comparison_point(base.with_overrides(blocking=blocking))
+        print(
+            f"{blocking:>14} | "
+            f"{point.addc_delay_ms.mean:10.1f} ±{point.addc_delay_ms.std:4.0f} | "
+            f"{point.coolest_delay_ms.mean:12.1f} ±{point.coolest_delay_ms.std:4.0f} | "
+            f"{point.speedup:6.2f}x | {point.reduction_percent:8.0f}%"
+        )
+    print()
+    print("the paper (n = 2000, N = 400, authors' simulator) reports ADDC")
+    print("inducing 171%-314% less delay; 'homogeneous' is its modeling regime.")
+
+
+if __name__ == "__main__":
+    main()

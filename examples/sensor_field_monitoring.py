@@ -1,0 +1,71 @@
+"""Sensor-field monitoring under bursty licensed traffic.
+
+The workload the paper's introduction motivates: a secondary network of
+battery-powered sensors periodically reports a full snapshot to a sink
+while coexisting with licensed transmitters (think TV-band devices) whose
+activity is bursty rather than i.i.d.  This example:
+
+* models PU traffic with the two-state Markov (Gilbert) process at the same
+  stationary activity as the paper's Bernoulli model,
+* collects several consecutive snapshots over the same deployment, and
+* reports per-round delay plus per-source fairness.
+
+Run with::
+
+    python examples/sensor_field_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentConfig, StreamFactory, deploy_crn, run_addc_collection
+from repro.core.fairness import jain_index, per_source_delay_spread
+from repro.metrics.energy import energy_consumption
+from repro.network.primary import MarkovActivity
+
+
+def main() -> None:
+    config = ExperimentConfig.quick_scale()
+    streams = StreamFactory(seed=314).spawn("sensor-field")
+
+    # Bursty licensed traffic: mean on-period of 6 slots, stationary
+    # activity matching the paper's p_t.
+    activity = MarkovActivity(p_t=config.p_t, burstiness=6.0)
+    topology = deploy_crn(config.deployment_spec(), streams, activity=activity)
+    print(
+        f"deployed {topology.secondary.num_sus} sensors + sink, "
+        f"{topology.primary.num_pus} bursty licensed users "
+        f"(stationary activity {activity.stationary_probability})"
+    )
+
+    rounds = 5
+    print(f"\ncollecting {rounds} snapshots (geometric blocking, Markov PUs)")
+    header = (
+        f"{'round':>5} | {'delay (ms)':>10} | {'mean hop':>8} | "
+        f"{'Jain(delay)':>11} | {'max/mean delay':>14} | {'mJ/packet':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for round_index in range(rounds):
+        outcome = run_addc_collection(
+            topology,
+            streams.spawn(f"round-{round_index}"),
+            blocking="geometric",
+        )
+        result = outcome.result
+        delays = [record.delay_slots for record in result.deliveries]
+        energy = energy_consumption(result)
+        print(
+            f"{round_index:>5} | {result.delay_ms:>10.1f} | "
+            f"{result.mean_hops:>8.2f} | {jain_index(delays):>11.3f} | "
+            f"{per_source_delay_spread(delays):>14.2f} | "
+            f"{energy.per_delivered_packet(result.delivered) * 1e3:>9.3f}"
+        )
+
+    print("\nthe sink absorbed every snapshot; burstiness changes when")
+    print("opportunities appear (long outages, long clear windows) but not")
+    print("the long-run rate, so round-to-round delays fluctuate more than")
+    print("under i.i.d. PU traffic while staying in the same range.")
+
+
+if __name__ == "__main__":
+    main()

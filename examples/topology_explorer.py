@@ -1,0 +1,62 @@
+"""Visual tour of a CRN deployment, in plain ASCII.
+
+Renders the deployed networks, the CDS-based collection tree, and the
+per-node spectrum-opportunity landscape (Lemma 7, per node) straight to
+the terminal — the fastest way to build intuition for why some relays are
+"hot" and what the PCR actually covers.
+
+Run with::
+
+    python examples/topology_explorer.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentConfig, StreamFactory, deploy_crn
+from repro.core.pcr import PcrParameters, compute_pcr
+from repro.graphs.tree import build_collection_tree
+from repro.spectrum.opportunity import per_node_opportunity_probability
+from repro.spectrum.sensing import CarrierSenseMap
+from repro.viz.ascii_map import render_deployment, render_field, render_tree_summary
+
+
+def main() -> None:
+    config = ExperimentConfig.quick_scale()
+    streams = StreamFactory(seed=4).spawn("explorer")
+    topology = deploy_crn(config.deployment_spec(), streams)
+    tree = build_collection_tree(
+        topology.secondary.graph, topology.secondary.base_station
+    )
+    pcr = compute_pcr(
+        PcrParameters(
+            alpha=config.alpha,
+            pu_power=config.pu_power,
+            su_power=config.su_power,
+            pu_radius=config.pu_radius,
+            su_radius=config.su_radius,
+            eta_p_db=config.eta_p_db,
+            eta_s_db=config.eta_s_db,
+        )
+    )
+
+    print("== Deployment and backbone ==")
+    print(render_deployment(topology, tree))
+
+    print("\n== Tree structure ==")
+    print(render_tree_summary(tree))
+
+    print("\n== Spectrum-opportunity landscape ==")
+    sense_map = CarrierSenseMap(topology, pcr.pcr)
+    p_o = per_node_opportunity_probability(sense_map, config.p_t)
+    print("per-node probability of a PU-free slot (dark = blocked often):")
+    print(render_field(topology, 1.0 - p_o))
+    print(
+        f"\nPCR = {pcr.pcr:.1f}; node p_o spans "
+        f"{p_o.min():.4f} .. {p_o.max():.4f} — the spread that makes some "
+        "relays order-of-magnitude slower than Lemma 7's average "
+        f"({config.p_t}-activity mean field)."
+    )
+
+
+if __name__ == "__main__":
+    main()

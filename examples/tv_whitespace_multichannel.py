@@ -1,0 +1,65 @@
+"""TV-whitespace scenario: many licensed channels, one secondary network.
+
+The paper's model has a single licensed band; real whitespace deployments
+see several TV channels, each with its own licensed transmitters.  This
+example spreads the same PU population over 1, 2, 4 and 8 channels and
+shows the two compounding wins for the secondary network:
+
+* per-channel PU density drops, so spectrum opportunities per channel grow
+  exponentially, and
+* transmissions on different channels coexist inside one another's
+  carrier-sensing range.
+
+Run with::
+
+    python examples/tv_whitespace_multichannel.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentConfig, StreamFactory, deploy_crn, run_addc_collection
+from repro.core.analysis import opportunity_probability
+
+
+def main() -> None:
+    config = ExperimentConfig.quick_scale()
+    streams = StreamFactory(seed=88).spawn("whitespace")
+    topology = deploy_crn(config.deployment_spec(), streams)
+    print(
+        f"deployed {topology.secondary.num_sus} SUs among "
+        f"{topology.primary.num_pus} licensed transmitters (p_t = {config.p_t})"
+    )
+    print()
+    header = (
+        f"{'channels':>8} | {'per-channel p_o':>15} | {'delay (ms)':>10} | "
+        f"{'capacity (pkt/slot)':>19} | {'collisions':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for channels in (1, 2, 4, 8):
+        outcome = run_addc_collection(
+            topology,
+            streams.spawn(f"channels-{channels}"),
+            blocking="geometric",
+            num_channels=channels,
+            with_bounds=False,
+        )
+        result = outcome.result
+        p_o = opportunity_probability(
+            config.p_t,
+            outcome.pcr.kappa,
+            config.su_radius,
+            max(config.num_pus // channels, 1),
+            config.area,
+        )
+        print(
+            f"{channels:>8} | {p_o:>15.4f} | {result.delay_ms:>10.1f} | "
+            f"{result.capacity_packets_per_slot:>19.4f} | {result.collisions:>10}"
+        )
+    print()
+    print("gains saturate as the single-radio receivers become the")
+    print("bottleneck and cross-channel capture conflicts grow.")
+
+
+if __name__ == "__main__":
+    main()

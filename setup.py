@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works on environments without the
+``wheel`` package (offline editable installs fall back to
+``setup.py develop``, which needs this file).  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

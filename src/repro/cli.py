@@ -1,0 +1,348 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``pcr``        evaluate the Proper Carrier-sensing Range (Eq. 16)
+``bounds``     the analytic delay/capacity bounds for a scenario
+``collect``    run one ADDC collection and print the outcome
+``compare``    ADDC vs Coolest over repeated deployments
+``fig4``       regenerate Figure 4 (PCR sweeps)
+``fig6``       regenerate one Figure 6 sub-figure (a-f), optionally --save
+``scenario``   list or run a named scenario preset
+``report``     regenerate the full evaluation record (slow)
+
+Every command accepts ``--scale {quick,bench,paper}`` (density-preserving
+scenario sizes; ``paper`` is the full n = 2000 setting — expect a very long
+run) and the radio parameters of the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.analysis import TheoreticalBounds
+from repro.core.collector import run_addc_collection
+from repro.core.pcr import PcrParameters, compute_pcr
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig4 import figure4_rows
+from repro.experiments.fig6 import FIG6_SWEEPS, run_fig6_sweep
+from repro.experiments.report import render_fig4_table, render_fig6_table
+from repro.experiments.runner import run_comparison_point
+from repro.network.deployment import deploy_crn
+from repro.rng import StreamFactory
+
+__all__ = ["main", "build_parser"]
+
+_SCALES = {
+    "quick": ExperimentConfig.quick_scale,
+    "bench": ExperimentConfig.bench_scale,
+    "paper": ExperimentConfig.paper_scale,
+}
+
+
+def _add_scale_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="quick",
+        help="scenario size (density-preserving); default: quick",
+    )
+    parser.add_argument("--seed", type=int, default=2012, help="root RNG seed")
+    parser.add_argument(
+        "--repetitions", type=int, default=None, help="override repetitions"
+    )
+    parser.add_argument(
+        "--blocking",
+        choices=("homogeneous", "geometric"),
+        default="homogeneous",
+        help="PU blocking model (paper's analysis regime: homogeneous)",
+    )
+    parser.add_argument("--p-t", type=float, default=None, help="override p_t")
+
+
+def _config_from(args: argparse.Namespace) -> ExperimentConfig:
+    config = _SCALES[args.scale]().with_overrides(
+        seed=args.seed, blocking=args.blocking
+    )
+    if args.repetitions is not None:
+        config = config.with_overrides(repetitions=args.repetitions)
+    if args.p_t is not None:
+        config = config.with_overrides(p_t=args.p_t)
+    return config
+
+
+def _cmd_pcr(args: argparse.Namespace) -> int:
+    params = PcrParameters(
+        alpha=args.alpha,
+        pu_power=args.pu_power,
+        su_power=args.su_power,
+        pu_radius=args.pu_radius,
+        su_radius=args.su_radius,
+        eta_p_db=args.eta_p_db,
+        eta_s_db=args.eta_s_db,
+        zeta_bound=args.zeta_bound,
+    )
+    result = compute_pcr(params)
+    print(f"c1 = {result.c1:.4f}   c2 = {result.c2:.4f}   c3 = {result.c3:.4f}")
+    print(f"primary term   = {result.primary_term:.4f}")
+    print(f"secondary term = {result.secondary_term:.4f}")
+    print(f"kappa          = {result.kappa:.4f} ({result.binding_constraint} binds)")
+    print(f"PCR            = {result.pcr:.4f}")
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    params = PcrParameters(
+        alpha=config.alpha,
+        pu_power=config.pu_power,
+        su_power=config.su_power,
+        pu_radius=config.pu_radius,
+        su_radius=config.su_radius,
+        eta_p_db=config.eta_p_db,
+        eta_s_db=config.eta_s_db,
+        zeta_bound=config.zeta_bound,
+    )
+    pcr = compute_pcr(params)
+    streams = StreamFactory(config.seed).spawn("cli-bounds")
+    topology = deploy_crn(config.deployment_spec(), streams)
+    from repro.graphs.tree import build_collection_tree
+
+    tree = build_collection_tree(
+        topology.secondary.graph, topology.secondary.base_station
+    )
+    bounds = TheoreticalBounds.for_scenario(
+        num_sus=config.num_sus,
+        num_pus=config.num_pus,
+        area=config.area,
+        p_t=config.p_t,
+        kappa=pcr.kappa,
+        su_radius=config.su_radius,
+        delta=tree.max_degree(),
+        root_degree=max(tree.root_degree(), 1),
+    )
+    print(f"kappa                 = {bounds.kappa:.3f} (PCR {pcr.pcr:.1f})")
+    print(f"p_o (Lemma 7)         = {bounds.p_o:.6f}")
+    print(f"expected wait         = {bounds.expected_wait_slots:,.0f} slots")
+    print(f"Theorem 1 service     = {bounds.theorem1_slots:,.0f} slots")
+    print(f"Lemma 8 service       = {bounds.lemma8_slots:,.0f} slots")
+    print(f"Theorem 2 delay bound = {bounds.theorem2_delay_slots:,.0f} slots")
+    print(f"capacity fraction     = {bounds.capacity_fraction:.3e} W")
+    return 0
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    streams = StreamFactory(config.seed).spawn("cli-collect")
+    topology = deploy_crn(config.deployment_spec(), streams)
+    outcome = run_addc_collection(
+        topology,
+        streams.spawn("addc"),
+        eta_p_db=config.eta_p_db,
+        eta_s_db=config.eta_s_db,
+        alpha=config.alpha,
+        blocking=config.blocking,
+        fairness_wait=not args.no_fairness,
+        use_cds_tree=not args.bfs_tree,
+        p_false_alarm=args.p_false_alarm,
+        p_missed_detection=args.p_missed_detection,
+        num_channels=args.num_channels,
+        rounds=args.rounds,
+        period_slots=args.period_slots,
+        max_slots=config.max_slots,
+    )
+    print(outcome.result.summary())
+    print(
+        f"transmissions: {outcome.result.total_transmissions} "
+        f"({outcome.result.collisions} collisions, "
+        f"{outcome.result.pu_violations} PU violations)"
+    )
+    if outcome.bounds is not None and outcome.result.delay_slots is not None:
+        ratio = outcome.result.delay_slots / outcome.bounds.theorem2_delay_slots
+        print(f"Theorem 2 bound slack: {1.0 / max(ratio, 1e-12):,.0f}x")
+    return 0 if outcome.result.completed else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    point = run_comparison_point(config)
+    print(
+        f"ADDC    : {point.addc_delay_ms.mean:12.1f} ms "
+        f"± {point.addc_delay_ms.std:.1f}"
+    )
+    print(
+        f"Coolest : {point.coolest_delay_ms.mean:12.1f} ms "
+        f"± {point.coolest_delay_ms.std:.1f}"
+    )
+    print(
+        f"ADDC induces {point.reduction_percent:.0f}% less delay "
+        f"({point.speedup:.2f}x speedup)"
+    )
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    print(render_fig4_table(figure4_rows()))
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    name = f"fig6{args.subfigure}"
+    sweep = FIG6_SWEEPS[name]
+    config = _config_from(args)
+    points = run_fig6_sweep(sweep, config)
+    print(render_fig6_table(sweep.name, sweep.description, points))
+    if args.save:
+        from repro.experiments.io import save_sweep
+
+        save_sweep(args.save, name, points)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.experiments.scenarios import get_scenario, list_scenarios
+
+    if args.name is None:
+        print("available scenarios:")
+        for name in list_scenarios():
+            print(f"  {name:>18}: {get_scenario(name).summary}")
+        return 0
+
+    scenario = get_scenario(args.name)
+    config = scenario.config
+    if args.repetitions is not None:
+        config = config.with_overrides(repetitions=args.repetitions)
+    print(f"scenario: {scenario.name} — {scenario.summary}")
+    streams = StreamFactory(config.seed).spawn(f"scenario-{scenario.name}")
+    topology = deploy_crn(
+        config.deployment_spec(), streams, activity=scenario.make_activity()
+    )
+    outcome = run_addc_collection(
+        topology,
+        streams.spawn("addc"),
+        eta_p_db=config.eta_p_db,
+        eta_s_db=config.eta_s_db,
+        alpha=config.alpha,
+        blocking=config.blocking,
+        num_channels=scenario.num_channels,
+        max_slots=config.max_slots,
+    )
+    print(outcome.result.summary())
+    print(
+        f"transmissions: {outcome.result.total_transmissions} "
+        f"({outcome.result.collisions} collisions)"
+    )
+    return 0 if outcome.result.completed else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report_all import generate_report
+
+    config = _config_from(args)
+    sweeps = args.sweeps.split(",") if args.sweeps else None
+    document = generate_report(config, sweeps=sweeps, output_path=args.out)
+    if args.out:
+        print(f"report written to {args.out}")
+    else:
+        print(document)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    pcr = commands.add_parser("pcr", help="evaluate the PCR (Eq. 16)")
+    pcr.add_argument("--alpha", type=float, default=4.0)
+    pcr.add_argument("--pu-power", type=float, default=10.0)
+    pcr.add_argument("--su-power", type=float, default=10.0)
+    pcr.add_argument("--pu-radius", type=float, default=12.0)
+    pcr.add_argument("--su-radius", type=float, default=10.0)
+    pcr.add_argument("--eta-p-db", type=float, default=10.0)
+    pcr.add_argument("--eta-s-db", type=float, default=10.0)
+    pcr.add_argument(
+        "--zeta-bound", choices=("paper", "safe", "exact"), default="paper"
+    )
+    pcr.set_defaults(handler=_cmd_pcr)
+
+    bounds = commands.add_parser("bounds", help="analytic delay/capacity bounds")
+    _add_scale_options(bounds)
+    bounds.set_defaults(handler=_cmd_bounds)
+
+    collect = commands.add_parser("collect", help="run one ADDC collection")
+    _add_scale_options(collect)
+    collect.add_argument("--no-fairness", action="store_true")
+    collect.add_argument("--bfs-tree", action="store_true")
+    collect.add_argument("--p-false-alarm", type=float, default=0.0)
+    collect.add_argument("--p-missed-detection", type=float, default=0.0)
+    collect.add_argument(
+        "--num-channels",
+        type=int,
+        default=1,
+        help="licensed channels (1 = the paper's model)",
+    )
+    collect.add_argument(
+        "--rounds", type=int, default=1, help="snapshot rounds (continuous mode)"
+    )
+    collect.add_argument(
+        "--period-slots",
+        type=int,
+        default=None,
+        help="slots between snapshot rounds",
+    )
+    collect.set_defaults(handler=_cmd_collect)
+
+    compare = commands.add_parser("compare", help="ADDC vs Coolest")
+    _add_scale_options(compare)
+    compare.set_defaults(handler=_cmd_compare)
+
+    fig4 = commands.add_parser("fig4", help="regenerate Figure 4")
+    fig4.set_defaults(handler=_cmd_fig4)
+
+    fig6 = commands.add_parser("fig6", help="regenerate a Figure 6 sub-figure")
+    fig6.add_argument("subfigure", choices=list("abcdef"))
+    fig6.add_argument(
+        "--save", default=None, help="write the sweep to a JSON file"
+    )
+    _add_scale_options(fig6)
+    fig6.set_defaults(handler=_cmd_fig6)
+
+    scenario = commands.add_parser(
+        "scenario", help="list or run a named scenario preset"
+    )
+    scenario.add_argument("name", nargs="?", default=None)
+    scenario.add_argument("--repetitions", type=int, default=None)
+    scenario.set_defaults(handler=_cmd_scenario)
+
+    report = commands.add_parser(
+        "report", help="regenerate the full evaluation record (slow)"
+    )
+    _add_scale_options(report)
+    report.add_argument("--out", default=None, help="write Markdown here")
+    report.add_argument(
+        "--sweeps",
+        default=None,
+        help="comma-separated sub-figures, e.g. fig6c,fig6d (default: all)",
+    )
+    report.set_defaults(handler=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

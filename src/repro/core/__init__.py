@@ -1,0 +1,62 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.packing` — disk-packing bounds (Lemma 4) and the
+  neighborhood bounds of Lemmas 5-6.
+* :mod:`repro.core.pcr` — the Proper Carrier-sensing Range (Lemmas 2-3,
+  Eq. 16).
+* :mod:`repro.core.analysis` — spectrum-opportunity probability (Lemma 7)
+  and the delay/capacity results (Theorem 1, Corollary 1, Lemma 8,
+  Theorem 2).
+* :mod:`repro.core.addc` — Algorithm 1 as a MAC policy for the simulator.
+* :mod:`repro.core.collector` — one-call data-collection runs.
+* :mod:`repro.core.fairness` — fairness accounting (Jain index and the
+  Theorem-1 two-packet property).
+"""
+
+from repro.core.packing import (
+    beta,
+    lemma4_max_points,
+    lemma5_backbone_bound,
+    lemma6_neighborhood_bound,
+    lemma6_delta_bound,
+)
+from repro.core.pcr import PcrParameters, PcrResult, compute_pcr, db_to_linear
+from repro.core.analysis import (
+    opportunity_probability,
+    expected_waiting_slots,
+    theorem1_service_bound_slots,
+    lemma8_service_bound_slots,
+    theorem2_delay_bound_slots,
+    theorem2_capacity_lower_bound,
+    TheoreticalBounds,
+)
+from repro.core.addc import AddcPolicy
+from repro.core.aggregation import AggregationPolicy, run_aggregation
+from repro.core.collector import CollectionOutcome, run_addc_collection
+from repro.core.fairness import jain_index, transmission_share
+
+__all__ = [
+    "beta",
+    "lemma4_max_points",
+    "lemma5_backbone_bound",
+    "lemma6_neighborhood_bound",
+    "lemma6_delta_bound",
+    "PcrParameters",
+    "PcrResult",
+    "compute_pcr",
+    "db_to_linear",
+    "opportunity_probability",
+    "expected_waiting_slots",
+    "theorem1_service_bound_slots",
+    "lemma8_service_bound_slots",
+    "theorem2_delay_bound_slots",
+    "theorem2_capacity_lower_bound",
+    "TheoreticalBounds",
+    "AddcPolicy",
+    "AggregationPolicy",
+    "run_aggregation",
+    "CollectionOutcome",
+    "run_addc_collection",
+    "jain_index",
+    "transmission_share",
+]

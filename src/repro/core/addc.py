@@ -1,0 +1,75 @@
+"""ADDC (Algorithm 1) as a MAC policy.
+
+The engine owns the carrier-sensing/backoff machinery (lines 1-11); this
+policy contributes the two ADDC-specific decisions:
+
+* **routing** — every packet goes to the node's parent in the CDS-based
+  data-collection tree (Section IV-A), and
+* **fairness** — the post-transmission wait ``tau_c - t_i`` is enabled
+  (line 12); ``fairness_wait=False`` gives the Ablation-A variant.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.graphs.tree import CollectionTree
+from repro.sim.packet import Packet
+
+__all__ = ["AddcPolicy"]
+
+
+class AddcPolicy:
+    """Tree-parent forwarding with the Algorithm 1 fairness wait.
+
+    ``graph`` (the secondary network's ``G_s``) is only needed when the
+    engine injects runtime node departures: the policy then repairs the
+    tree locally (:mod:`repro.graphs.repair`) and reports any partitioned
+    nodes.
+    """
+
+    def __init__(
+        self, tree: CollectionTree, fairness_wait: bool = True, graph=None
+    ) -> None:
+        self.tree = tree
+        self.fairness_wait = bool(fairness_wait)
+        self.graph = graph
+
+    def next_hop(self, node: int, packet: Packet) -> int:
+        """Forward to the collection-tree parent, whatever the packet."""
+        parent = self.tree.parent[node]
+        if parent == node:
+            raise ConfigurationError(
+                "the base station never transmits; a packet was queued at the root"
+            )
+        if parent == -1:
+            raise ConfigurationError(
+                f"node {node} is detached from the collection tree"
+            )
+        return parent
+
+    def on_node_departure(self, node: int):
+        """Repair the tree after ``node`` leaves; return partitioned nodes.
+
+        Direct children re-parent locally; a child with no surviving
+        backbone neighbour is stranded and takes its whole subtree with it.
+        """
+        if self.graph is None:
+            raise ConfigurationError(
+                "AddcPolicy needs the secondary graph to repair departures; "
+                "construct it with graph=G_s"
+            )
+        from repro.graphs.repair import detach_node, orphaned_subtree
+
+        partitioned = []
+        for child in detach_node(self.tree, self.graph, node):
+            subtree = orphaned_subtree(self.tree, child)
+            partitioned.append(child)
+            partitioned.extend(subtree)
+            for orphan in [child, *subtree]:
+                self.tree.parent[orphan] = -1
+        return partitioned
+
+    def describe(self) -> str:
+        """Policy name for reports."""
+        suffix = "" if self.fairness_wait else " (no fairness wait)"
+        return f"ADDC{suffix}"

@@ -1,0 +1,167 @@
+"""The paper's delay/capacity analysis (Section IV-D).
+
+All service-time bounds are expressed in **slots**; multiply by the slot
+duration ``tau`` for wall-clock time.  The results:
+
+* Lemma 7 — an SU has a spectrum opportunity in a slot with probability
+  ``p_o = (1 - p_t)^{pi (kappa r)^2 N / (c0 n)}`` (the exponent is the
+  expected PU count inside a PCR disk; ``c0 n = A``), so the expected wait
+  is ``tau / p_o``.
+* Theorem 1 — any SU with data transmits at least one packet to its parent
+  within ``(2 Delta beta_kappa + 24 beta_{kappa+1} - 1) tau / p_o``.
+* Corollary 1 — the same expression bounds draining all dominatee packets
+  into the backbone ``D ∪ C``.
+* Lemma 8 — once traffic is on the backbone, a backbone SU serves a packet
+  within ``(2 beta_kappa + 24 beta_{kappa+1} - 1) tau / p_o``.
+* Theorem 2 — total delay is at most
+  ``(2 Delta beta_kappa + 24 beta_{kappa+1} - 1) tau / p_o
+  + (n - Delta_b)(2 beta_kappa + 24 beta_{kappa+1} - 1) tau / p_o``,
+  hence capacity is ``Omega(p_o W / (2 beta_kappa + 24 beta_{kappa+1} - 1))``
+  — order-optimal whenever ``p_o`` is a positive constant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.packing import beta
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "opportunity_probability",
+    "expected_waiting_slots",
+    "theorem1_service_bound_slots",
+    "lemma8_service_bound_slots",
+    "theorem2_delay_bound_slots",
+    "theorem2_capacity_lower_bound",
+    "TheoreticalBounds",
+]
+
+
+def opportunity_probability(
+    p_t: float, kappa: float, su_radius: float, num_pus: int, area: float
+) -> float:
+    """Lemma 7's ``p_o = (1 - p_t)^{pi (kappa r)^2 N / A}``.
+
+    ``A = c0 n`` in the paper's notation; passing the region area directly
+    avoids carrying ``c0`` and ``n`` separately.
+    """
+    if not 0.0 <= p_t < 1.0:
+        raise ConfigurationError(f"p_t must be in [0, 1), got {p_t}")
+    if area <= 0:
+        raise ConfigurationError(f"area must be positive, got {area}")
+    if num_pus < 0:
+        raise ConfigurationError(f"num_pus must be >= 0, got {num_pus}")
+    if kappa < 1 or su_radius <= 0:
+        raise ConfigurationError("need kappa >= 1 and su_radius > 0")
+    expected_pus_in_pcr = math.pi * (kappa * su_radius) ** 2 * num_pus / area
+    return (1.0 - p_t) ** expected_pus_in_pcr
+
+
+def expected_waiting_slots(p_o: float) -> float:
+    """Lemma 7: expected slots until a spectrum opportunity, ``1 / p_o``."""
+    if not 0.0 < p_o <= 1.0:
+        raise ConfigurationError(f"p_o must be in (0, 1], got {p_o}")
+    return 1.0 / p_o
+
+
+def theorem1_service_bound_slots(kappa: float, delta: float, p_o: float) -> float:
+    """Theorem 1: slots for any backlogged SU to serve one packet.
+
+    ``(2 Delta beta_kappa + 24 beta_{kappa+1} - 1) / p_o``.
+    """
+    if delta < 1:
+        raise ConfigurationError(f"delta must be >= 1, got {delta}")
+    raw = 2.0 * delta * beta(kappa) + 24.0 * beta(kappa + 1.0) - 1.0
+    return raw * expected_waiting_slots(p_o)
+
+
+def lemma8_service_bound_slots(kappa: float, p_o: float) -> float:
+    """Lemma 8: backbone per-packet service bound,
+    ``(2 beta_kappa + 24 beta_{kappa+1} - 1) / p_o``."""
+    raw = 2.0 * beta(kappa) + 24.0 * beta(kappa + 1.0) - 1.0
+    return raw * expected_waiting_slots(p_o)
+
+
+def theorem2_delay_bound_slots(
+    num_sus: int, kappa: float, delta: float, root_degree: int, p_o: float
+) -> float:
+    """Theorem 2's explicit delay bound (in slots).
+
+    ``theorem1 + (n - Delta_b) * lemma8`` where ``Delta_b`` is the base
+    station's tree degree.
+    """
+    if num_sus < 1:
+        raise ConfigurationError(f"num_sus must be >= 1, got {num_sus}")
+    if root_degree < 1:
+        raise ConfigurationError(f"root_degree must be >= 1, got {root_degree}")
+    backbone_packets = max(num_sus - root_degree, 0)
+    return theorem1_service_bound_slots(
+        kappa, delta, p_o
+    ) + backbone_packets * lemma8_service_bound_slots(kappa, p_o)
+
+
+def theorem2_capacity_lower_bound(
+    kappa: float, p_o: float, bandwidth: float = 1.0
+) -> float:
+    """Theorem 2's capacity lower bound.
+
+    ``p_o W / (2 beta_kappa + 24 beta_{kappa+1} - 1)``; with the default
+    ``bandwidth = 1`` the result is the guaranteed fraction of the upper
+    bound ``W`` — the constant behind the order-optimality claim.
+    """
+    if bandwidth <= 0:
+        raise ConfigurationError(f"bandwidth must be positive, got {bandwidth}")
+    raw = 2.0 * beta(kappa) + 24.0 * beta(kappa + 1.0) - 1.0
+    if not 0.0 < p_o <= 1.0:
+        raise ConfigurationError(f"p_o must be in (0, 1], got {p_o}")
+    return p_o * bandwidth / raw
+
+
+@dataclass(frozen=True)
+class TheoreticalBounds:
+    """Bundle of every analytic quantity for one scenario.
+
+    Produced by :meth:`for_scenario`; consumed by EXPERIMENTS.md generation
+    and by the integration tests that check the simulator never exceeds the
+    delay bound.
+    """
+
+    kappa: float
+    p_o: float
+    delta: float
+    root_degree: int
+    expected_wait_slots: float
+    theorem1_slots: float
+    lemma8_slots: float
+    theorem2_delay_slots: float
+    capacity_fraction: float
+
+    @classmethod
+    def for_scenario(
+        cls,
+        num_sus: int,
+        num_pus: int,
+        area: float,
+        p_t: float,
+        kappa: float,
+        su_radius: float,
+        delta: float,
+        root_degree: int,
+    ) -> "TheoreticalBounds":
+        """Evaluate every bound for a concrete scenario."""
+        p_o = opportunity_probability(p_t, kappa, su_radius, num_pus, area)
+        return cls(
+            kappa=kappa,
+            p_o=p_o,
+            delta=delta,
+            root_degree=root_degree,
+            expected_wait_slots=expected_waiting_slots(p_o),
+            theorem1_slots=theorem1_service_bound_slots(kappa, delta, p_o),
+            lemma8_slots=lemma8_service_bound_slots(kappa, p_o),
+            theorem2_delay_slots=theorem2_delay_bound_slots(
+                num_sus, kappa, delta, root_degree, p_o
+            ),
+            capacity_fraction=theorem2_capacity_lower_bound(kappa, p_o),
+        )

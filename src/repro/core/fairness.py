@@ -1,0 +1,61 @@
+"""Fairness accounting.
+
+The paper motivates the post-transmission wait (Algorithm 1, line 12) by
+fairness: without it, an SU that keeps drawing small timers could occupy the
+spectrum while PCR neighbours starve.  Two quantitative views:
+
+* :func:`jain_index` — Jain's fairness index over per-node service counts,
+  ``(sum x)^2 / (k * sum x^2)``; 1.0 means perfectly even service.
+* :func:`transmission_share` — the largest fraction of all transmissions
+  taken by any single node, a starvation indicator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["jain_index", "transmission_share", "per_source_delay_spread"]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index of a non-negative allocation vector.
+
+    >>> jain_index([1.0, 1.0, 1.0])
+    1.0
+    >>> round(jain_index([1.0, 0.0, 0.0]), 4)
+    0.3333
+    """
+    if len(values) == 0:
+        raise ConfigurationError("jain_index needs at least one value")
+    if any(v < 0 for v in values):
+        raise ConfigurationError("jain_index needs non-negative values")
+    total = float(sum(values))
+    square_sum = float(sum(v * v for v in values))
+    if total == 0.0 or square_sum == 0.0:
+        # All-zero (or subnormal-underflow) allocations are vacuously even.
+        return 1.0
+    return total * total / (len(values) * square_sum)
+
+
+def transmission_share(tx_counts: Dict[int, int]) -> float:
+    """Largest per-node share of total transmissions (0 if none happened)."""
+    total = sum(tx_counts.values())
+    if total == 0:
+        return 0.0
+    return max(tx_counts.values()) / total
+
+
+def per_source_delay_spread(delays: Sequence[float]) -> float:
+    """Max/mean ratio of per-source delays — flow-level fairness.
+
+    1.0 means all sources finished together; large values mean some flows
+    were served much later than the average.
+    """
+    if len(delays) == 0:
+        raise ConfigurationError("need at least one delay")
+    mean = sum(delays) / len(delays)
+    if mean == 0:
+        return 1.0
+    return max(delays) / mean

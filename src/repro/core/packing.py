@@ -1,0 +1,95 @@
+"""Disk-packing bounds (Lemma 4) and the neighborhood bounds of Lemmas 5-6.
+
+Lemma 4 (from Wan et al. [25]): a disk of radius ``r_d`` contains at most
+
+.. math::  \\beta_{r_d} = \\frac{2 \\pi r_d^2}{\\sqrt 3} + \\pi r_d + 1
+
+points of any point set with mutual distance at least 1.  Rescaling by the
+minimum separation gives the counting bounds the delay analysis is built
+on:
+
+* Lemma 5 — at most ``beta(kappa) + 12 * beta(kappa + 1)`` dominators and
+  connectors lie within an SU's PCR (dominators are an MIS, so mutually
+  ``> r`` apart; each dominator owns at most 12 connectors by Lemma 1).
+* Lemma 6 — at most ``Delta * beta(kappa) + 12 * beta(kappa + 1)`` SUs lie
+  within an SU's PCR, where ``Delta`` is the maximum collection-tree degree,
+  bounded by ``log n + pi r^2 (e^2 - 1) / (2 c0)`` with high probability.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "beta",
+    "lemma4_max_points",
+    "lemma5_backbone_bound",
+    "lemma6_neighborhood_bound",
+    "lemma6_delta_bound",
+]
+
+
+def beta(x: float) -> float:
+    """The packing function ``beta_x = 2*pi*x^2/sqrt(3) + pi*x + 1`` (Lemma 5).
+
+    >>> round(beta(0.0), 6)
+    1.0
+    """
+    if x < 0:
+        raise ConfigurationError(f"beta is defined for x >= 0, got {x}")
+    return 2.0 * math.pi * x * x / math.sqrt(3.0) + math.pi * x + 1.0
+
+
+def lemma4_max_points(disk_radius: float, min_separation: float = 1.0) -> float:
+    """Lemma 4 rescaled: max points with mutual distance >= ``min_separation``
+    inside a disk of radius ``disk_radius``.
+
+    The unit-separation statement is recovered with ``min_separation == 1``.
+    """
+    if disk_radius < 0:
+        raise ConfigurationError(f"disk_radius must be >= 0, got {disk_radius}")
+    if min_separation <= 0:
+        raise ConfigurationError(
+            f"min_separation must be positive, got {min_separation}"
+        )
+    return beta(disk_radius / min_separation)
+
+
+def lemma5_backbone_bound(kappa: float) -> float:
+    """Lemma 5: dominators + connectors within an SU's PCR.
+
+    ``beta(kappa) + 12 * beta(kappa + 1)`` — dominators (an MIS at pairwise
+    distance > r) within ``kappa * r`` contribute ``beta(kappa)``; every
+    dominator within ``(kappa + 1) r`` contributes at most 12 connectors
+    (Lemma 1).
+    """
+    if kappa < 1:
+        raise ConfigurationError(f"kappa must be >= 1 (PCR >= r), got {kappa}")
+    return beta(kappa) + 12.0 * beta(kappa + 1.0)
+
+
+def lemma6_neighborhood_bound(kappa: float, delta: float) -> float:
+    """Lemma 6: SUs within an SU's PCR, ``Delta*beta(kappa) + 12*beta(kappa+1)``."""
+    if delta < 1:
+        raise ConfigurationError(f"delta must be >= 1, got {delta}")
+    if kappa < 1:
+        raise ConfigurationError(f"kappa must be >= 1 (PCR >= r), got {kappa}")
+    return delta * beta(kappa) + 12.0 * beta(kappa + 1.0)
+
+
+def lemma6_delta_bound(num_sus: int, su_radius: float, c0: float) -> float:
+    """Lemma 6's high-probability bound on the maximum tree degree Delta.
+
+    ``Delta <= log n + pi r^2 (e^2 - 1) / (2 c0)`` where ``c0 = A / n``.
+    """
+    if num_sus < 1:
+        raise ConfigurationError(f"num_sus must be >= 1, got {num_sus}")
+    if su_radius <= 0:
+        raise ConfigurationError(f"su_radius must be positive, got {su_radius}")
+    if c0 <= 0:
+        raise ConfigurationError(f"c0 must be positive, got {c0}")
+    return math.log(num_sus) + math.pi * su_radius**2 * (math.e**2 - 1.0) / (
+        2.0 * c0
+    )

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the ADDC reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch library failures without masking unrelated bugs::
+
+    try:
+        run_collection(config)
+    except ReproError as exc:
+        ...
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is out of its valid domain.
+
+    Raised eagerly, at construction time, so that invalid parameter
+    combinations never reach the simulator.
+    """
+
+
+class GeometryError(ReproError):
+    """A geometric argument is invalid (negative radius, empty region, ...)."""
+
+
+class GraphError(ReproError):
+    """A graph operation received an invalid graph or node."""
+
+
+class DisconnectedNetworkError(GraphError):
+    """The secondary network graph G_s is not connected.
+
+    The paper assumes G_s is connected (Section III); deployments that fail
+    this assumption after the configured number of attempts raise this error
+    rather than silently producing an unreachable data-collection task.
+    """
+
+
+class PcrDomainError(ReproError):
+    """The PCR constants are outside their valid domain.
+
+    The paper's constant ``c2 = 6 + 6 (sqrt(3)/2)^-alpha (1/(alpha-2) - 1)``
+    becomes non-positive for ``alpha`` greater than roughly 4.25 because the
+    derivation bounds the Riemann zeta function by ``zeta(x) <= 1/(x-1)``,
+    which is only valid as ``x -> 1``.  When the paper's bound is requested
+    in that regime this error is raised; the ``tight`` bound never raises.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state (an internal invariant broke)."""
+
+
+class InterferenceViolationError(SimulationError):
+    """The SIR validator observed a concurrent set violating the physical model.
+
+    With a correctly derived PCR this never happens (Lemmas 2-3); it is kept
+    as a loud failure mode for experimentation with under-sized sensing
+    ranges.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload description is invalid or inconsistent with the topology."""

@@ -1,0 +1,88 @@
+"""JSON persistence for experiment outputs.
+
+Long sweeps are expensive; these helpers write the measured numbers (with
+the exact configuration that produced them) to disk and read them back, so
+reports and plots never depend on an in-memory session.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ComparisonPoint
+from repro.metrics.aggregate import RunStatistics
+
+__all__ = [
+    "comparison_point_to_dict",
+    "comparison_point_from_dict",
+    "save_sweep",
+    "load_sweep",
+]
+
+
+def comparison_point_to_dict(point: ComparisonPoint) -> Dict:
+    """A JSON-serializable record of one comparison point."""
+    return {
+        "config": dataclasses.asdict(point.config),
+        "addc_delays_ms": list(point.addc_delays),
+        "coolest_delays_ms": list(point.coolest_delays),
+    }
+
+
+def _statistics(values: List[float]) -> RunStatistics:
+    from repro.metrics.aggregate import summarize_delays
+
+    return summarize_delays(values)
+
+
+def comparison_point_from_dict(record: Dict) -> ComparisonPoint:
+    """Rebuild a :class:`ComparisonPoint` from its JSON record."""
+    for key in ("config", "addc_delays_ms", "coolest_delays_ms"):
+        if key not in record:
+            raise ConfigurationError(f"record is missing {key!r}")
+    config = ExperimentConfig(**record["config"])
+    addc = [float(v) for v in record["addc_delays_ms"]]
+    coolest = [float(v) for v in record["coolest_delays_ms"]]
+    return ComparisonPoint(
+        config=config,
+        addc_delay_ms=_statistics(addc),
+        coolest_delay_ms=_statistics(coolest),
+        addc_delays=addc,
+        coolest_delays=coolest,
+    )
+
+
+def save_sweep(
+    path: Union[str, Path],
+    name: str,
+    points: Sequence[Tuple[float, ComparisonPoint]],
+) -> None:
+    """Write one figure sweep (x-values plus comparison points) to JSON."""
+    payload = {
+        "name": name,
+        "points": [
+            {"x": float(x), "comparison": comparison_point_to_dict(point)}
+            for x, point in points
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_sweep(path: Union[str, Path]) -> Tuple[str, List[Tuple[float, ComparisonPoint]]]:
+    """Read a sweep written by :func:`save_sweep`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read sweep file {path}: {exc}") from exc
+    if "name" not in payload or "points" not in payload:
+        raise ConfigurationError(f"{path} is not a sweep file")
+    points = [
+        (float(entry["x"]), comparison_point_from_dict(entry["comparison"]))
+        for entry in payload["points"]
+    ]
+    return str(payload["name"]), points

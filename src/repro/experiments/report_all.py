@@ -1,0 +1,81 @@
+"""One-call regeneration of the full evaluation record.
+
+:func:`generate_report` runs every Figure 6 sweep (plus Figure 4 and the
+analytic curves) at a chosen scale and renders a single Markdown document
+— the machinery behind EXPERIMENTS.md, exposed so anyone can regenerate
+the record on their own machine (``python -m repro report``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig4 import figure4_rows
+from repro.experiments.fig6 import FIG6_SWEEPS, run_fig6_sweep
+from repro.experiments.report import render_fig4_table, render_fig6_table
+from repro.experiments.theory_curves import theory_curve
+
+__all__ = ["generate_report"]
+
+
+def generate_report(
+    base: Optional[ExperimentConfig] = None,
+    sweeps: Optional[List[str]] = None,
+    output_path: Optional[Union[str, Path]] = None,
+) -> str:
+    """Run the evaluation and return (and optionally write) the report.
+
+    Parameters
+    ----------
+    base:
+        Scenario every sweep varies around (default: bench scale).
+    sweeps:
+        Which Figure 6 sub-figures to run (default: all six).
+    output_path:
+        When given, the Markdown is also written there.
+    """
+    if base is None:
+        base = ExperimentConfig.bench_scale()
+    if sweeps is None:
+        sweeps = sorted(FIG6_SWEEPS)
+
+    sections: List[str] = []
+    sections.append("# Reproduction report\n")
+    sections.append(
+        f"Scenario: area {base.area:.0f}, N = {base.num_pus}, "
+        f"n = {base.num_sus}, p_t = {base.p_t}, alpha = {base.alpha}, "
+        f"eta = {base.eta_p_db}/{base.eta_s_db} dB, "
+        f"blocking = {base.blocking}, {base.repetitions} repetitions, "
+        f"seed = {base.seed}.\n"
+    )
+
+    sections.append("## Figure 4 (analytic)\n")
+    sections.append("```\n" + render_fig4_table(figure4_rows()) + "\n```\n")
+
+    for name in sweeps:
+        sweep = FIG6_SWEEPS[name]
+        points = run_fig6_sweep(sweep, base)
+        sections.append(f"## Figure 6 ({name[-1]}) — {sweep.description}\n")
+        sections.append(
+            "```\n"
+            + render_fig6_table(sweep.name, sweep.description, points)
+            + "\n```\n"
+        )
+        theory = theory_curve(name, base)
+        theory_lines = [
+            f"  x={point.x:g}: Theorem-2 bound {point.delay_bound_slots:,.0f} slots"
+            for point in theory
+        ]
+        sections.append(
+            "Analytic counterpart (Theorem 2 bound along the sweep):\n\n"
+            + "```\n"
+            + "\n".join(theory_lines)
+            + "\n```\n"
+        )
+
+    document = "\n".join(sections)
+    if output_path is not None:
+        Path(output_path).write_text(document)
+    return document

@@ -1,0 +1,164 @@
+"""Repetition-averaged ADDC vs Coolest comparison runs.
+
+Each repetition deploys a fresh CRN (fresh placements and fresh activity
+randomness, like the paper's "each group of simulations is repeated for 10
+times and the results are the average values") and runs both algorithms on
+*the same deployment*, which removes placement variance from the
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.collector import run_addc_collection
+from repro.errors import SimulationError
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.aggregate import (
+    RunStatistics,
+    relative_delay_reduction_percent,
+    summarize_delays,
+)
+from repro.network.deployment import deploy_crn
+from repro.rng import StreamFactory
+from repro.routing.coolest import run_coolest_collection
+
+__all__ = ["ComparisonPoint", "run_comparison_point", "run_addc_only"]
+
+
+@dataclass
+class ComparisonPoint:
+    """Averaged results of both algorithms for one scenario."""
+
+    config: ExperimentConfig
+    addc_delay_ms: RunStatistics
+    coolest_delay_ms: RunStatistics
+    addc_delays: List[float] = field(default_factory=list)
+    coolest_delays: List[float] = field(default_factory=list)
+
+    @property
+    def reduction_percent(self) -> float:
+        """The paper's "ADDC induces X% less delay" number."""
+        return relative_delay_reduction_percent(
+            self.addc_delay_ms.mean, self.coolest_delay_ms.mean
+        )
+
+    @property
+    def speedup(self) -> float:
+        """Coolest delay divided by ADDC delay."""
+        return self.coolest_delay_ms.mean / self.addc_delay_ms.mean
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the ADDC-vs-Coolest gap survives Welch's t-test.
+
+        Returns ``False`` when fewer than two repetitions are available
+        (no variance estimate, nothing to test).
+        """
+        if len(self.addc_delays) < 2 or len(self.coolest_delays) < 2:
+            return False
+        from repro.metrics.stats import comparison_significant
+
+        is_significant, _ = comparison_significant(
+            self.addc_delays, self.coolest_delays, alpha=alpha
+        )
+        return is_significant
+
+
+def _require_complete(delay_ms: Optional[float], label: str, rep: int) -> float:
+    if delay_ms is None:
+        raise SimulationError(
+            f"{label} run (repetition {rep}) hit max_slots before completing; "
+            "raise max_slots or shrink the scenario"
+        )
+    return delay_ms
+
+
+def run_comparison_point(
+    config: ExperimentConfig, repetitions: Optional[int] = None
+) -> ComparisonPoint:
+    """Run ADDC and Coolest over ``repetitions`` fresh deployments."""
+    reps = repetitions if repetitions is not None else config.repetitions
+    addc_delays: List[float] = []
+    coolest_delays: List[float] = []
+    root = StreamFactory(config.seed)
+
+    for rep in range(reps):
+        factory = root.spawn(f"rep-{rep}")
+        topology = deploy_crn(config.deployment_spec(), factory)
+        addc = run_addc_collection(
+            topology,
+            factory.spawn("addc"),
+            eta_p_db=config.eta_p_db,
+            eta_s_db=config.eta_s_db,
+            alpha=config.alpha,
+            zeta_bound=config.zeta_bound,
+            blocking=config.blocking,
+            max_slots=config.max_slots,
+            contention_window_ms=config.contention_window_ms,
+            slot_duration_ms=config.slot_duration_ms,
+            with_bounds=False,
+        )
+        coolest = run_coolest_collection(
+            topology,
+            factory.spawn("coolest"),
+            eta_p_db=config.eta_p_db,
+            eta_s_db=config.eta_s_db,
+            alpha=config.alpha,
+            zeta_bound=config.zeta_bound,
+            blocking=config.blocking,
+            max_slots=config.max_slots,
+            contention_window_ms=config.contention_window_ms,
+            slot_duration_ms=config.slot_duration_ms,
+        )
+        addc_delays.append(
+            _require_complete(addc.result.delay_ms, "ADDC", rep)
+        )
+        coolest_delays.append(
+            _require_complete(coolest.result.delay_ms, "Coolest", rep)
+        )
+
+    return ComparisonPoint(
+        config=config,
+        addc_delay_ms=summarize_delays(addc_delays),
+        coolest_delay_ms=summarize_delays(coolest_delays),
+        addc_delays=addc_delays,
+        coolest_delays=coolest_delays,
+    )
+
+
+def run_addc_only(
+    config: ExperimentConfig,
+    repetitions: Optional[int] = None,
+    fairness_wait: bool = True,
+    use_cds_tree: bool = True,
+    zeta_bound: Optional[str] = None,
+) -> RunStatistics:
+    """Repetition-averaged ADDC delay with ablation switches.
+
+    Used by the ablation benchmarks (fairness wait, zeta bound, routing
+    structure); returns the delay statistics in milliseconds.
+    """
+    reps = repetitions if repetitions is not None else config.repetitions
+    delays: List[float] = []
+    root = StreamFactory(config.seed)
+    for rep in range(reps):
+        factory = root.spawn(f"rep-{rep}")
+        topology = deploy_crn(config.deployment_spec(), factory)
+        outcome = run_addc_collection(
+            topology,
+            factory.spawn("addc"),
+            eta_p_db=config.eta_p_db,
+            eta_s_db=config.eta_s_db,
+            alpha=config.alpha,
+            zeta_bound=zeta_bound if zeta_bound is not None else config.zeta_bound,
+            fairness_wait=fairness_wait,
+            use_cds_tree=use_cds_tree,
+            blocking=config.blocking,
+            max_slots=config.max_slots,
+            contention_window_ms=config.contention_window_ms,
+            slot_duration_ms=config.slot_duration_ms,
+            with_bounds=False,
+        )
+        delays.append(_require_complete(outcome.result.delay_ms, "ADDC", rep))
+    return summarize_delays(delays)

@@ -1,0 +1,26 @@
+"""Geometric substrate: points, distances, regions, and a spatial index.
+
+The simulator stores node positions as an ``(n, 2)`` ``float64`` array and
+answers "who is within radius R of node i" queries through
+:class:`repro.geometry.spatial_index.GridIndex`, a uniform-grid spatial hash
+with brute-force-verified semantics.
+"""
+
+from repro.geometry.distance import (
+    euclidean,
+    pairwise_distances,
+    distances_from,
+    within_radius_mask,
+)
+from repro.geometry.region import SquareRegion, DiskRegion
+from repro.geometry.spatial_index import GridIndex
+
+__all__ = [
+    "euclidean",
+    "pairwise_distances",
+    "distances_from",
+    "within_radius_mask",
+    "SquareRegion",
+    "DiskRegion",
+    "GridIndex",
+]

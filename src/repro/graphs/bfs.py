@@ -1,0 +1,74 @@
+"""Breadth-first search layering, ordering, and parent extraction.
+
+The CDS construction (Section IV-A) starts with "a Breadth First Search
+starting from the base station"; these helpers provide the layer structure
+and the rank order that the MIS and connector selections consume.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+__all__ = ["bfs_layers", "bfs_order", "bfs_parents", "UNREACHED"]
+
+#: Layer / parent value for nodes not reachable from the root.
+UNREACHED = -1
+
+
+def bfs_layers(graph: Graph, root: int) -> List[int]:
+    """BFS layer (hop distance from ``root``) for every node.
+
+    Unreachable nodes get :data:`UNREACHED`.
+
+    >>> g = Graph(4); g.add_edge(0, 1); g.add_edge(1, 2)
+    >>> bfs_layers(g, 0)
+    [0, 1, 2, -1]
+    """
+    if not 0 <= root < graph.num_nodes:
+        raise GraphError(f"root {root} outside graph with {graph.num_nodes} nodes")
+    layers = [UNREACHED] * graph.num_nodes
+    layers[root] = 0
+    queue = deque([root])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if layers[neighbor] == UNREACHED:
+                layers[neighbor] = layers[node] + 1
+                queue.append(neighbor)
+    return layers
+
+
+def bfs_parents(graph: Graph, root: int) -> List[int]:
+    """BFS parent for every node (``root`` maps to itself).
+
+    Unreachable nodes get :data:`UNREACHED`.  Ties are broken by adjacency
+    order, i.e. deterministically for a given graph.
+    """
+    if not 0 <= root < graph.num_nodes:
+        raise GraphError(f"root {root} outside graph with {graph.num_nodes} nodes")
+    parents = [UNREACHED] * graph.num_nodes
+    parents[root] = root
+    queue = deque([root])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if parents[neighbor] == UNREACHED:
+                parents[neighbor] = node
+                queue.append(neighbor)
+    return parents
+
+
+def bfs_order(graph: Graph, root: int) -> List[int]:
+    """Reachable nodes sorted by ``(layer, node id)``.
+
+    This is the "rank" order the MIS selection processes nodes in: smaller
+    BFS layer first, smaller id within a layer.
+    """
+    layers = bfs_layers(graph, root)
+    reachable = [node for node in graph.nodes() if layers[node] != UNREACHED]
+    reachable.sort(key=lambda node: (layers[node], node))
+    return reachable

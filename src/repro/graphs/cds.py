@@ -1,0 +1,129 @@
+"""Connected dominating set construction (Wan et al. [25]).
+
+Section IV-A, step two: "find a set C consisting of connectors to connect
+the dominators in D to form a CDS".
+
+For every non-root dominator ``d`` at BFS layer ``l`` we pick one neighbor
+``c`` in layer ``l - 1`` as its connector.  ``c`` cannot itself be a
+dominator (``d`` and ``c`` are adjacent and the MIS is independent), but the
+greedy MIS guarantees ``c`` has a dominator neighbor with rank before it —
+in particular one in a layer ``<= l - 1`` — which becomes ``c``'s parent.
+Layers therefore strictly decrease along every dominator -> connector ->
+dominator chain, which makes the resulting structure a tree rooted at the
+base station and the set ``D ∪ C`` a connected dominating set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import GraphError
+from repro.graphs.bfs import bfs_layers, UNREACHED
+from repro.graphs.graph import Graph
+from repro.graphs.mis import maximal_independent_set
+
+__all__ = ["CdsResult", "build_cds"]
+
+
+@dataclass
+class CdsResult:
+    """Output of :func:`build_cds`.
+
+    Attributes
+    ----------
+    root:
+        The base station node id.
+    dominators:
+        The MIS ``D`` in selection order; ``root`` is first.
+    connectors:
+        The connector set ``C`` (no particular order guaranteed).
+    dominator_parent:
+        For every non-root dominator, the connector chosen as its parent
+        (Algorithm 1 forwards dominator traffic through these).
+    connector_parent:
+        For every connector, the dominator chosen as its parent.
+    layers:
+        BFS layer of every node in the underlying graph.
+    """
+
+    root: int
+    dominators: List[int]
+    connectors: List[int] = field(default_factory=list)
+    dominator_parent: Dict[int, int] = field(default_factory=dict)
+    connector_parent: Dict[int, int] = field(default_factory=dict)
+    layers: List[int] = field(default_factory=list)
+
+    @property
+    def backbone(self) -> List[int]:
+        """The CDS node set ``D ∪ C``."""
+        return list(self.dominators) + list(self.connectors)
+
+    def is_dominator(self, node: int) -> bool:
+        """Whether ``node`` is in ``D``."""
+        return node in self._dominator_set
+
+    def __post_init__(self) -> None:
+        self._dominator_set = set(self.dominators)
+
+
+def build_cds(graph: Graph, root: int) -> CdsResult:
+    """Construct the CDS ``D ∪ C`` of ``graph`` rooted at ``root``.
+
+    Raises
+    ------
+    GraphError
+        If some node is unreachable from ``root`` (the paper assumes a
+        connected ``G_s``).
+    """
+    layers = bfs_layers(graph, root)
+    if any(layer == UNREACHED for layer in layers):
+        raise GraphError("graph must be connected for the CDS construction")
+
+    dominators = maximal_independent_set(graph, root)
+    dominator_set = set(dominators)
+    # Rank of each dominator in MIS selection order; used to pick, for a
+    # connector, the earliest-selected adjacent dominator as its parent so
+    # that the parent's layer never exceeds the connector's own layer.
+    mis_rank = {node: rank for rank, node in enumerate(dominators)}
+
+    result = CdsResult(root=root, dominators=dominators, layers=layers)
+    connector_set: Dict[int, int] = {}
+
+    for dominator in dominators:
+        if dominator == root:
+            continue
+        layer = layers[dominator]
+        # One neighbor of a non-root dominator always sits in the previous
+        # BFS layer (its BFS parent, for instance).
+        candidates = [
+            nbr for nbr in graph.neighbors(dominator) if layers[nbr] == layer - 1
+        ]
+        if not candidates:
+            raise GraphError(
+                f"dominator {dominator} at layer {layer} has no previous-layer "
+                "neighbor; BFS layering is inconsistent"
+            )
+        # Prefer a connector already selected (keeps |C| small, Lemma 1), then
+        # deterministic smallest id.
+        reused = [c for c in candidates if c in connector_set]
+        connector = min(reused) if reused else min(candidates)
+        result.dominator_parent[dominator] = connector
+        if connector in connector_set:
+            continue
+        # The connector's parent is its earliest-selected dominator neighbor;
+        # greedy MIS in (layer, id) order guarantees one exists with layer
+        # <= the connector's layer.
+        dominator_neighbors = [
+            nbr for nbr in graph.neighbors(connector) if nbr in dominator_set
+        ]
+        if not dominator_neighbors:
+            raise GraphError(
+                f"connector {connector} has no dominator neighbor; MIS is not maximal"
+            )
+        parent = min(dominator_neighbors, key=lambda node: mis_rank[node])
+        connector_set[connector] = parent
+        result.connector_parent[connector] = parent
+
+    result.connectors = sorted(connector_set)
+    return result

@@ -1,0 +1,54 @@
+"""Connectivity predicates for :class:`repro.graphs.graph.Graph`.
+
+The paper assumes ``G_s`` is connected (Section III); deployments check this
+via :func:`is_connected` and regenerate when it fails.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.graphs.bfs import bfs_layers, UNREACHED
+from repro.graphs.graph import Graph
+
+__all__ = ["is_connected", "connected_component"]
+
+
+def connected_component(graph: Graph, start: int) -> Set[int]:
+    """The set of nodes reachable from ``start`` (including ``start``)."""
+    layers = bfs_layers(graph, start)
+    return {node for node in graph.nodes() if layers[node] != UNREACHED}
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (vacuously true for <= 1 node).
+
+    >>> g = Graph(2)
+    >>> is_connected(g)
+    False
+    >>> g.add_edge(0, 1); is_connected(g)
+    True
+    """
+    if graph.num_nodes <= 1:
+        return True
+    return len(connected_component(graph, 0)) == graph.num_nodes
+
+
+def connected_subgraph_nodes(graph: Graph, nodes: List[int]) -> bool:
+    """Whether the induced subgraph on ``nodes`` is connected.
+
+    Used by the CDS tests: a connected dominating set must induce a
+    connected subgraph.
+    """
+    if not nodes:
+        return True
+    node_set = set(nodes)
+    stack = [nodes[0]]
+    seen = {nodes[0]}
+    while stack:
+        node = stack.pop()
+        for neighbor in graph.neighbors(node):
+            if neighbor in node_set and neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return len(seen) == len(node_set)

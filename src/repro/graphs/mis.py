@@ -1,0 +1,44 @@
+"""Maximal independent set in BFS rank order (the *dominator* selection).
+
+Section IV-A, step one: "make a Breadth First Search starting from the base
+station s_b, and identify a Maximal Independent Set (MIS) D of G_s.  The
+nodes in the MIS are called dominators (evidently, the base station is also
+a dominator)."
+
+Processing nodes in ``(BFS layer, id)`` order and greedily adding any node
+with no already-selected neighbor yields an MIS with the two properties the
+construction depends on:
+
+* the root is selected first, and
+* every non-root MIS node has an MIS node exactly two hops away through a
+  lower-or-equal layer, which is what lets connectors glue the set together.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graphs.bfs import bfs_order
+from repro.graphs.graph import Graph
+
+__all__ = ["maximal_independent_set"]
+
+
+def maximal_independent_set(graph: Graph, root: int) -> List[int]:
+    """Greedy MIS over the component of ``root``, in BFS rank order.
+
+    Returns the selected nodes in selection order; ``root`` is always first.
+
+    >>> g = Graph(3); g.add_edge(0, 1); g.add_edge(1, 2)
+    >>> maximal_independent_set(g, 0)
+    [0, 2]
+    """
+    selected: List[int] = []
+    blocked = [False] * graph.num_nodes
+    for node in bfs_order(graph, root):
+        if blocked[node]:
+            continue
+        selected.append(node)
+        for neighbor in graph.neighbors(node):
+            blocked[neighbor] = True
+    return selected

@@ -1,0 +1,164 @@
+"""Distributed maintenance of the collection tree under node churn.
+
+The paper motivates distributed operation with exactly this (Section I):
+"some existing SUs might leave the network and some new SUs might join the
+network at any time.  In this case, centralized and synchronized algorithms
+cannot adapt to these network changes in real time."  These primitives are
+the local repairs a CDS-based tree supports:
+
+* :func:`attach_node` — a joining SU adopts an adjacent backbone node as
+  its parent (one-hop information only);
+* :func:`detach_node` — a leaving SU's children locally re-parent onto
+  another adjacent backbone node.
+
+Both operate on one node's neighbourhood and never touch the rest of the
+tree.  A departure that disconnects part of the network (e.g. a cut-vertex
+connector with no alternative) is reported, at which point a full rebuild
+(:func:`repro.graphs.tree.build_collection_tree`) is the fallback — the
+same trade a deployed system faces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.tree import CollectionTree, NodeRole
+
+__all__ = ["attach_node", "detach_node", "orphaned_subtree", "refresh_depths"]
+
+
+def _backbone_candidates(
+    tree: CollectionTree, graph: Graph, node: int, exclude: Set[int]
+) -> List[int]:
+    """Adjacent *attached* backbone members usable as parents.
+
+    A neighbour that is itself detached (``parent == -1`` — it left, or it
+    sits in a stranded subtree) cannot carry traffic, whatever its role
+    says.
+    """
+    dominators = []
+    connectors = []
+    for neighbor in graph.neighbors(node):
+        if neighbor in exclude:
+            continue
+        if tree.parent[neighbor] == -1 and neighbor != tree.root:
+            continue
+        if tree.roles[neighbor] is NodeRole.DOMINATOR:
+            dominators.append(neighbor)
+        elif tree.roles[neighbor] is NodeRole.CONNECTOR:
+            connectors.append(neighbor)
+    # Prefer dominators (the construction's invariant), shallower first.
+    key = lambda v: (tree.depth[v], v)  # noqa: E731 - local sort key
+    return sorted(dominators, key=key) + sorted(connectors, key=key)
+
+
+def attach_node(tree: CollectionTree, graph: Graph, node: int) -> int:
+    """Attach a joining SU to the tree; returns the chosen parent.
+
+    The node must already appear in ``graph`` (with its new adjacency) and
+    in the tree's arrays as an unattached entry (``parent[node] == -1``).
+    It picks the shallowest adjacent backbone node, mirroring how
+    dominatees choose parents in the original construction.
+
+    Raises
+    ------
+    GraphError
+        If the node has no backbone neighbor — it is outside every
+        dominator's coverage, so the CDS itself must be extended (rebuild).
+    """
+    if tree.parent[node] != -1:
+        raise GraphError(f"node {node} is already attached")
+    candidates = _backbone_candidates(tree, graph, node, exclude=set())
+    if not candidates:
+        raise GraphError(
+            f"joining node {node} has no adjacent backbone member; the CDS "
+            "must be rebuilt"
+        )
+    parent = candidates[0]
+    tree.parent[node] = parent
+    tree.roles[node] = NodeRole.DOMINATEE
+    tree.depth[node] = tree.depth[parent] + 1
+    return parent
+
+
+def orphaned_subtree(tree: CollectionTree, node: int) -> List[int]:
+    """All nodes whose path to the root passes through ``node``."""
+    children = tree.children()
+    orphans: List[int] = []
+    stack = list(children[node])
+    while stack:
+        current = stack.pop()
+        orphans.append(current)
+        stack.extend(children[current])
+    return orphans
+
+
+def detach_node(tree: CollectionTree, graph: Graph, node: int) -> List[int]:
+    """Remove a departing SU; its children re-parent locally.
+
+    Returns the list of nodes that could *not* be re-parented (their whole
+    neighbourhood lost its backbone access) — empty in the common case.
+    The departed node's tree entry is cleared (``parent = -1``).
+
+    Only direct children re-parent; deeper descendants keep their parents,
+    which stay valid because re-parenting preserves reachability.
+    """
+    if node == tree.root:
+        raise GraphError("the base station cannot leave the network")
+    children = [
+        child for child in range(tree.num_nodes) if tree.parent[child] == node
+        and child != node
+    ]
+    stranded: List[int] = []
+    for child in children:
+        # Only candidates strictly shallower than the child guarantee
+        # progress toward the root and rule out adopting a descendant
+        # (which would create a cycle) — the standard level-based rule of
+        # distributed tree maintenance.
+        candidates = [
+            candidate
+            for candidate in _backbone_candidates(
+                tree, graph, child, exclude={node}
+            )
+            if tree.depth[candidate] < tree.depth[child]
+        ]
+        if not candidates:
+            # The child dangles: detach it explicitly so no later repair
+            # adopts it as a parent.  Its own descendants stay beneath it
+            # (recover them with :func:`orphaned_subtree` before clearing).
+            stranded.append(child)
+            tree.parent[child] = -1
+            continue
+        parent = candidates[0]
+        tree.parent[child] = parent
+        tree.depth[child] = tree.depth[parent] + 1
+    tree.parent[node] = -1
+    tree.roles[node] = NodeRole.DOMINATEE
+    tree.depth[node] = -1
+    return stranded
+
+
+def refresh_depths(tree: CollectionTree) -> None:
+    """Recompute every depth from the parent pointers.
+
+    Local repairs only update the re-parented node's own depth; deeper
+    descendants keep stale values.  Call this after a batch of repairs if
+    depth-dependent logic (e.g. subtree statistics) will run next.
+    Detached nodes (``parent == -1``) keep depth ``-1``.
+    """
+    children: List[List[int]] = [[] for _ in range(tree.num_nodes)]
+    for node, parent in enumerate(tree.parent):
+        if parent >= 0 and node != tree.root:
+            children[parent].append(node)
+    for node in range(tree.num_nodes):
+        if tree.parent[node] == -1:
+            tree.depth[node] = -1
+    tree.depth[tree.root] = 0
+    stack = [tree.root]
+    while stack:
+        current = stack.pop()
+        for child in children[current]:
+            tree.depth[child] = tree.depth[current] + 1
+            stack.append(child)

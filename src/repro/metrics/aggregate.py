@@ -1,0 +1,69 @@
+"""Aggregation across simulation repetitions."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "RunStatistics",
+    "summarize_delays",
+    "relative_delay_reduction_percent",
+]
+
+
+@dataclass(frozen=True)
+class RunStatistics:
+    """Mean/std/min/max summary of one measured quantity over repetitions."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.count <= 1:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+
+def summarize_delays(delays: Sequence[float]) -> RunStatistics:
+    """Summary statistics of per-repetition delays (any positive metric).
+
+    Uses the sample standard deviation (``n - 1`` denominator) to match how
+    repeated-simulation error bars are normally reported.
+    """
+    if len(delays) == 0:
+        raise ConfigurationError("need at least one repetition")
+    values = [float(v) for v in delays]
+    if any(not math.isfinite(v) for v in values):
+        raise ConfigurationError("delays must be finite (incomplete run?)")
+    mean = sum(values) / len(values)
+    if len(values) > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    else:
+        variance = 0.0
+    return RunStatistics(
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+        count=len(values),
+    )
+
+
+def relative_delay_reduction_percent(addc_delay: float, coolest_delay: float) -> float:
+    """The paper's headline comparison: how much less delay ADDC induces.
+
+    Defined as ``(coolest - addc) / addc * 100`` so that "ADDC induces 266%
+    less delay" corresponds to Coolest taking 3.66x ADDC's time.
+    """
+    if addc_delay <= 0 or coolest_delay <= 0:
+        raise ConfigurationError("delays must be positive")
+    return (coolest_delay - addc_delay) / addc_delay * 100.0

@@ -1,0 +1,62 @@
+"""Delivery timelines: the base station's receiving rate over time.
+
+The paper defines capacity as the *average* receiving rate at the base
+station; the timeline shows how that rate evolves — a warm-up while the
+leaves drain into the backbone, a steady plateau, and a tail as the last
+subtrees empty.  :func:`steady_state_rate` extracts the plateau, the number
+to compare against Theorem 2's capacity lower bound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.results import PacketRecord
+
+__all__ = ["delivery_timeline", "steady_state_rate"]
+
+
+def delivery_timeline(
+    deliveries: Sequence[PacketRecord], window_slots: int
+) -> List[float]:
+    """Packets delivered per slot, in consecutive windows.
+
+    The last (possibly partial) window is normalized by its true width.
+    """
+    if window_slots < 1:
+        raise ConfigurationError(f"window_slots must be >= 1, got {window_slots}")
+    if not deliveries:
+        raise ConfigurationError("need at least one delivery")
+    horizon = max(record.delivered_slot for record in deliveries) + 1
+    windows = (horizon + window_slots - 1) // window_slots
+    counts = [0] * windows
+    for record in deliveries:
+        counts[record.delivered_slot // window_slots] += 1
+    rates = []
+    for index, count in enumerate(counts):
+        width = min(window_slots, horizon - index * window_slots)
+        rates.append(count / width)
+    return rates
+
+
+def steady_state_rate(
+    deliveries: Sequence[PacketRecord], window_slots: int = 200
+) -> float:
+    """Median windowed rate over the middle half of the run.
+
+    Skips the first and last quarters (warm-up and tail), leaving the
+    sustained plateau the capacity analysis talks about.
+    """
+    rates = delivery_timeline(deliveries, window_slots)
+    if len(rates) < 4:
+        # Too short for a warm-up/tail split; use everything.
+        middle = rates
+    else:
+        quarter = len(rates) // 4
+        middle = rates[quarter : len(rates) - quarter]
+    ordered = sorted(middle)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0

@@ -1,0 +1,97 @@
+"""Licensed channel plans for multi-channel CRNs.
+
+The paper studies a single licensed band; real CRN deployments span many
+(e.g. TV whitespace channels), with every PU licensed to one channel and
+SUs free to exploit whichever channel is locally idle.  A
+:class:`ChannelPlan` assigns each PU its channel; the engine then tracks
+per-channel occupancy, SUs contend per channel, and interference only
+couples same-channel transmissions.
+
+The single-channel paper model is ``ChannelPlan.single(num_pus)`` (or
+simply no plan at all).
+
+SU rendezvous — how a receiver knows which channel its sender picked — is
+assumed solved by a common control channel, the standard multi-channel MAC
+assumption (cf. the practical convergecast schemes of reference [7]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ChannelPlan"]
+
+
+class ChannelPlan:
+    """Assignment of every PU to one licensed channel.
+
+    Parameters
+    ----------
+    num_channels:
+        Number of licensed channels C >= 1.
+    pu_channels:
+        Array of shape ``(N,)`` with values in ``0..C-1``.
+    """
+
+    def __init__(self, num_channels: int, pu_channels: np.ndarray) -> None:
+        if num_channels < 1:
+            raise ConfigurationError(
+                f"num_channels must be >= 1, got {num_channels}"
+            )
+        pu_channels = np.asarray(pu_channels, dtype=int)
+        if pu_channels.ndim != 1:
+            raise ConfigurationError("pu_channels must be one-dimensional")
+        if pu_channels.size and (
+            pu_channels.min() < 0 or pu_channels.max() >= num_channels
+        ):
+            raise ConfigurationError(
+                f"pu_channels must lie in 0..{num_channels - 1}"
+            )
+        self.num_channels = int(num_channels)
+        self.pu_channels = pu_channels
+
+    @property
+    def num_pus(self) -> int:
+        """Number of assigned PUs."""
+        return int(self.pu_channels.size)
+
+    def pus_on_channel(self, channel: int) -> np.ndarray:
+        """Indices of the PUs licensed to ``channel``."""
+        if not 0 <= channel < self.num_channels:
+            raise ConfigurationError(
+                f"channel {channel} outside 0..{self.num_channels - 1}"
+            )
+        return np.nonzero(self.pu_channels == channel)[0]
+
+    def channel_loads(self) -> np.ndarray:
+        """PU count per channel, shape ``(C,)``."""
+        return np.bincount(self.pu_channels, minlength=self.num_channels)
+
+    @classmethod
+    def single(cls, num_pus: int) -> "ChannelPlan":
+        """The paper's model: every PU on the one licensed channel."""
+        return cls(1, np.zeros(num_pus, dtype=int))
+
+    @classmethod
+    def uniform(
+        cls, num_pus: int, num_channels: int, rng: np.random.Generator
+    ) -> "ChannelPlan":
+        """Each PU licensed to an i.i.d. uniform channel."""
+        if num_pus < 0:
+            raise ConfigurationError(f"num_pus must be >= 0, got {num_pus}")
+        return cls(num_channels, rng.integers(0, num_channels, size=num_pus))
+
+    @classmethod
+    def balanced(cls, num_pus: int, num_channels: int) -> "ChannelPlan":
+        """Round-robin assignment: channel loads differ by at most one."""
+        if num_pus < 0:
+            raise ConfigurationError(f"num_pus must be >= 0, got {num_pus}")
+        return cls(num_channels, np.arange(num_pus) % num_channels)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChannelPlan(num_channels={self.num_channels}, "
+            f"num_pus={self.num_pus})"
+        )

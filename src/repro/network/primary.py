@@ -1,0 +1,265 @@
+"""The primary network: PU placement and slotted activity processes.
+
+Section III: "During a particular time slot, each PU transmits data
+(performing as a transmitter) with probability p_t."  The paper calls this a
+*generalized probabilistic model* — given a concrete traffic distribution,
+``p_t`` is derived from it.  We provide the i.i.d. Bernoulli model the
+analysis uses plus a two-state Markov (Gilbert) model with matching
+stationary probability, which exercises temporally correlated PU traffic.
+
+Active PUs transmit to a receiver sampled uniformly within their
+transmission radius ``R``; receiver positions matter only to the SIR
+validator (Lemma 2 checks interference *at PU receivers*).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ActivityModel",
+    "BernoulliActivity",
+    "MarkovActivity",
+    "ReplayActivity",
+    "PrimaryNetwork",
+]
+
+
+class ActivityModel(Protocol):
+    """Slotted on/off activity process shared by all PUs."""
+
+    @property
+    def stationary_probability(self) -> float:
+        """Long-run probability that a PU transmits in a slot (the paper's p_t)."""
+
+    def initial_states(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Boolean activity vector for slot 0."""
+
+    def next_states(self, states: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Boolean activity vector for the next slot given the current one."""
+
+
+class BernoulliActivity:
+    """i.i.d. Bernoulli(p_t) activity per PU per slot — the paper's model.
+
+    >>> model = BernoulliActivity(0.3)
+    >>> model.stationary_probability
+    0.3
+    """
+
+    def __init__(self, p_t: float) -> None:
+        if not 0.0 <= p_t <= 1.0:
+            raise ConfigurationError(f"p_t must be in [0, 1], got {p_t}")
+        self._p_t = float(p_t)
+
+    @property
+    def stationary_probability(self) -> float:
+        return self._p_t
+
+    def initial_states(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.random(count) < self._p_t
+
+    def next_states(self, states: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return rng.random(states.shape[0]) < self._p_t
+
+    def __repr__(self) -> str:
+        return f"BernoulliActivity(p_t={self._p_t})"
+
+
+class MarkovActivity:
+    """Two-state Markov (Gilbert) activity with bursty on/off periods.
+
+    Parameters
+    ----------
+    p_t:
+        Stationary transmission probability (matches the Bernoulli model,
+        so analytic predictions built on p_t still apply in expectation).
+    burstiness:
+        Expected on-period length in slots (>= 1).  ``burstiness == 1`` with
+        the induced off rate reduces to larger temporal correlation, not to
+        the Bernoulli model; use :class:`BernoulliActivity` for i.i.d.
+
+    The transition probabilities solve ``stationary = p_on_to_on`` structure:
+    ``P(stay on) = 1 - 1/burstiness`` and ``P(off -> on)`` is chosen so the
+    stationary probability equals ``p_t``.
+    """
+
+    def __init__(self, p_t: float, burstiness: float = 4.0) -> None:
+        if not 0.0 < p_t < 1.0:
+            raise ConfigurationError(f"p_t must be in (0, 1), got {p_t}")
+        if burstiness < 1.0:
+            raise ConfigurationError(f"burstiness must be >= 1, got {burstiness}")
+        self._p_t = float(p_t)
+        self._stay_on = 1.0 - 1.0 / float(burstiness)
+        # Stationarity: p_t * (1 - stay_on) = (1 - p_t) * turn_on.
+        turn_on = self._p_t * (1.0 - self._stay_on) / (1.0 - self._p_t)
+        if turn_on > 1.0:
+            raise ConfigurationError(
+                f"p_t={p_t} with burstiness={burstiness} needs turn-on "
+                f"probability {turn_on:.3f} > 1; increase burstiness"
+            )
+        self._turn_on = turn_on
+
+    @property
+    def stationary_probability(self) -> float:
+        return self._p_t
+
+    def initial_states(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.random(count) < self._p_t
+
+    def next_states(self, states: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        draws = rng.random(states.shape[0])
+        stay = states & (draws < self._stay_on)
+        start = ~states & (draws < self._turn_on)
+        return stay | start
+
+    def __repr__(self) -> str:
+        return (
+            f"MarkovActivity(p_t={self._p_t}, "
+            f"stay_on={self._stay_on:.3f}, turn_on={self._turn_on:.3f})"
+        )
+
+
+class ReplayActivity:
+    """Replay a recorded activity trace, slot by slot.
+
+    Lets experiments drive the primary network from real spectrum
+    measurements (or from a previously captured simulation) instead of a
+    stochastic model.  The trace wraps around when the simulation outlives
+    it.
+
+    Parameters
+    ----------
+    trace:
+        Boolean array of shape ``(num_slots, N)``; row ``t`` is the
+        activity vector of slot ``t``.
+    """
+
+    def __init__(self, trace: np.ndarray) -> None:
+        trace = np.asarray(trace, dtype=bool)
+        if trace.ndim != 2 or trace.shape[0] < 1:
+            raise ConfigurationError(
+                f"trace must have shape (num_slots, N), got {trace.shape}"
+            )
+        self._trace = trace
+        self._cursor = 0
+
+    @property
+    def stationary_probability(self) -> float:
+        """The trace's empirical activity rate."""
+        if self._trace.size == 0:
+            return 0.0
+        return float(self._trace.mean())
+
+    @property
+    def num_slots(self) -> int:
+        """Length of the recorded trace."""
+        return int(self._trace.shape[0])
+
+    def initial_states(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        if count != self._trace.shape[1]:
+            raise ConfigurationError(
+                f"trace covers {self._trace.shape[1]} PUs, asked for {count}"
+            )
+        self._cursor = 0
+        return self._trace[0].copy()
+
+    def next_states(self, states: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        self._cursor = (self._cursor + 1) % self._trace.shape[0]
+        return self._trace[self._cursor].copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplayActivity(num_slots={self.num_slots}, "
+            f"rate={self.stationary_probability:.3f})"
+        )
+
+
+class PrimaryNetwork:
+    """The licensed network: positions, power, radius, and activity process.
+
+    Parameters
+    ----------
+    positions:
+        ``(N, 2)`` PU positions.
+    power:
+        Common transmission power ``P_p``.
+    radius:
+        Maximum transmission radius ``R``.
+    activity:
+        The slotted activity process (defaults to the paper's Bernoulli).
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        power: float,
+        radius: float,
+        activity: ActivityModel,
+        paired_receivers: "np.ndarray | None" = None,
+    ) -> None:
+        positions = np.asarray(positions, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ConfigurationError(
+                f"PU positions must have shape (N, 2), got {positions.shape}"
+            )
+        if power <= 0:
+            raise ConfigurationError(f"PU power must be positive, got {power}")
+        if radius <= 0:
+            raise ConfigurationError(f"PU radius must be positive, got {radius}")
+        self.positions = positions
+        self.power = float(power)
+        self.radius = float(radius)
+        self.activity = activity
+        if paired_receivers is not None:
+            paired_receivers = np.asarray(paired_receivers, dtype=float)
+            if paired_receivers.shape != positions.shape:
+                raise ConfigurationError(
+                    "paired_receivers must match the PU positions' shape"
+                )
+            link_lengths = np.hypot(*(paired_receivers - positions).T)
+            if positions.shape[0] and float(link_lengths.max()) > radius + 1e-9:
+                raise ConfigurationError(
+                    "every paired receiver must lie within the PU radius"
+                )
+        self.paired_receivers = paired_receivers
+
+    @property
+    def num_pus(self) -> int:
+        """Number of primary users N."""
+        return self.positions.shape[0]
+
+    def sample_receivers(
+        self, transmitter_indices: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Receiver positions for the given active transmitters.
+
+        With ``paired_receivers`` set (a fixed partner per PU — e.g. a
+        broadcast tower's fixed subscriber), those positions are returned;
+        otherwise each receiver is sampled uniformly in the transmitter's
+        radius-``R`` disk, matching ``D(S_i, S_i') <= R`` in Lemma 2's
+        proof.
+        """
+        if self.paired_receivers is not None:
+            return self.paired_receivers[
+                np.asarray(transmitter_indices, dtype=int)
+            ].copy()
+        count = len(transmitter_indices)
+        radii = self.radius * np.sqrt(rng.random(count))
+        angles = rng.uniform(0.0, 2.0 * math.pi, size=count)
+        receivers = np.empty((count, 2))
+        base = self.positions[np.asarray(transmitter_indices, dtype=int)]
+        receivers[:, 0] = base[:, 0] + radii * np.cos(angles)
+        receivers[:, 1] = base[:, 1] + radii * np.sin(angles)
+        return receivers
+
+    def __repr__(self) -> str:
+        return (
+            f"PrimaryNetwork(num_pus={self.num_pus}, power={self.power}, "
+            f"radius={self.radius}, activity={self.activity!r})"
+        )

@@ -1,0 +1,82 @@
+"""Named, seeded random streams built on :class:`numpy.random.Generator`.
+
+Reproducibility contract
+------------------------
+``StreamFactory(seed).stream(name)`` always returns a generator whose state
+depends only on ``(seed, name)``.  Two factories with the same seed produce
+identical streams for identical names, regardless of the order in which the
+streams are requested.  This is what makes experiment repetitions and
+regression tests deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive_seed", "StreamFactory"]
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from a root seed and a stream name.
+
+    Uses BLAKE2b over the ``(root_seed, name)`` pair, so the mapping is
+    stable across processes and Python versions (unlike ``hash()``).
+
+    >>> derive_seed(7, "pu-activity") == derive_seed(7, "pu-activity")
+    True
+    >>> derive_seed(7, "a") != derive_seed(7, "b")
+    True
+    """
+    digest = hashlib.blake2b(
+        f"{root_seed}:{name}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class StreamFactory:
+    """Factory of independent, named random streams.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the whole experiment.  Any integer.
+
+    Examples
+    --------
+    >>> factory = StreamFactory(seed=42)
+    >>> su_rng = factory.stream("su-placement")
+    >>> pu_rng = factory.stream("pu-placement")
+    >>> float(su_rng.random()) != float(pu_rng.random())
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+
+    @property
+    def seed(self) -> int:
+        """The root seed this factory was built from."""
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return a fresh generator for the named stream.
+
+        Calling this twice with the same name returns two generators in the
+        *same initial state*; callers should request a stream once and keep
+        it.
+        """
+        return np.random.default_rng(derive_seed(self._seed, name))
+
+    def spawn(self, name: str) -> "StreamFactory":
+        """Return a child factory whose streams are independent of this one.
+
+        Used by the repetition harness: repetition ``i`` gets
+        ``factory.spawn(f"rep-{i}")`` so that every repetition sees fresh but
+        reproducible randomness in all components.
+        """
+        return StreamFactory(derive_seed(self._seed, f"spawn:{name}"))
+
+    def __repr__(self) -> str:
+        return f"StreamFactory(seed={self._seed})"

@@ -1,0 +1,286 @@
+"""The Coolest data-collection baseline.
+
+Adaptation of [17] exactly as the evaluated paper describes (Section V):
+"the path with the most balanced and/or the lowest spectrum utilization by
+PUs is preferred for a data transmission", and "each SU of the secondary
+network produces a data packet that will be transmitted to the base
+station".
+
+Differences from ADDC — each one a thing [17] does not have because it
+predates the PCR analysis:
+
+* **Routing**: every SU forwards along its coolest path to the base
+  station (node-weighted Dijkstra over spectrum temperatures measured at
+  the node's own radio range ``r``).  All sources independently prefer the
+  same cool corridors, so paths converge — the data-accumulation effect
+  the paper credits for Coolest's higher delay.
+* **SU carrier sensing at ``r``** (conventional CSMA, as in [22]'s
+  baseline setting) instead of the PCR: concurrent SU transmitters can be
+  hidden from each other, and the physical SIR adjudication produces
+  collisions and retransmissions — the "data collisions, interference and
+  retransmissions" of the paper's third challenge.
+* **No fairness wait** (Algorithm 1, line 12 is ADDC's contribution).
+
+What is *not* different: PU protection.  Deferring to active PUs inside
+the protection range is the regulatory premise of the CRN model
+(Section I), so Coolest SUs freeze under exactly the same PU-protection
+range as ADDC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.analysis import opportunity_probability
+from repro.core.pcr import PcrParameters, PcrResult, compute_pcr, db_to_linear
+from repro.errors import ConfigurationError, GraphError
+from repro.graphs.dijkstra import dijkstra_bottleneck, dijkstra_node_weighted
+from repro.network.topology import CrnTopology
+from repro.rng import StreamFactory
+from repro.routing.temperature import mixed_node_weights, node_temperatures_at_range
+from repro.sim.engine import SlottedEngine
+from repro.sim.packet import Packet
+from repro.sim.results import SimulationResult
+from repro.sim.trace import TraceLog
+from repro.spectrum.sensing import CarrierSenseMap
+
+__all__ = ["CoolestPolicy", "CoolestOutcome", "run_coolest_collection"]
+
+_METRICS = ("accumulated", "mixed", "highest")
+
+
+class CoolestPolicy:
+    """Forward every packet one hop along its source-independent coolest path.
+
+    The coolest paths from all nodes to the base station form a tree (they
+    are node-weighted shortest paths with deterministic tie-breaking), so
+    the policy stores one next-hop pointer per node.
+
+    Parameters
+    ----------
+    topology:
+        The deployed CRN.
+    p_t:
+        PU per-slot transmission probability (temperature estimation).
+    metric:
+        ``"accumulated"`` (sum of temperatures, [17]'s first metric) or
+        ``"mixed"`` (superlinear blend, [17]'s combined metric).
+    temperature_range:
+        Sensing range for the temperature estimate; defaults to the SU
+        transmission radius (the node's own radio).
+    """
+
+    fairness_wait = False
+
+    def __init__(
+        self,
+        topology: CrnTopology,
+        p_t: float,
+        metric: str = "mixed",
+        temperature_range: Optional[float] = None,
+        route_discovery: bool = True,
+    ) -> None:
+        if metric not in _METRICS:
+            raise ConfigurationError(
+                f"metric must be one of {_METRICS}, got {metric!r}"
+            )
+        self.metric = metric
+        self.route_discovery = bool(route_discovery)
+        self._pending_data: dict = {}
+        if temperature_range is None:
+            temperature_range = topology.secondary.radius
+        temperatures = node_temperatures_at_range(topology, p_t, temperature_range)
+
+        graph = topology.secondary.graph
+        base = topology.secondary.base_station
+        if metric == "highest":
+            # [17]'s bottleneck metric: minimize the hottest node on the
+            # path (hop count breaks ties, keeping routes finite-stretch).
+            _, parents = dijkstra_bottleneck(
+                graph, base, [float(t) for t in temperatures]
+            )
+        else:
+            if metric == "mixed":
+                weights: List[float] = mixed_node_weights(temperatures)
+            else:
+                weights = [float(t) for t in temperatures]
+            # A tiny uniform weight keeps Dijkstra hop-aware when a region
+            # is entirely PU-free (zero temperature everywhere would
+            # otherwise make all paths cost zero and the parent choice
+            # arbitrary).
+            weights = [w + 1e-6 for w in weights]
+            _, parents = dijkstra_node_weighted(graph, base, weights)
+        if any(parent < 0 for parent in parents):
+            raise GraphError("G_s must be connected for Coolest routing")
+        self._parents = parents
+        self._base = base
+        self.temperatures = temperatures
+
+    def next_hop(self, node: int, packet: Packet) -> int:
+        """One hop along the coolest path, or along an explicit control route."""
+        if packet.route is not None:
+            if packet.route[packet.route_pos] != node:
+                raise GraphError(
+                    f"routed packet {packet.packet_id} expected at node "
+                    f"{packet.route[packet.route_pos]}, found at {node}"
+                )
+            return packet.route[packet.route_pos + 1]
+        if node == self._base:
+            raise ConfigurationError(
+                "the base station only transmits control packets"
+            )
+        parent = self._parents[node]
+        if parent == node:
+            raise GraphError(f"node {node} has a broken parent pointer")
+        return parent
+
+    def build_workload(self, num_sus: int) -> List[Packet]:
+        """The initial packet set for one snapshot collection.
+
+        With route discovery (the on-demand behaviour of [17]), every SU
+        first sends a route request along its coolest path; the base
+        station answers with a route reply, and only its arrival releases
+        the SU's data packet.  Without discovery, data packets start
+        immediately (the infrastructure-assumed variant used in the
+        route-discovery ablation).
+        """
+        from repro.sim.packet import DATA, RREQ
+
+        packets: List[Packet] = []
+        for index in range(1, num_sus + 1):
+            data = Packet(packet_id=index - 1, source=index, kind=DATA)
+            if not self.route_discovery:
+                packets.append(data)
+                continue
+            self._pending_data[index] = data
+            packets.append(
+                Packet(
+                    packet_id=num_sus + (index - 1),
+                    source=index,
+                    kind=RREQ,
+                    route=self.route(index),
+                )
+            )
+        return packets
+
+    def on_control_arrival(self, packet: Packet, node: int) -> List[Packet]:
+        """React to a control packet completing its route.
+
+        An RREQ at the base station is answered with an RREP along the
+        reversed path; an RREP at its source releases the held data packet.
+        """
+        from repro.sim.packet import RREP, RREQ
+
+        if packet.kind == RREQ:
+            return [
+                Packet(
+                    packet_id=packet.packet_id + 10_000_000,
+                    source=packet.source,
+                    kind=RREP,
+                    route=list(reversed(packet.route or [])),
+                )
+            ]
+        if packet.kind == RREP:
+            data = self._pending_data.pop(packet.source, None)
+            return [data] if data is not None else []
+        return []
+
+    def route(self, node: int) -> List[int]:
+        """The full coolest path from ``node`` to the base station."""
+        path = [node]
+        while path[-1] != self._base:
+            path.append(self._parents[path[-1]])
+            if len(path) > len(self._parents):
+                raise GraphError("parent pointers contain a cycle")
+        return path
+
+    def describe(self) -> str:
+        """Policy name for reports."""
+        return f"Coolest({self.metric})"
+
+
+@dataclass
+class CoolestOutcome:
+    """A finished Coolest run plus its routing context."""
+
+    result: SimulationResult
+    policy: CoolestPolicy
+    pcr: PcrResult
+    sense_map: CarrierSenseMap
+
+
+def run_coolest_collection(
+    topology: CrnTopology,
+    streams: StreamFactory,
+    eta_p_db: float = 8.0,
+    eta_s_db: float = 8.0,
+    alpha: float = 4.0,
+    zeta_bound: str = "paper",
+    metric: str = "mixed",
+    blocking: str = "geometric",
+    route_discovery: bool = True,
+    p_t: Optional[float] = None,
+    csma_range: Optional[float] = None,
+    max_slots: int = 2_000_000,
+    contention_window_ms: float = 0.5,
+    slot_duration_ms: float = 1.0,
+    trace: Optional[TraceLog] = None,
+) -> CoolestOutcome:
+    """Collect one snapshot with the Coolest baseline.
+
+    Coolest SUs obey the identical PU-protection range (the PCR distance)
+    but carrier-sense other SUs only at ``csma_range`` (default: their
+    transmission radius), so transmissions are adjudicated — and sometimes
+    lost — under the physical SIR model.
+    """
+    pcr_params = PcrParameters(
+        alpha=alpha,
+        pu_power=topology.primary.power,
+        su_power=topology.secondary.power,
+        pu_radius=topology.primary.radius,
+        su_radius=topology.secondary.radius,
+        eta_p_db=eta_p_db,
+        eta_s_db=eta_s_db,
+        zeta_bound=zeta_bound,
+    )
+    pcr = compute_pcr(pcr_params)
+    if csma_range is None:
+        csma_range = topology.secondary.radius
+    sense_map = CarrierSenseMap(
+        topology, pu_protection_range=pcr.pcr, su_csma_range=csma_range
+    )
+    effective_p_t = (
+        p_t if p_t is not None else topology.primary.activity.stationary_probability
+    )
+    policy = CoolestPolicy(
+        topology, effective_p_t, metric=metric, route_discovery=route_discovery
+    )
+    homogeneous_p_o = None
+    if blocking == "homogeneous":
+        homogeneous_p_o = opportunity_probability(
+            effective_p_t,
+            pcr.kappa,
+            topology.secondary.radius,
+            topology.primary.num_pus,
+            topology.region.area,
+        )
+    engine = SlottedEngine(
+        topology=topology,
+        sense_map=sense_map,
+        policy=policy,
+        streams=streams,
+        alpha=alpha,
+        eta_s=db_to_linear(eta_s_db),
+        sir_check=True,
+        blocking=blocking,
+        homogeneous_p_o=homogeneous_p_o,
+        slot_duration_ms=slot_duration_ms,
+        contention_window_ms=contention_window_ms,
+        max_slots=max_slots,
+        trace=trace,
+    )
+    workload = policy.build_workload(topology.secondary.num_sus)
+    engine.load_packets(workload, expected_deliveries=topology.secondary.num_sus)
+    result = engine.run()
+    return CoolestOutcome(result=result, policy=policy, pcr=pcr, sense_map=sense_map)

@@ -1,0 +1,110 @@
+"""Spectrum-temperature metrics (the Coolest routing metric family [17]).
+
+The *spectrum temperature* of a node measures how intensively PUs occupy
+the spectrum around it.  With the paper's slotted Bernoulli PU model, the
+natural temperature of node ``i`` is the probability that some PU inside
+its sensing range transmits during a slot:
+
+.. math::  T_i = 1 - (1 - p_t)^{m_i},
+
+where ``m_i`` counts PUs within the node's sensing range — exactly the
+complement of the node's spectrum-opportunity probability.  On top of the
+node temperatures, [17] defines three path metrics:
+
+* **accumulated** — the sum of node temperatures along the path,
+* **highest** — the hottest node on the path (a bottleneck metric),
+* **mixed** — accumulated with a superlinear penalty on hot nodes,
+  concretized here as ``sum T_i (1 + T_i)`` (this paper does not restate
+  [17]'s exact mixing formula; any superlinear blend preserves the
+  behaviour the comparison relies on — paths detour around hot regions).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.spectrum.opportunity import per_node_opportunity_probability
+from repro.spectrum.sensing import CarrierSenseMap
+
+__all__ = [
+    "node_temperatures",
+    "node_temperatures_at_range",
+    "path_accumulated_temperature",
+    "path_highest_temperature",
+    "path_mixed_temperature",
+    "mixed_node_weights",
+]
+
+
+def node_temperatures(sense_map: CarrierSenseMap, p_t: float) -> np.ndarray:
+    """Per-node spectrum temperature ``1 - (1 - p_t)^{m_i}``.
+
+    Values lie in ``[0, 1)``; hotter nodes see PU activity more often.
+    """
+    return 1.0 - per_node_opportunity_probability(sense_map, p_t)
+
+
+def node_temperatures_at_range(topology, p_t: float, sensing_range: float) -> np.ndarray:
+    """Temperatures with ``m_i`` counted at an explicit sensing range.
+
+    Coolest [17] predates the PCR analysis: its nodes estimate spectrum
+    utilization from their own radios, i.e. at their transmission radius
+    ``r``, not at the PCR.  This is the range the baseline uses.
+    """
+    if not 0.0 <= p_t <= 1.0:
+        raise ConfigurationError(f"p_t must be in [0, 1], got {p_t}")
+    if sensing_range <= 0:
+        raise ConfigurationError(
+            f"sensing_range must be positive, got {sensing_range}"
+        )
+    counts_lists = topology.su_index.cross_neighbor_lists(
+        topology.primary.positions, sensing_range
+    )
+    counts = np.zeros(topology.secondary.num_nodes)
+    for pu_index, nodes in enumerate(counts_lists):
+        for node in nodes:
+            counts[node] += 1.0
+    return 1.0 - (1.0 - p_t) ** counts
+
+
+def _check_path(path: Sequence[int], temperatures: Sequence[float]) -> None:
+    if len(path) == 0:
+        raise ConfigurationError("path must contain at least one node")
+    for node in path:
+        if not 0 <= node < len(temperatures):
+            raise ConfigurationError(f"path node {node} has no temperature")
+
+
+def path_accumulated_temperature(
+    path: Sequence[int], temperatures: Sequence[float]
+) -> float:
+    """Accumulated spectrum temperature: the sum over path nodes."""
+    _check_path(path, temperatures)
+    return float(sum(temperatures[node] for node in path))
+
+
+def path_highest_temperature(
+    path: Sequence[int], temperatures: Sequence[float]
+) -> float:
+    """Highest spectrum temperature: the max over path nodes."""
+    _check_path(path, temperatures)
+    return float(max(temperatures[node] for node in path))
+
+
+def path_mixed_temperature(
+    path: Sequence[int], temperatures: Sequence[float]
+) -> float:
+    """Mixed metric: ``sum T_i (1 + T_i)`` — accumulated with a
+    superlinear penalty that avoids individually hot nodes."""
+    _check_path(path, temperatures)
+    return float(
+        sum(temperatures[node] * (1.0 + temperatures[node]) for node in path)
+    )
+
+
+def mixed_node_weights(temperatures: Sequence[float]) -> List[float]:
+    """Additive per-node weights whose path sum is the mixed metric."""
+    return [float(t) * (1.0 + float(t)) for t in temperatures]

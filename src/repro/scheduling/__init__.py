@@ -1,0 +1,13 @@
+"""Centralized, synchronized scheduling baselines.
+
+The paper contrasts ADDC with "existing order-optimal centralized
+algorithms" ([12], [13], [23], [24]): those assume a coordinator with
+global knowledge and network-wide time synchronization.  This package
+implements that upper baseline — an oracle scheduler that, every slot,
+activates a maximal set of compatible collection-tree links — so the cost
+of ADDC's *distributed, asynchronous* operation can be measured.
+"""
+
+from repro.scheduling.centralized import CentralizedScheduler, run_centralized_collection
+
+__all__ = ["CentralizedScheduler", "run_centralized_collection"]

@@ -1,0 +1,28 @@
+"""Slotted discrete-event simulator with continuous intra-slot backoff.
+
+Time is slotted for the primary network (the paper's model) while SU
+contention runs in continuous time *within* each slot: backoff timers live
+in ``(0, tau_c]`` with ``tau_c < tau``, countdown freezes while any PU or SU
+transmits inside the PCR, and contention inside a slot is resolved in exact
+timer-expiry order (the no-simultaneous-expiry assumption of Algorithm 1).
+
+The engine is policy-agnostic: ADDC (:class:`repro.core.addc.AddcPolicy`)
+and the Coolest baseline (:class:`repro.routing.coolest.CoolestPolicy`)
+plug in the forwarding decision and the fairness behaviour.
+"""
+
+from repro.sim.packet import Packet
+from repro.sim.policies import MacPolicy
+from repro.sim.results import SimulationResult, PacketRecord
+from repro.sim.trace import TraceEvent, TraceLog
+from repro.sim.engine import SlottedEngine
+
+__all__ = [
+    "Packet",
+    "MacPolicy",
+    "SimulationResult",
+    "PacketRecord",
+    "TraceEvent",
+    "TraceLog",
+    "SlottedEngine",
+]

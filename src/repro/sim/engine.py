@@ -1,0 +1,1091 @@
+"""The slotted contention engine implementing Algorithm 1's semantics.
+
+Per-slot procedure
+------------------
+0. **Housekeeping.**  Scheduled node departures retire (runtime churn:
+   queued data is lost, the policy repairs its routing structure), and
+   future arrivals whose birth slot is due join their source queues
+   (continuous-collection workloads).
+1. **PU activity.**  Every PU redraws its slotted activity (Bernoulli or
+   Markov).  Active PUs block every secondary node within the PU protection
+   range (the PCR) — the regulatory constraint both ADDC and baselines obey.
+2. **Contention.**  Every backlogged SU whose protection range is PU-free is
+   *ready*; its would-be expiry time inside the slot is
+   ``extra_wait + backoff`` (both below the contention window
+   ``tau_c < tau``, so an unobstructed timer always fires within the slot).
+   Ready SUs are processed in expiry order:
+
+   * a node with no earlier-starting transmitter inside its **SU CSMA
+     range** starts transmitting and blocks that neighbourhood from its
+     start time onward;
+   * a node that hears an earlier transmitter **freezes**: it consumed
+     countdown until the transmitter started, keeps the remainder
+     (Algorithm 1, lines 6-7), and retries next slot.
+
+   Timer ties have probability zero with continuous draws (the paper's
+   no-simultaneous-expiry assumption); exact float ties break
+   deterministically in favour of the earlier-sorted node.
+3. **Physical outcome.**  At slot end every transmission is adjudicated by
+   the physical interference model: the receiver decodes iff the link SIR —
+   signal over the summed interference of all other concurrent SU
+   transmitters plus all active PUs — meets ``eta_s``, and no stronger
+   concurrent signal targets the same receiver (Re-Start capture,
+   footnote 1).  With ADDC's CSMA range equal to the PCR, Lemma 3
+   guarantees these checks pass — ADDC is collision-free by construction.
+   A baseline sensing at its transmission radius keeps hidden terminals,
+   fails SIR checks, and pays retransmissions: exactly the "data
+   collisions, interference, and retransmissions" the paper's third
+   challenge describes.
+4. **Delivery and fairness.**  Decoded packets enter the receiver's queue
+   (or are recorded at the base station).  A transmitter that drew ``t_i``
+   waits ``tau_c - t_i`` of wall clock before its next backoff draw
+   (line 12) when the policy asks for it.
+
+With ``packet_slots > 1``, step 2's winners stay on the air across slots,
+blocking their neighbourhoods from each subsequent slot's start, and the
+paper's spectrum-handoff rule aborts them when a PU reclaims the channel
+mid-flight; adjudication happens at the final slot.  See docs/MODEL.md for
+the full semantics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.network.topology import CrnTopology
+from repro.rng import StreamFactory
+from repro.sim.packet import Packet
+from repro.sim.policies import MacPolicy
+from repro.sim.results import PacketRecord, SimulationResult
+from repro.sim.trace import TraceEvent, TraceKind, TraceLog
+from repro.spectrum.sensing import CarrierSenseMap
+
+__all__ = ["SlottedEngine"]
+
+#: Distances below this are clamped when evaluating SIR.
+_MIN_DISTANCE = 1e-6
+
+
+class SlottedEngine:
+    """Simulates one data-collection run over a deployed CRN.
+
+    Parameters
+    ----------
+    topology:
+        The deployed networks.
+    sense_map:
+        Carrier-sensing incidence (PU protection range + SU CSMA range).
+    policy:
+        Forwarding + fairness behaviour (ADDC or a baseline).
+    streams:
+        Stream factory; the engine consumes ``"pu-activity"``,
+        ``"pu-receivers"`` and ``"backoff"`` streams.
+    alpha:
+        Path-loss exponent of the physical interference model.
+    eta_s:
+        Linear SIR decoding threshold of the secondary network.
+    sir_check:
+        Adjudicate every transmission with the physical model (default).
+        Disabling it trusts the PCR guarantee unconditionally; tests use
+        the validator to show both agree for ADDC.
+    blocking:
+        How PU activity blocks SUs.  ``"geometric"`` (default) uses the
+        exact deployed PU positions: an SU is blocked while any active PU
+        sits inside its protection range, so per-node opportunity rates are
+        heterogeneous (a node ringed by PUs waits far longer than Lemma 7's
+        average).  ``"homogeneous"`` is the mean-field model the paper's
+        analysis adopts ("Based on Lemma 7, we assume the waiting time for
+        an SU is tau/p_o"): every SU is blocked i.i.d. per slot with
+        probability ``1 - homogeneous_p_o``, and PU interference is folded
+        into the blocking (no positional PU interference terms).
+    homogeneous_p_o:
+        The per-slot opportunity probability for ``blocking="homogeneous"``
+        (Lemma 7's ``p_o``); required in that mode.
+    max_backoff_exponent:
+        Collision recovery per the paper's footnote 2: after each failed
+        transmission a node holds off for a uniformly random number of
+        slots from a binary-exponentially growing window (reset on
+        success), capped at ``2 ** max_backoff_exponent`` slots.  Without
+        it, saturated hidden-terminal scenarios livelock — every slot
+        recreates the same colliding set.
+    p_false_alarm / p_missed_detection:
+        Imperfect spectrum sensing (the concern of the paper's references
+        [3]-[5]).  Per node per slot: with probability ``p_false_alarm`` a
+        PU-free spectrum is sensed busy (a lost opportunity); with
+        probability ``p_missed_detection`` a PU-busy spectrum is sensed
+        free — the node may transmit *while a PU is active inside its
+        protection range*, which is counted in
+        ``SimulationResult.pu_violations`` and, under geometric blocking,
+        usually fails the SIR adjudication.  Defaults are perfect sensing,
+        the paper's assumption.
+    channel_plan:
+        Optional :class:`~repro.network.channels.ChannelPlan` for
+        multi-channel operation.  Each PU occupies its licensed channel;
+        each SU retunes at every backoff draw (strategy below), contends
+        only with same-channel transmissions, and interference only
+        couples same-channel transmitters.  ``None`` (default) is the
+        paper's single-channel model, bit-for-bit.
+    channel_strategy:
+        How a retuning SU picks its channel (multi-channel only):
+
+        * ``"random-idle"`` (default) — uniform over currently idle
+          channels, uniform over all when none is idle;
+        * ``"sticky"`` — keep the previous channel while it is idle,
+          otherwise fall back to random-idle (minimizes retuning);
+        * ``"least-blocked"`` — the idle channel with the fewest PUs
+          inside the node's protection range (static knowledge of the
+          local channel loads), ties randomly;
+        * ``"adaptive"`` — the idle channel with the best observed
+          success-per-attempt ratio at this node (optimistic for untried
+          channels), ties randomly: a learning SU with no prior knowledge.
+    packet_slots:
+        Transmission duration in slots (default 1, the paper's setting:
+        packet time < tau).  With longer packets the paper's *spectrum
+        handoff* rule activates: an SU whose protection range sees a PU
+        return mid-transmission aborts immediately (Section I), the packet
+        stays queued, and ``SimulationResult.handoffs`` counts the event.
+        A completing transmission is SIR-adjudicated against the concurrent
+        set of its final slot.
+    detector:
+        Optional :class:`~repro.spectrum.detection.EnergyDetector`.  When
+        given, sensing outcomes come from the energy-detection physics —
+        per-PU detection probabilities fall with distance, so missed
+        detections concentrate on protection-range-boundary PUs — instead
+        of the flat ``p_false_alarm`` / ``p_missed_detection`` knobs
+        (which are then ignored).  Geometric blocking only, and
+        single-channel only (per-channel detection would need one detector
+        decision per channel).
+    slot_duration_ms:
+        The paper's ``tau`` (1 ms in all simulations).
+    contention_window_ms:
+        The paper's ``tau_c`` (0.5 ms in all simulations); must be at most
+        half the slot so a fairness wait plus a backoff fits in one slot.
+    max_slots:
+        Safety cap; a run that exceeds it returns ``completed=False``.
+    trace:
+        Optional :class:`~repro.sim.trace.TraceLog` to record events into.
+    departure_schedule:
+        Optional ``{slot: [node, ...]}`` of SUs powering off mid-run
+        (Section I's churn, injected at runtime).  At each listed slot the
+        nodes leave: their queued data packets are lost (counted in
+        ``packets_lost``), in-flight transmissions abort, and the policy's
+        ``on_node_departure(node)`` hook repairs the routing structure and
+        reports any nodes the departure *partitioned* — those retire (and
+        lose their data) too.  The run completes when every data packet is
+        delivered or lost.
+    slot_hook:
+        Optional callable invoked as ``slot_hook(engine)`` at the end of
+        every simulated slot, with ``last_slot_su_links`` and
+        ``last_slot_active_pus`` reflecting that slot.  Used by the test
+        suite to run the SIR validator against every concurrent set.
+    """
+
+    def __init__(
+        self,
+        topology: CrnTopology,
+        sense_map: CarrierSenseMap,
+        policy: MacPolicy,
+        streams: StreamFactory,
+        alpha: float = 4.0,
+        eta_s: float = 10.0 ** 0.8,
+        sir_check: bool = True,
+        blocking: str = "geometric",
+        homogeneous_p_o: Optional[float] = None,
+        max_backoff_exponent: int = 8,
+        p_false_alarm: float = 0.0,
+        p_missed_detection: float = 0.0,
+        channel_plan=None,
+        channel_strategy: str = "random-idle",
+        packet_slots: int = 1,
+        detector=None,
+        departure_schedule=None,
+        slot_duration_ms: float = 1.0,
+        contention_window_ms: float = 0.5,
+        max_slots: int = 2_000_000,
+        trace: Optional[TraceLog] = None,
+        slot_hook=None,
+    ) -> None:
+        if slot_duration_ms <= 0:
+            raise ConfigurationError(
+                f"slot_duration_ms must be positive, got {slot_duration_ms}"
+            )
+        if not 0 < contention_window_ms <= slot_duration_ms / 2:
+            raise ConfigurationError(
+                "contention_window_ms must be in (0, slot/2] so that a "
+                "fairness wait plus a backoff always fits in one slot; got "
+                f"{contention_window_ms} for slot {slot_duration_ms}"
+            )
+        if max_slots < 1:
+            raise ConfigurationError(f"max_slots must be >= 1, got {max_slots}")
+        if alpha <= 2.0:
+            raise ConfigurationError(f"alpha must be > 2, got {alpha}")
+        if eta_s <= 0:
+            raise ConfigurationError(f"eta_s must be positive, got {eta_s}")
+        if blocking not in ("geometric", "homogeneous"):
+            raise ConfigurationError(
+                f"blocking must be 'geometric' or 'homogeneous', got {blocking!r}"
+            )
+        if blocking == "homogeneous":
+            if homogeneous_p_o is None or not 0.0 < homogeneous_p_o <= 1.0:
+                raise ConfigurationError(
+                    "homogeneous blocking needs homogeneous_p_o in (0, 1], got "
+                    f"{homogeneous_p_o}"
+                )
+
+        self.topology = topology
+        self.sense_map = sense_map
+        self.policy = policy
+        self.alpha = float(alpha)
+        self.eta_s = float(eta_s)
+        self.sir_check = bool(sir_check)
+        self.blocking = blocking
+        self.homogeneous_p_o = (
+            float(homogeneous_p_o) if homogeneous_p_o is not None else None
+        )
+        if max_backoff_exponent < 0:
+            raise ConfigurationError(
+                f"max_backoff_exponent must be >= 0, got {max_backoff_exponent}"
+            )
+        self.max_backoff_exponent = int(max_backoff_exponent)
+        if packet_slots < 1:
+            raise ConfigurationError(
+                f"packet_slots must be >= 1, got {packet_slots}"
+            )
+        self.packet_slots = int(packet_slots)
+        for name, value in (
+            ("p_false_alarm", p_false_alarm),
+            ("p_missed_detection", p_missed_detection),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        self.p_false_alarm = float(p_false_alarm)
+        self.p_missed_detection = float(p_missed_detection)
+        self._imperfect_sensing = p_false_alarm > 0.0 or p_missed_detection > 0.0
+        if p_missed_detection > 0.0 and blocking == "homogeneous":
+            raise ConfigurationError(
+                "missed detections need blocking='geometric': the mean-field "
+                "model folds PU interference into the blocking itself, so a "
+                "missed detection there would grant a consequence-free "
+                "transmission (false alarms alone are fine in either mode)"
+            )
+        self.detector = detector
+        if detector is not None:
+            if blocking == "homogeneous":
+                raise ConfigurationError(
+                    "energy detection needs blocking='geometric' (the "
+                    "mean-field model has no PU positions to detect)"
+                )
+            if channel_plan is not None and channel_plan.num_channels > 1:
+                raise ConfigurationError(
+                    "energy detection currently supports the single-channel "
+                    "model only"
+                )
+            self._imperfect_sensing = True
+        self._sensing_rng = streams.stream("sensing-errors")
+        self._departures = {}
+        if departure_schedule:
+            su_ids = set(topology.secondary.su_ids())
+            for slot_key, nodes in departure_schedule.items():
+                slot_index = int(slot_key)
+                if slot_index < 0:
+                    raise ConfigurationError("departure slots must be >= 0")
+                for leaver in nodes:
+                    if leaver not in su_ids:
+                        raise ConfigurationError(
+                            f"departing node {leaver} is not an SU"
+                        )
+                self._departures[slot_index] = [int(v) for v in nodes]
+        self._dead: set = set()
+        self.slot_duration_ms = float(slot_duration_ms)
+        self.contention_window_ms = float(contention_window_ms)
+        self.max_slots = int(max_slots)
+        self.trace = trace
+        self.slot_hook = slot_hook
+
+        self._pu_rng = streams.stream("pu-activity")
+        self._backoff_rng = streams.stream("backoff")
+
+        num_nodes = topology.secondary.num_nodes
+        self._positions = topology.secondary.positions
+        self._pu_positions = topology.primary.positions
+        self._pu_power = topology.primary.power
+        self._su_power = topology.secondary.power
+        self._base_station = topology.secondary.base_station
+        self._queues: List[Deque[Packet]] = [deque() for _ in range(num_nodes)]
+        self._backoff: List[float] = [0.0] * num_nodes
+        self._drawn: List[float] = [0.0] * num_nodes
+        self._extra_wait: List[float] = [0.0] * num_nodes
+        self._collision_streak: List[int] = [0] * num_nodes
+        self._hold_until_slot: List[int] = [0] * num_nodes
+        # Future packet arrivals (continuous-collection workloads), as a
+        # heap ordered by birth slot.
+        self._pending_arrivals: List[Tuple[int, int, Packet]] = []
+        self._arrival_counter = 0
+        # Multi-slot transmissions in flight: node -> (receiver, channel,
+        # end_slot, expiry_at_start).  Empty whenever packet_slots == 1.
+        self._ongoing: Dict[int, Tuple[int, int, int, float]] = {}
+        # Energy accounting: the slot each node first became active.
+        self._first_active_slot: Dict[int, int] = {}
+        self._active: set = set()
+        self._pu_busy: List[int] = [0] * num_nodes
+        self._pu_states = np.zeros(topology.primary.num_pus, dtype=bool)
+        # Dense PU -> secondary-node hearing incidence; one uint8 matrix
+        # product per slot replaces per-toggle Python loops.
+        self._pu_incidence = np.zeros(
+            (num_nodes, topology.primary.num_pus), dtype=np.uint8
+        )
+        for pu_index, nodes in enumerate(sense_map.pu_hearers):
+            for node in nodes:
+                self._pu_incidence[node, pu_index] = 1
+        if detector is not None:
+            # log(1 - P_d) per (node, in-range PU): one matvec per slot
+            # yields each node's probability of missing every active PU.
+            self._miss_log = detector.miss_log_matrix(
+                topology.secondary.positions,
+                topology.primary.positions,
+                sense_map.pu_hearers,
+                topology.primary.power,
+                self.alpha,
+            )
+
+        # Multi-channel structures (empty in the single-channel model).
+        _STRATEGIES = ("random-idle", "sticky", "least-blocked", "adaptive")
+        if channel_strategy not in _STRATEGIES:
+            raise ConfigurationError(
+                f"channel_strategy must be one of {_STRATEGIES}, got "
+                f"{channel_strategy!r}"
+            )
+        self.channel_plan = channel_plan
+        self.channel_strategy = channel_strategy
+        self._num_channels = 1 if channel_plan is None else channel_plan.num_channels
+        self._node_channel: List[int] = [0] * num_nodes
+        if channel_plan is not None:
+            if channel_plan.num_pus != topology.primary.num_pus:
+                raise ConfigurationError(
+                    f"channel plan covers {channel_plan.num_pus} PUs, topology "
+                    f"has {topology.primary.num_pus}"
+                )
+            self._pu_ids_by_channel = [
+                channel_plan.pus_on_channel(c) for c in range(self._num_channels)
+            ]
+            self._incidence_by_channel = [
+                self._pu_incidence[:, ids] for ids in self._pu_ids_by_channel
+            ]
+            # Static local channel loads: PUs of channel c inside each
+            # node's protection range (the "least-blocked" knowledge).
+            self._static_channel_load = [
+                incidence.sum(axis=1).tolist()
+                for incidence in self._incidence_by_channel
+            ]
+            # Adaptive statistics: per node, per channel.
+            self._channel_attempts = [
+                [0] * self._num_channels for _ in range(num_nodes)
+            ]
+            self._channel_successes = [
+                [0] * self._num_channels for _ in range(num_nodes)
+            ]
+        # Per-channel blocked counts; column c is the busy count of every
+        # node on channel c.  Single-channel mode aliases column 0 to
+        # self._pu_busy.
+        self._busy_columns: List[List[int]] = [
+            [0] * num_nodes for _ in range(self._num_channels)
+        ]
+        self._slot = 0
+        self._started = False
+
+        self._result = SimulationResult(
+            num_packets=0, slot_duration_ms=self.slot_duration_ms
+        )
+        # Exposed for the SIR validator: the concurrent set of the last slot.
+        self.last_slot_su_links: List[Tuple[int, int]] = []
+        self.last_slot_su_channels: List[int] = []
+        self.last_slot_active_pus: List[int] = []
+
+    # ------------------------------------------------------------------ #
+    # Workload loading                                                    #
+    # ------------------------------------------------------------------ #
+
+    def load_snapshot(self, packets_per_su: int = 1) -> None:
+        """Give every SU ``packets_per_su`` fresh packets (Section III).
+
+        Must be called before :meth:`run`; may be called only once.
+        """
+        if self._started:
+            raise SimulationError("cannot load a workload into a running engine")
+        if packets_per_su < 1:
+            raise ConfigurationError(
+                f"packets_per_su must be >= 1, got {packets_per_su}"
+            )
+        packet_id = 0
+        for node in self.topology.secondary.su_ids():
+            for _ in range(packets_per_su):
+                self._queues[node].append(
+                    Packet(packet_id=packet_id, source=node, birth_slot=0)
+                )
+                self._note_queue(node)
+                packet_id += 1
+        self._result.num_packets = packet_id
+        for node in self.topology.secondary.su_ids():
+            self._activate(node)
+
+    def load_packets(
+        self, packets: List[Packet], expected_deliveries: Optional[int] = None
+    ) -> None:
+        """Load an explicit packet list (sources must be SU node ids).
+
+        ``expected_deliveries`` is how many *data* deliveries complete the
+        run; it defaults to the number of data packets in ``packets`` and
+        must be given explicitly when the policy injects data packets later
+        (e.g. after an on-demand route discovery).
+
+        Packets with ``birth_slot > 0`` are *future arrivals* (continuous
+        collection): they enter their source's queue when the simulation
+        reaches that slot.
+        """
+        if self._started:
+            raise SimulationError("cannot load a workload into a running engine")
+        su_ids = set(self.topology.secondary.su_ids())
+        immediate: List[Packet] = []
+        for packet in packets:
+            if packet.source not in su_ids:
+                raise ConfigurationError(
+                    f"packet {packet.packet_id} has non-SU source {packet.source}"
+                )
+            if packet.birth_slot < 0:
+                raise ConfigurationError(
+                    f"packet {packet.packet_id} has negative birth_slot"
+                )
+            if packet.birth_slot > 0:
+                heapq.heappush(
+                    self._pending_arrivals,
+                    (packet.birth_slot, self._arrival_counter, packet),
+                )
+                self._arrival_counter += 1
+            else:
+                immediate.append(packet)
+        if expected_deliveries is None:
+            expected_deliveries = sum(1 for packet in packets if packet.is_data)
+        if expected_deliveries < 1:
+            raise ConfigurationError("expected_deliveries must be >= 1")
+        self._result.num_packets = expected_deliveries
+        for packet in immediate:
+            start = packet.route[packet.route_pos] if packet.route else packet.source
+            self._queues[start].append(packet)
+            self._note_queue(start)
+            self._activate(start)
+
+
+    def _note_queue(self, node: int) -> None:
+        """Track the peak backlog per node (the data-accumulation effect)."""
+        length = len(self._queues[node])
+        peaks = self._result.peak_queue_lengths
+        if length > peaks.get(node, 0):
+            peaks[node] = length
+
+    def _retire(self, node: int) -> None:
+        """Remove a node from the network, losing its queued data."""
+        if node in self._dead:
+            return
+        self._dead.add(node)
+        lost = sum(1 for packet in self._queues[node] if packet.is_data)
+        self._result.packets_lost += lost
+        self._queues[node].clear()
+        self._active.discard(node)
+        self._ongoing.pop(node, None)
+
+    def _process_departures(self) -> None:
+        """Apply this slot's scheduled node departures (runtime churn)."""
+        for node in self._departures.pop(self._slot, []):
+            if node in self._dead:
+                continue
+            self._result.nodes_departed += 1
+            self._retire(node)
+            handler = getattr(self.policy, "on_node_departure", None)
+            if handler is None:
+                raise SimulationError(
+                    f"policy {self.policy.describe()} does not support node "
+                    "departures (no on_node_departure hook)"
+                )
+            for partitioned in handler(node):
+                self._retire(partitioned)
+        # Abort in-flight transmissions aimed at nodes that just left.
+        doomed = [
+            sender
+            for sender, (receiver, _, _, _) in self._ongoing.items()
+            if receiver in self._dead
+        ]
+        for sender in doomed:
+            del self._ongoing[sender]
+
+    def _inject_arrivals(self) -> None:
+        """Move due future arrivals into their source queues."""
+        while self._pending_arrivals and (
+            self._pending_arrivals[0][0] <= self._slot
+        ):
+            _, _, packet = heapq.heappop(self._pending_arrivals)
+            start = packet.route[packet.route_pos] if packet.route else packet.source
+            if start in self._dead:
+                if packet.is_data:
+                    self._result.packets_lost += 1
+                continue
+            self._queues[start].append(packet)
+            self._note_queue(start)
+            self._activate(start)
+
+    # ------------------------------------------------------------------ #
+    # Core loop                                                           #
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> SimulationResult:
+        """Run until every packet is delivered or ``max_slots`` elapse."""
+        if self._result.num_packets == 0:
+            raise SimulationError("no workload loaded; call load_snapshot() first")
+        if self._started:
+            raise SimulationError("engine instances are single-use")
+        self._started = True
+        self._initialize_pu_states()
+
+        while (
+            self._result.delivered + self._result.packets_lost
+            < self._result.num_packets
+        ):
+            if self._slot >= self.max_slots:
+                self._result.completed = False
+                self._result.slots_simulated = self._slot
+                return self._result
+            if self._departures:
+                self._process_departures()
+            self._inject_arrivals()
+            self._advance_pu_states()
+            self._contend_and_transmit()
+            if self.slot_hook is not None:
+                self.slot_hook(self)
+            self._slot += 1
+
+        self._result.completed = True
+        self._result.slots_simulated = self._slot
+        return self._result
+
+    # ------------------------------------------------------------------ #
+    # PU activity                                                         #
+    # ------------------------------------------------------------------ #
+
+    def _initialize_pu_states(self) -> None:
+        if self.blocking == "homogeneous":
+            self._draw_homogeneous_blocking()
+            return
+        activity = self.topology.primary.activity
+        self._pu_states = activity.initial_states(
+            self.topology.primary.num_pus, self._pu_rng
+        )
+        self._recompute_pu_busy()
+
+    def _advance_pu_states(self) -> None:
+        if self._slot == 0:
+            # Slot 0 uses the initial states drawn in run().
+            return
+        if self.blocking == "homogeneous":
+            self._draw_homogeneous_blocking()
+            return
+        activity = self.topology.primary.activity
+        self._pu_states = activity.next_states(self._pu_states, self._pu_rng)
+        self._recompute_pu_busy()
+
+    def _draw_homogeneous_blocking(self) -> None:
+        # Lemma 7 mean field: every secondary node is blocked i.i.d. per
+        # slot (and, in multi-channel mode, per channel) with probability
+        # 1 - p_o.  PU interference is folded into the blocking, so
+        # _pu_states stays all-inactive.
+        if self._num_channels == 1:
+            blocked = self._pu_rng.random(len(self._pu_busy)) >= self.homogeneous_p_o
+            self._pu_busy = blocked.astype(np.uint8).tolist()
+            return
+        draws = self._pu_rng.random((len(self._pu_busy), self._num_channels))
+        blocked = (draws >= self.homogeneous_p_o).astype(np.uint8)
+        self._busy_columns = [
+            blocked[:, c].tolist() for c in range(self._num_channels)
+        ]
+
+    def _recompute_pu_busy(self) -> None:
+        if self.topology.primary.num_pus == 0:
+            return
+        if self._num_channels == 1:
+            counts = self._pu_incidence @ self._pu_states.astype(np.uint8)
+            self._pu_busy = counts.tolist()
+            return
+        states = self._pu_states
+        for channel in range(self._num_channels):
+            ids = self._pu_ids_by_channel[channel]
+            counts = self._incidence_by_channel[channel] @ states[ids].astype(
+                np.uint8
+            )
+            self._busy_columns[channel] = counts.tolist()
+
+    def _blocked_on(self, node: int, channel: int) -> bool:
+        """Whether PU activity blocks ``node`` on ``channel`` this slot."""
+        if self._num_channels == 1:
+            return self._pu_busy[node] > 0
+        return self._busy_columns[channel][node] > 0
+
+    # ------------------------------------------------------------------ #
+    # SU contention                                                       #
+    # ------------------------------------------------------------------ #
+
+    def _activate(self, node: int) -> None:
+        """Node gained traffic: draw a backoff if it was idle."""
+        if node in self._active:
+            return
+        self._active.add(node)
+        if node not in self._first_active_slot:
+            self._first_active_slot[node] = self._slot
+        self._draw_backoff(node)
+
+    def _draw_backoff(self, node: int) -> None:
+        # Uniform over (0, tau_c]: invert the half-open side of random().
+        value = self.contention_window_ms * (1.0 - float(self._backoff_rng.random()))
+        self._backoff[node] = value
+        self._drawn[node] = value
+        if self._num_channels > 1:
+            self._node_channel[node] = self._pick_channel(node)
+
+    def _pick_channel(self, node: int) -> int:
+        """Retune ``node`` per the configured channel strategy."""
+        free = [
+            c
+            for c in range(self._num_channels)
+            if self._busy_columns[c][node] == 0
+        ]
+        pool = free if free else list(range(self._num_channels))
+        strategy = self.channel_strategy
+        if strategy == "sticky":
+            current = self._node_channel[node]
+            if current in pool:
+                return current
+            strategy = "random-idle"
+        if strategy == "least-blocked":
+            best = min(self._static_channel_load[c][node] for c in pool)
+            pool = [
+                c for c in pool if self._static_channel_load[c][node] == best
+            ]
+        elif strategy == "adaptive":
+            def score(channel: int) -> float:
+                attempts = self._channel_attempts[node][channel]
+                if attempts == 0:
+                    return 1.0  # optimistic initialization
+                return self._channel_successes[node][channel] / attempts
+
+            best_score = max(score(c) for c in pool)
+            pool = [c for c in pool if score(c) == best_score]
+        return pool[int(self._backoff_rng.integers(0, len(pool)))]
+        if self.trace is not None:
+            self.trace.record(
+                TraceEvent(
+                    slot=self._slot,
+                    kind=TraceKind.BACKOFF_DRAW,
+                    node=node,
+                    time_in_slot=value,
+                )
+            )
+
+    def _select_transmitters(self) -> List[Tuple[float, int, int, int]]:
+        """Resolve intra-slot contention.
+
+        Returns ``(expiry, node, receiver, channel)`` tuples; the channel
+        is always 0 in the single-channel model.
+        """
+        ready: List[Tuple[float, int]] = []
+        extra_wait = self._extra_wait
+        backoff = self._backoff
+        node_channel = self._node_channel
+        frozen_by_pu = 0
+        hold_until = self._hold_until_slot
+        current_slot = self._slot
+        if self._imperfect_sensing:
+            sensing_draws = self._sensing_rng.random(len(self._pu_busy))
+        if self.detector is not None:
+            # Energy detection: P(sensed busy) = 1 - P(miss every active
+            # in-range PU) * P(no false alarm), vectorized per slot.
+            miss_all = np.exp(self._miss_log @ self._pu_states.astype(float))
+            p_sensed_busy = 1.0 - miss_all * (
+                1.0 - self.detector.false_alarm_probability
+            )
+        ongoing = self._ongoing
+        for node in self._active:
+            if ongoing and node in ongoing:
+                continue  # mid-transmission (multi-slot packet)
+            if hold_until[node] > current_slot:
+                continue  # collision-recovery hold-off (footnote 2)
+            if self.detector is not None:
+                sensed_busy = bool(sensing_draws[node] < p_sensed_busy[node])
+            else:
+                sensed_busy = self._blocked_on(node, node_channel[node])
+                if self._imperfect_sensing:
+                    if sensed_busy:
+                        if sensing_draws[node] < self.p_missed_detection:
+                            sensed_busy = False
+                    elif sensing_draws[node] < self.p_false_alarm:
+                        sensed_busy = True
+            if not sensed_busy:
+                ready.append((extra_wait[node] + backoff[node], node))
+            else:
+                frozen_by_pu += 1
+        self._result.frozen_slot_count += frozen_by_pu
+        self._result.opportunity_slot_count += len(ready)
+        if ready:
+            self._result.contention_slot_count += 1
+        ready.sort()
+
+        neighbors = self.sense_map.su_neighbors
+        # One contention domain per channel: a transmission only freezes
+        # same-channel neighbors.
+        blocked_at: List[Dict[int, float]] = [
+            {} for _ in range(self._num_channels)
+        ]
+        # Transmissions still in flight from earlier slots hold their
+        # neighborhoods from the very start of this slot.
+        for node, (_, channel, _, _) in self._ongoing.items():
+            channel_blocks = blocked_at[channel]
+            for neighbor in neighbors[node]:
+                channel_blocks[neighbor] = 0.0
+        transmitters: List[Tuple[float, int, int, int]] = []
+        for expiry, node in ready:
+            channel = node_channel[node]
+            block_time = blocked_at[channel].get(node)
+            if block_time is not None and block_time <= expiry:
+                # Frozen mid-countdown (lines 6-7): keep the remainder.
+                consumed = max(0.0, block_time - extra_wait[node])
+                backoff[node] = max(backoff[node] - consumed, 1e-12)
+                if self.trace is not None:
+                    self.trace.record(
+                        TraceEvent(
+                            slot=self._slot,
+                            kind=TraceKind.FREEZE,
+                            node=node,
+                            time_in_slot=block_time,
+                        )
+                    )
+                continue
+
+            packet = self._queues[node][0]
+            receiver = self.policy.next_hop(node, packet)
+            transmitters.append((expiry, node, receiver, channel))
+            channel_blocks = blocked_at[channel]
+            for neighbor in neighbors[node]:
+                current = channel_blocks.get(neighbor)
+                if current is None or expiry < current:
+                    channel_blocks[neighbor] = expiry
+            if self.trace is not None:
+                self.trace.record(
+                    TraceEvent(
+                        slot=self._slot,
+                        kind=TraceKind.TX_START,
+                        node=node,
+                        peer=receiver,
+                        packet_id=packet.packet_id,
+                        time_in_slot=expiry,
+                    )
+                )
+        return transmitters
+
+    def _adjudicate(
+        self,
+        completing: List[Tuple[float, int, int, int]],
+        concurrent: Optional[List[Tuple[float, int, int, int]]] = None,
+    ) -> List[bool]:
+        """Physical-model outcome for the transmissions completing this slot.
+
+        A link succeeds iff (a) no stronger concurrent signal targets its
+        receiver (single-radio capture, RS mode) and (b) its SIR over all
+        other concurrent SU transmitters plus all active PUs meets
+        ``eta_s``.  With ``sir_check=False``, only the capture rule (a)
+        applies — the PCR guarantee replaces (b).
+
+        ``concurrent`` lists every transmission on the air during the slot
+        (multi-slot packets still in flight included); it defaults to
+        ``completing`` in the single-slot-packet model.
+        """
+        if concurrent is None:
+            concurrent = completing
+        count = len(concurrent)
+        if not completing:
+            return []
+        tx_nodes = [node for _, node, _, _ in concurrent]
+        rx_nodes = [receiver for _, _, receiver, _ in concurrent]
+        channels = [channel for _, _, _, channel in concurrent]
+        index_of = {node: index for index, node in enumerate(tx_nodes)}
+        tx_pos = self._positions[tx_nodes]
+        rx_pos = self._positions[rx_nodes]
+
+        # Signal powers at the receivers.
+        deltas = tx_pos - rx_pos
+        signal_dist = np.maximum(
+            np.hypot(deltas[:, 0], deltas[:, 1]), _MIN_DISTANCE
+        )
+        signal = self._su_power * signal_dist ** (-self.alpha)
+
+        # Capture rule: among links sharing a receiver, only the strongest
+        # signal can be decoded.
+        strongest: Dict[int, int] = {}
+        for index, receiver in enumerate(rx_nodes):
+            best = strongest.get(receiver)
+            if best is None or signal[index] > signal[best]:
+                strongest[receiver] = index
+        ok = [strongest[rx_nodes[index]] == index for index in range(count)]
+
+        if not self.sir_check:
+            return [ok[index_of[node]] for _, node, _, _ in completing]
+
+        # Interference at each receiver: all other *same-channel* SU
+        # transmitters ...
+        tx_deltas = rx_pos[:, None, :] - tx_pos[None, :, :]
+        tx_dist = np.maximum(
+            np.hypot(tx_deltas[..., 0], tx_deltas[..., 1]), _MIN_DISTANCE
+        )
+        su_interference = self._su_power * tx_dist ** (-self.alpha)
+        np.fill_diagonal(su_interference, 0.0)
+        if self._num_channels > 1:
+            channel_array = np.asarray(channels)
+            same_channel = channel_array[:, None] == channel_array[None, :]
+            su_interference = su_interference * same_channel
+        interference = su_interference.sum(axis=1)
+
+        # ... plus every active *same-channel* PU.
+        active = np.nonzero(self._pu_states)[0]
+        if active.size:
+            pu_pos = self._pu_positions[active]
+            pu_deltas = rx_pos[:, None, :] - pu_pos[None, :, :]
+            pu_dist = np.maximum(
+                np.hypot(pu_deltas[..., 0], pu_deltas[..., 1]), _MIN_DISTANCE
+            )
+            pu_terms = self._pu_power * pu_dist ** (-self.alpha)
+            if self._num_channels > 1:
+                pu_channels = self.channel_plan.pu_channels[active]
+                same_channel_pu = (
+                    np.asarray(channels)[:, None] == pu_channels[None, :]
+                )
+                pu_terms = pu_terms * same_channel_pu
+            interference = interference + pu_terms.sum(axis=1)
+
+        with np.errstate(divide="ignore"):
+            sir = np.where(interference > 0.0, signal / interference, np.inf)
+        return [
+            ok[index_of[node]] and bool(sir[index_of[node]] >= self.eta_s)
+            for _, node, _, _ in completing
+        ]
+
+    def _handoff_check(self) -> None:
+        """Abort in-flight transmissions whose channel a PU has reclaimed.
+
+        Section I's spectrum-handoff rule: the SU vacates immediately, the
+        packet stays queued, and the node re-contends once the spectrum
+        frees up again (a fresh backoff draw).
+        """
+        aborted = [
+            node
+            for node, (_, channel, _, _) in self._ongoing.items()
+            if self._blocked_on(node, channel)
+        ]
+        for node in aborted:
+            del self._ongoing[node]
+            self._result.handoffs += 1
+            self._draw_backoff(node)
+
+    def _contend_and_transmit(self) -> None:
+        if self.packet_slots > 1:
+            self._handoff_check()
+        new_transmitters = self._select_transmitters()
+        if self.packet_slots == 1:
+            completing = new_transmitters
+            concurrent = new_transmitters
+        else:
+            end_slot = self._slot + self.packet_slots - 1
+            for expiry, node, receiver, channel in new_transmitters:
+                self._ongoing[node] = (receiver, channel, end_slot, expiry)
+            concurrent = [
+                (expiry, node, receiver, channel)
+                for node, (receiver, channel, _, expiry) in self._ongoing.items()
+            ]
+            completing = [
+                (expiry, node, receiver, channel)
+                for node, (receiver, channel, finish, expiry) in (
+                    self._ongoing.items()
+                )
+                if finish == self._slot
+            ]
+        outcomes = self._adjudicate(completing, concurrent)
+
+        self.last_slot_su_links = [
+            (node, receiver) for _, node, receiver, _ in concurrent
+        ]
+        self.last_slot_su_channels = [channel for _, _, _, channel in concurrent]
+        self.last_slot_active_pus = [int(i) for i in np.nonzero(self._pu_states)[0]]
+        if concurrent:
+            count = len(concurrent)
+            histogram = self._result.concurrent_tx_histogram
+            histogram[count] = histogram.get(count, 0) + 1
+
+        # Slot end: deliveries, fairness waits, backoff redraws.
+        extra_wait = self._extra_wait
+        for node in self._active:
+            extra_wait[node] = 0.0
+
+        newly_active: List[int] = []
+        finished_nodes: List[int] = []
+        for (_, node, receiver, channel), success in zip(completing, outcomes):
+            if self.packet_slots > 1:
+                del self._ongoing[node]
+            self._result.tx_attempts[node] = self._result.tx_attempts.get(node, 0) + 1
+            if self._num_channels > 1:
+                self._channel_attempts[node][channel] += 1
+                if success:
+                    self._channel_successes[node][channel] += 1
+            if self._blocked_on(node, channel):
+                # A missed detection let this node transmit while a PU was
+                # active inside its protection range (on its channel).
+                self._result.pu_violations += 1
+            if not success:
+                # Hidden-terminal collision or capture loss: the packet
+                # stays queued and is retransmitted after an exponentially
+                # growing random hold-off (the paper's footnote 2).
+                self._result.collisions += 1
+                streak = min(
+                    self._collision_streak[node] + 1, self.max_backoff_exponent
+                )
+                self._collision_streak[node] = streak
+                window = 1 << streak
+                self._hold_until_slot[node] = (
+                    self._slot + 1 + int(self._backoff_rng.integers(0, window))
+                )
+                if self.trace is not None:
+                    self.trace.record(
+                        TraceEvent(
+                            slot=self._slot,
+                            kind=TraceKind.TX_COLLISION,
+                            node=node,
+                            peer=receiver,
+                        )
+                    )
+            else:
+                self._collision_streak[node] = 0
+                packet = self._queues[node].popleft()
+                packet.hops += 1
+                if packet.route is not None:
+                    packet.route_pos += 1
+                self._result.tx_successes[node] = (
+                    self._result.tx_successes.get(node, 0) + 1
+                )
+                self._result.rx_successes[receiver] = (
+                    self._result.rx_successes.get(receiver, 0) + 1
+                )
+                if self.trace is not None:
+                    self.trace.record(
+                        TraceEvent(
+                            slot=self._slot,
+                            kind=TraceKind.TX_SUCCESS,
+                            node=node,
+                            peer=receiver,
+                            packet_id=packet.packet_id,
+                        )
+                    )
+                if packet.route is not None:
+                    # Routed packets (unicast flows, control traffic)
+                    # arrive only at their route's final node — possibly a
+                    # plain SU, possibly the base station acting as a relay
+                    # mid-route.
+                    arrived = packet.at_route_end
+                else:
+                    arrived = receiver == self._base_station
+                if packet.is_data and arrived:
+                    self._result.deliveries.append(
+                        PacketRecord(
+                            packet_id=packet.packet_id,
+                            source=packet.source,
+                            birth_slot=packet.birth_slot,
+                            delivered_slot=self._slot,
+                            hops=packet.hops,
+                        )
+                    )
+                    if self.trace is not None:
+                        self.trace.record(
+                            TraceEvent(
+                                slot=self._slot,
+                                kind=TraceKind.DELIVERY,
+                                node=receiver,
+                                peer=node,
+                                packet_id=packet.packet_id,
+                            )
+                        )
+                elif packet.route is not None and packet.at_route_end:
+                    # A control packet reached its final node: let the
+                    # policy react (e.g. answer an RREQ with an RREP, or
+                    # release a data packet on RREP arrival).
+                    handler = getattr(self.policy, "on_control_arrival", None)
+                    spawned = handler(packet, receiver) if handler else []
+                    for new_packet in spawned:
+                        self._queues[receiver].append(new_packet)
+                        self._note_queue(receiver)
+                    if spawned and receiver not in self._active:
+                        newly_active.append(receiver)
+                else:
+                    data_handler = getattr(self.policy, "on_data_arrival", None)
+                    if data_handler is not None and packet.is_data:
+                        # Aggregating policies absorb arriving data and
+                        # decide what (if anything) the relay forwards.
+                        spawned = data_handler(packet, receiver)
+                        for new_packet in spawned:
+                            self._queues[receiver].append(new_packet)
+                            self._note_queue(receiver)
+                        if spawned and receiver not in self._active:
+                            newly_active.append(receiver)
+                    else:
+                        self._queues[receiver].append(packet)
+                        self._note_queue(receiver)
+                        if receiver not in self._active:
+                            newly_active.append(receiver)
+
+            if self.policy.fairness_wait:
+                extra_wait[node] = self.contention_window_ms - self._drawn[node]
+            if self._queues[node]:
+                self._draw_backoff(node)
+            else:
+                finished_nodes.append(node)
+
+        for node in finished_nodes:
+            if self._queues[node]:
+                # A later same-slot transmission (possible on another
+                # channel) delivered into this node after it drained its
+                # own queue: it stays active with a fresh backoff.
+                self._draw_backoff(node)
+                continue
+            # Record the contention span for energy accounting (the node
+            # may re-activate later; spans accumulate).
+            span = self._slot - self._first_active_slot.pop(node, self._slot) + 1
+            self._result.active_slot_spans[node] = (
+                self._result.active_slot_spans.get(node, 0) + span
+            )
+            self._active.discard(node)
+            extra_wait[node] = 0.0
+        for node in newly_active:
+            self._activate(node)
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def slot(self) -> int:
+        """The next slot index to be simulated."""
+        return self._slot
+
+    def queue_length(self, node: int) -> int:
+        """Current queue length at a node (for tests and live inspection)."""
+        return len(self._queues[node])
+
+    def total_queued(self) -> int:
+        """Packets currently queued anywhere in the secondary network."""
+        return sum(len(queue) for queue in self._queues)

@@ -1,0 +1,66 @@
+"""The unit of traffic: data packets and routing-control packets.
+
+Section III: at a particular time slot every SU produces one data packet of
+size ``B``; the n packets form a *snapshot* and collecting them all at the
+base station, without aggregation, is the data-collection task.
+
+On-demand routing baselines additionally exchange *control* packets (route
+request / route reply).  Control packets travel explicit routes, occupy the
+spectrum exactly like data, but do not count toward the collection task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["Packet", "DATA", "RREQ", "RREP"]
+
+#: Packet kinds.
+DATA = "data"
+RREQ = "rreq"
+RREP = "rrep"
+
+
+@dataclass
+class Packet:
+    """One packet moving through the secondary network.
+
+    Attributes
+    ----------
+    packet_id:
+        Unique id within a simulation run (across all kinds).
+    source:
+        Node id of the SU the packet originates from (for control packets,
+        the SU whose route is being established).
+    birth_slot:
+        Slot at which the packet was produced (0 for a snapshot workload).
+    hops:
+        Number of successful transmissions so far (mutated by the engine).
+    kind:
+        ``"data"`` (counts toward the collection task) or ``"rreq"`` /
+        ``"rrep"`` control packets.
+    route:
+        Explicit node route for control packets (``None`` for packets that
+        follow the policy's per-node forwarding pointer).
+    route_pos:
+        Current index into ``route`` (the node holding the packet).
+    """
+
+    packet_id: int
+    source: int
+    birth_slot: int = 0
+    hops: int = 0
+    kind: str = DATA
+    route: Optional[List[int]] = None
+    route_pos: int = 0
+
+    @property
+    def is_data(self) -> bool:
+        """Whether this packet counts toward the data-collection task."""
+        return self.kind == DATA
+
+    @property
+    def at_route_end(self) -> bool:
+        """Whether a routed packet has reached its final node."""
+        return self.route is not None and self.route_pos >= len(self.route) - 1

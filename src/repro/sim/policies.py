@@ -1,0 +1,33 @@
+"""MAC/forwarding policy interface.
+
+A policy answers one question for the engine — *where does this node send
+this packet* — and declares whether the post-transmission fairness wait of
+Algorithm 1, line 12 applies.  Keeping routing out of the engine lets ADDC
+and the Coolest baseline share the identical contention machinery, which is
+what makes their delay comparison meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.sim.packet import Packet
+
+__all__ = ["MacPolicy"]
+
+
+@runtime_checkable
+class MacPolicy(Protocol):
+    """Forwarding decision plus fairness behaviour."""
+
+    #: Whether a node waits ``tau_c - t_i`` after each transmission
+    #: (Algorithm 1, line 12).  ADDC: True.  Coolest baseline: False.
+    fairness_wait: bool
+
+    def next_hop(self, node: int, packet: Packet) -> int:
+        """The node ``packet`` should be transmitted to from ``node``."""
+        ...
+
+    def describe(self) -> str:
+        """Short human-readable policy name for reports."""
+        ...

@@ -1,0 +1,133 @@
+"""Simulation outputs: per-packet records and run-level statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["PacketRecord", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """Lifecycle of one delivered packet."""
+
+    packet_id: int
+    source: int
+    birth_slot: int
+    delivered_slot: int
+    hops: int
+
+    @property
+    def delay_slots(self) -> int:
+        """Slots from production to base-station delivery (inclusive)."""
+        return self.delivered_slot - self.birth_slot + 1
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured over one data-collection run.
+
+    The headline quantities of the paper:
+
+    * ``delay_slots`` / ``delay_ms`` — the data-collection delay (time until
+      the last snapshot packet reaches the base station).
+    * ``capacity_packets_per_slot`` — average receiving rate at the base
+      station; the paper's upper bound is one packet per slot (``W``), so
+      this value is also the achieved fraction of ``W``.
+    """
+
+    num_packets: int
+    slot_duration_ms: float
+    completed: bool = False
+    slots_simulated: int = 0
+    deliveries: List[PacketRecord] = field(default_factory=list)
+    tx_attempts: Dict[int, int] = field(default_factory=dict)
+    tx_successes: Dict[int, int] = field(default_factory=dict)
+    rx_successes: Dict[int, int] = field(default_factory=dict)
+    active_slot_spans: Dict[int, int] = field(default_factory=dict)
+    collisions: int = 0
+    pu_violations: int = 0
+    handoffs: int = 0
+    packets_lost: int = 0
+    nodes_departed: int = 0
+    peak_queue_lengths: Dict[int, int] = field(default_factory=dict)
+    frozen_slot_count: int = 0
+    opportunity_slot_count: int = 0
+    contention_slot_count: int = 0
+    concurrent_tx_histogram: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def delivered(self) -> int:
+        """Packets that reached the base station."""
+        return len(self.deliveries)
+
+    @property
+    def delay_slots(self) -> Optional[int]:
+        """Collection delay in slots, or ``None`` if the run did not finish.
+
+        With node departures, the delay covers the packets that *could* be
+        delivered (losses are accounted separately in ``packets_lost``).
+        """
+        if not self.completed or not self.deliveries:
+            return None
+        return max(record.delivered_slot for record in self.deliveries) + 1
+
+    @property
+    def delay_ms(self) -> Optional[float]:
+        """Collection delay in milliseconds (slot duration times delay)."""
+        slots = self.delay_slots
+        return None if slots is None else slots * self.slot_duration_ms
+
+    @property
+    def capacity_packets_per_slot(self) -> Optional[float]:
+        """Average base-station receiving rate over the whole collection.
+
+        Equals the achieved fraction of the capacity upper bound ``W``
+        because the base station can absorb at most one packet per slot.
+        """
+        slots = self.delay_slots
+        if slots is None or slots == 0:
+            return None
+        return self.num_packets / slots
+
+    @property
+    def mean_packet_delay_slots(self) -> Optional[float]:
+        """Mean per-packet delay, a fairness-sensitive secondary metric."""
+        if not self.deliveries:
+            return None
+        return sum(r.delay_slots for r in self.deliveries) / len(self.deliveries)
+
+    @property
+    def mean_hops(self) -> Optional[float]:
+        """Mean hop count over delivered packets (routing-stretch indicator)."""
+        if not self.deliveries:
+            return None
+        return sum(r.hops for r in self.deliveries) / len(self.deliveries)
+
+    @property
+    def total_transmissions(self) -> int:
+        """All transmission attempts across nodes (collisions included)."""
+        return sum(self.tx_attempts.values())
+
+    @property
+    def max_backlog(self) -> int:
+        """The largest queue any node ever accumulated — the paper's
+        "data accumulation effect", measured (0 if nothing was tracked)."""
+        if not self.peak_queue_lengths:
+            return 0
+        return max(self.peak_queue_lengths.values())
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        if self.completed:
+            return (
+                f"completed in {self.delay_slots} slots "
+                f"({self.delay_ms:.1f} ms), {self.delivered}/{self.num_packets} "
+                f"packets, mean hops {self.mean_hops:.2f}, "
+                f"capacity {self.capacity_packets_per_slot:.4f} pkt/slot"
+            )
+        return (
+            f"INCOMPLETE after {self.slots_simulated} slots: "
+            f"{self.delivered}/{self.num_packets} packets delivered"
+        )

@@ -1,0 +1,76 @@
+"""Bounded event trace for debugging and for behavioural tests.
+
+The fairness test for Theorem 1's property :math:`\\mathfrak P` ("before
+s_i transmits once, a PCR neighbour transmits at most twice") needs the
+exact transmission order, which the trace records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, List, Optional
+
+__all__ = ["TraceKind", "TraceEvent", "TraceLog"]
+
+
+class TraceKind(Enum):
+    """Event categories emitted by the engine."""
+
+    TX_START = "tx_start"
+    TX_SUCCESS = "tx_success"
+    TX_COLLISION = "tx_collision"
+    DELIVERY = "delivery"
+    FREEZE = "freeze"
+    BACKOFF_DRAW = "backoff_draw"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One engine event.
+
+    ``time_in_slot`` is the continuous offset (ms) within the slot for
+    transmission starts; slot-end events carry ``None``.
+    """
+
+    slot: int
+    kind: TraceKind
+    node: int
+    peer: Optional[int] = None
+    packet_id: Optional[int] = None
+    time_in_slot: Optional[float] = None
+
+
+class TraceLog:
+    """Append-only event log with an optional size cap.
+
+    With ``max_events`` set, the log keeps the *earliest* events and simply
+    drops later ones (recording whether truncation happened); behavioural
+    tests care about prefixes of the schedule.
+    """
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        self._events: List[TraceEvent] = []
+        self._max_events = max_events
+        self.truncated = False
+
+    def record(self, event: TraceEvent) -> None:
+        """Append one event (dropped silently past the cap)."""
+        if self._max_events is not None and len(self._events) >= self._max_events:
+            self.truncated = True
+            return
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def of_kind(self, kind: TraceKind) -> List[TraceEvent]:
+        """All recorded events of one kind, in order."""
+        return [event for event in self._events if event.kind is kind]
+
+    def for_node(self, node: int) -> List[TraceEvent]:
+        """All recorded events touching one node, in order."""
+        return [event for event in self._events if event.node == node]

@@ -1,0 +1,35 @@
+"""Spectrum and PHY layer: path loss, SIR, carrier sensing, opportunities.
+
+Implements the paper's physical interference model (Section III) and the
+carrier-sensing machinery of Algorithm 1, including the
+:class:`~repro.spectrum.sir.SirValidator` that empirically checks the
+concurrent-set guarantee of Lemmas 2-3.
+"""
+
+from repro.spectrum.pathloss import received_power, path_loss
+from repro.spectrum.sir import (
+    sir_at_receiver,
+    SirValidator,
+    SirReport,
+)
+from repro.spectrum.sensing import CarrierSenseMap
+from repro.spectrum.detection import EnergyDetector
+from repro.spectrum.opportunity import (
+    per_node_opportunity_probability,
+    mean_opportunity_probability,
+)
+from repro.spectrum.pu_impact import PuImpactProbe, PuImpactReport
+
+__all__ = [
+    "received_power",
+    "path_loss",
+    "sir_at_receiver",
+    "SirValidator",
+    "SirReport",
+    "CarrierSenseMap",
+    "EnergyDetector",
+    "PuImpactProbe",
+    "PuImpactReport",
+    "per_node_opportunity_probability",
+    "mean_opportunity_probability",
+]

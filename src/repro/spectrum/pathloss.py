@@ -1,0 +1,40 @@
+"""Power-law path loss.
+
+The paper's physical model attenuates power as ``P * D^{-alpha}`` with path
+loss exponent ``alpha > 2`` (Section III).  A minimum-distance guard keeps
+the singularity at ``D -> 0`` from producing infinities in validator code;
+node placements never put a transmitter exactly on top of a receiver, but
+sampled PU receivers can come arbitrarily close to an SU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["path_loss", "received_power", "MIN_DISTANCE"]
+
+#: Distances are clamped below at this value before attenuation.
+MIN_DISTANCE = 1e-6
+
+
+def _check_alpha(alpha: float) -> None:
+    if alpha <= 2.0:
+        raise ConfigurationError(
+            f"path loss exponent alpha must be > 2 (paper, Section III), got {alpha}"
+        )
+
+
+def path_loss(distance, alpha: float):
+    """Attenuation factor ``D^{-alpha}`` (scalar or elementwise on arrays)."""
+    _check_alpha(alpha)
+    distance = np.maximum(np.asarray(distance, dtype=float), MIN_DISTANCE)
+    return distance ** (-alpha)
+
+
+def received_power(power: float, distance, alpha: float):
+    """Received power ``P * D^{-alpha}`` (scalar or elementwise on arrays)."""
+    if power <= 0:
+        raise ConfigurationError(f"power must be positive, got {power}")
+    return power * path_loss(distance, alpha)

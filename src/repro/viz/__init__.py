@@ -1,0 +1,15 @@
+"""Terminal visualization: ASCII renderings of deployments and trees."""
+
+from repro.viz.ascii_map import (
+    render_deployment,
+    render_field,
+    render_histogram,
+    render_tree_summary,
+)
+
+__all__ = [
+    "render_deployment",
+    "render_field",
+    "render_histogram",
+    "render_tree_summary",
+]

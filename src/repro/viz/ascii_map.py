@@ -1,0 +1,192 @@
+"""ASCII renderings of CRN deployments.
+
+Terminal-native views for a terminal-native library: a spatial map of the
+deployment (PUs, SUs, backbone, base station), a per-node scalar field
+(e.g. spectrum temperature or opportunity probability), and a one-glance
+tree summary.  All renderers return plain strings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graphs.tree import CollectionTree, NodeRole
+from repro.network.topology import CrnTopology
+
+__all__ = [
+    "render_deployment",
+    "render_field",
+    "render_tree_summary",
+    "render_histogram",
+]
+
+#: Glyphs, later glyphs override earlier ones on collisions.
+_GLYPHS = {
+    "pu": "x",
+    "dominatee": ".",
+    "connector": "+",
+    "dominator": "O",
+    "base": "B",
+}
+
+#: Shade ramp for scalar fields, light to dark.
+_RAMP = " .:-=+*#%@"
+
+
+def _grid_shape(topology: CrnTopology, width: int) -> tuple:
+    side = topology.region.side
+    # Terminal cells are ~2x taller than wide; halve the row count.
+    height = max(int(round(width / 2)), 4)
+    return height, width, side
+
+
+def _to_cell(x: float, y: float, side: float, height: int, width: int) -> tuple:
+    column = min(int(x / side * width), width - 1)
+    row = min(int(y / side * height), height - 1)
+    return height - 1 - row, column  # origin at the bottom-left
+
+
+def render_deployment(
+    topology: CrnTopology,
+    tree: Optional[CollectionTree] = None,
+    width: int = 60,
+) -> str:
+    """Spatial map: ``x`` PUs, ``.`` dominatees, ``+`` connectors,
+    ``O`` dominators, ``B`` the base station.
+
+    Without a tree, every SU renders as a dominatee dot.
+    """
+    if width < 8:
+        raise ConfigurationError(f"width must be >= 8, got {width}")
+    height, width, side = _grid_shape(topology, width)
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    for position in topology.primary.positions:
+        row, column = _to_cell(position[0], position[1], side, height, width)
+        grid[row][column] = _GLYPHS["pu"]
+
+    roles = tree.roles if tree is not None else None
+    for node in range(topology.secondary.num_nodes):
+        position = topology.secondary.positions[node]
+        row, column = _to_cell(position[0], position[1], side, height, width)
+        if node == topology.secondary.base_station:
+            glyph = _GLYPHS["base"]
+        elif roles is None:
+            glyph = _GLYPHS["dominatee"]
+        elif roles[node] is NodeRole.DOMINATOR:
+            glyph = _GLYPHS["dominator"]
+        elif roles[node] is NodeRole.CONNECTOR:
+            glyph = _GLYPHS["connector"]
+        else:
+            glyph = _GLYPHS["dominatee"]
+        grid[row][column] = glyph
+
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    legend = (
+        "  B base station   O dominator   + connector   . dominatee   x PU"
+    )
+    return f"{border}\n{body}\n{border}\n{legend}"
+
+
+def render_field(
+    topology: CrnTopology, values: Sequence[float], width: int = 60
+) -> str:
+    """Shade map of a per-secondary-node scalar (darker = larger).
+
+    ``values`` must have one entry per secondary node; the range is
+    normalized to the shade ramp.  Cells without an SU stay blank.
+    """
+    if width < 8:
+        raise ConfigurationError(f"width must be >= 8, got {width}")
+    values = np.asarray(values, dtype=float)
+    if values.shape != (topology.secondary.num_nodes,):
+        raise ConfigurationError(
+            f"need one value per secondary node "
+            f"({topology.secondary.num_nodes}), got shape {values.shape}"
+        )
+    height, width, side = _grid_shape(topology, width)
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    low, high = float(values.min()), float(values.max())
+    span = high - low if high > low else 1.0
+    for node in range(topology.secondary.num_nodes):
+        position = topology.secondary.positions[node]
+        row, column = _to_cell(position[0], position[1], side, height, width)
+        level = (values[node] - low) / span
+        index = min(int(level * (len(_RAMP) - 1) + 0.5), len(_RAMP) - 1)
+        grid[row][column] = _RAMP[index]
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    return (
+        f"{border}\n{body}\n{border}\n"
+        f"  range: {low:.4g} (light) .. {high:.4g} (dark)"
+    )
+
+
+def render_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Horizontal ASCII histogram of a numeric sample.
+
+    >>> text = render_histogram([1, 1, 2, 5, 5, 5], bins=2)
+    >>> "#" in text
+    True
+    """
+    if bins < 1:
+        raise ConfigurationError(f"bins must be >= 1, got {bins}")
+    if width < 1:
+        raise ConfigurationError(f"width must be >= 1, got {width}")
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ConfigurationError("need at least one value")
+    counts, edges = np.histogram(data, bins=bins)
+    peak = max(int(counts.max()), 1)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for index in range(bins):
+        bar = "#" * max(int(round(counts[index] / peak * width)),
+                        1 if counts[index] else 0)
+        lines.append(
+            f"  [{edges[index]:>10.4g}, {edges[index + 1]:>10.4g}) "
+            f"{bar} {int(counts[index])}"
+        )
+    lines.append(
+        f"  n={data.size}  min={data.min():.4g}  "
+        f"median={np.median(data):.4g}  max={data.max():.4g}"
+    )
+    return "\n".join(lines)
+
+
+def render_tree_summary(tree: CollectionTree) -> str:
+    """One-glance statistics of a collection tree."""
+    roles = tree.roles
+    counts = {
+        "dominators": sum(1 for r in roles if r is NodeRole.DOMINATOR),
+        "connectors": sum(1 for r in roles if r is NodeRole.CONNECTOR),
+        "dominatees": sum(1 for r in roles if r is NodeRole.DOMINATEE),
+    }
+    depth_histogram: dict = {}
+    for node in range(tree.num_nodes):
+        depth_histogram[tree.depth[node]] = (
+            depth_histogram.get(tree.depth[node], 0) + 1
+        )
+    bars = []
+    scale = max(depth_histogram.values())
+    for depth in sorted(depth_histogram):
+        count = depth_histogram[depth]
+        bar = "#" * max(int(count / scale * 40), 1)
+        bars.append(f"  depth {depth:>2}: {bar} {count}")
+    return (
+        f"collection tree: {tree.num_nodes} nodes "
+        f"({counts['dominators']} dominators, {counts['connectors']} "
+        f"connectors, {counts['dominatees']} dominatees)\n"
+        f"max depth {max(tree.depth)}, max degree {tree.max_degree()}, "
+        f"base-station degree {tree.root_degree()}\n" + "\n".join(bars)
+    )

@@ -1,0 +1,46 @@
+"""Periodic (continuous) collection workloads.
+
+The paper collects a single snapshot; its sibling line of work (references
+[12], [13], [23], [24] — continuous data collection capacity) streams a new
+snapshot every ``period`` slots.  :func:`periodic_snapshot_workload`
+produces that arrival pattern; the engine injects each round's packets at
+its birth slot, so successive rounds pipeline through the network and the
+sustainable rate can be measured (see
+:func:`repro.metrics.rounds.per_round_delays`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import WorkloadError
+from repro.network.secondary import SecondaryNetwork
+from repro.sim.packet import Packet
+
+__all__ = ["periodic_snapshot_workload"]
+
+
+def periodic_snapshot_workload(
+    secondary: SecondaryNetwork, rounds: int, period_slots: int
+) -> List[Packet]:
+    """``rounds`` snapshots, one every ``period_slots`` slots.
+
+    Round ``k`` (0-based) gives every SU one packet with
+    ``birth_slot = k * period_slots``.
+
+    >>> # doctest helper: see tests/test_periodic.py for full coverage
+    """
+    if rounds < 1:
+        raise WorkloadError(f"rounds must be >= 1, got {rounds}")
+    if period_slots < 1:
+        raise WorkloadError(f"period_slots must be >= 1, got {period_slots}")
+    packets: List[Packet] = []
+    packet_id = 0
+    for round_index in range(rounds):
+        birth = round_index * period_slots
+        for node in secondary.su_ids():
+            packets.append(
+                Packet(packet_id=packet_id, source=node, birth_slot=birth)
+            )
+            packet_id += 1
+    return packets

@@ -1,0 +1,49 @@
+"""Snapshot workloads (Section III's data-collection task).
+
+:func:`snapshot_workload` is the paper's task — one packet per SU.
+:func:`partial_snapshot_workload` sources packets from a subset of SUs,
+useful for studying how delay scales with the traffic volume independently
+of the topology size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import WorkloadError
+from repro.network.secondary import SecondaryNetwork
+from repro.sim.packet import Packet
+
+__all__ = ["snapshot_workload", "partial_snapshot_workload"]
+
+
+def snapshot_workload(
+    secondary: SecondaryNetwork, packets_per_su: int = 1, birth_slot: int = 0
+) -> List[Packet]:
+    """One (or ``packets_per_su``) packet(s) at every SU."""
+    if packets_per_su < 1:
+        raise WorkloadError(f"packets_per_su must be >= 1, got {packets_per_su}")
+    packets: List[Packet] = []
+    packet_id = 0
+    for node in secondary.su_ids():
+        for _ in range(packets_per_su):
+            packets.append(
+                Packet(packet_id=packet_id, source=node, birth_slot=birth_slot)
+            )
+            packet_id += 1
+    return packets
+
+
+def partial_snapshot_workload(
+    secondary: SecondaryNetwork, sources: Sequence[int], birth_slot: int = 0
+) -> List[Packet]:
+    """One packet at each of the given source SUs."""
+    su_ids = set(secondary.su_ids())
+    packets: List[Packet] = []
+    for packet_id, source in enumerate(sources):
+        if source not in su_ids:
+            raise WorkloadError(f"source {source} is not an SU node id")
+        packets.append(
+            Packet(packet_id=packet_id, source=source, birth_slot=birth_slot)
+        )
+    return packets

@@ -1,0 +1,52 @@
+"""Parameter sweeps: vary one field of a config across a value list.
+
+Every Fig. 6 sub-figure is a one-dimensional sweep over the paper's default
+scenario; :func:`sweep_configs` produces the per-point configs by replacing
+a single dataclass field.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, List, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SweepPoint", "sweep_configs"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter sweep: the value and its derived config."""
+
+    parameter: str
+    value: Any
+    config: Any
+
+
+def sweep_configs(base_config: Any, parameter: str, values: Sequence[Any]) -> List[SweepPoint]:
+    """Replace ``parameter`` of a frozen dataclass config with each value.
+
+    >>> from repro.experiments.config import ExperimentConfig
+    >>> points = sweep_configs(ExperimentConfig.quick_scale(), "p_t", [0.1, 0.2])
+    >>> [p.value for p in points]
+    [0.1, 0.2]
+    """
+    if not dataclasses.is_dataclass(base_config):
+        raise ConfigurationError("base_config must be a dataclass instance")
+    field_names = {field.name for field in dataclasses.fields(base_config)}
+    if parameter not in field_names:
+        raise ConfigurationError(
+            f"unknown sweep parameter {parameter!r}; valid: {sorted(field_names)}"
+        )
+    if len(values) == 0:
+        raise ConfigurationError("sweep needs at least one value")
+    return [
+        SweepPoint(
+            parameter=parameter,
+            value=value,
+            config=dataclasses.replace(base_config, **{parameter: value}),
+        )
+        for value in values
+    ]

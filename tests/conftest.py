@@ -1,0 +1,45 @@
+"""Shared fixtures: small deployed topologies and seeded stream factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.network.deployment import deploy_crn
+from repro.rng import StreamFactory
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> ExperimentConfig:
+    """The test-sized scenario (80 SUs, 16 PUs, 50x50)."""
+    return ExperimentConfig.quick_scale()
+
+
+@pytest.fixture(scope="session")
+def streams() -> StreamFactory:
+    """A fixed-seed stream factory (fresh generators per stream name)."""
+    return StreamFactory(seed=20120612)
+
+
+@pytest.fixture(scope="session")
+def quick_topology(quick_config, streams):
+    """One deployed CRN shared across read-only tests."""
+    return deploy_crn(quick_config.deployment_spec(), streams.spawn("topology"))
+
+
+@pytest.fixture(scope="session")
+def tiny_topology(streams):
+    """A very small CRN (25 SUs) for per-slot invariant checks."""
+    config = ExperimentConfig(
+        area=30.0 * 30.0, num_pus=6, num_sus=25, repetitions=1, max_slots=100_000
+    )
+    return deploy_crn(config.deployment_spec(), streams.spawn("tiny"))
+
+
+@pytest.fixture(scope="session")
+def standalone_topology(streams):
+    """A PU-free secondary network — the setting of Theorem 1's proof."""
+    config = ExperimentConfig(
+        area=30.0 * 30.0, num_pus=0, num_sus=25, p_t=0.0, repetitions=1
+    )
+    return deploy_crn(config.deployment_spec(), streams.spawn("standalone"))

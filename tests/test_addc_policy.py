@@ -1,0 +1,38 @@
+"""Tests for the ADDC MAC policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.addc import AddcPolicy
+from repro.errors import ConfigurationError
+from repro.graphs.tree import build_collection_tree
+from repro.sim.packet import Packet
+
+
+@pytest.fixture()
+def tree(quick_topology):
+    return build_collection_tree(
+        quick_topology.secondary.graph, quick_topology.secondary.base_station
+    )
+
+
+class TestAddcPolicy:
+    def test_forwards_to_tree_parent(self, tree):
+        policy = AddcPolicy(tree)
+        packet = Packet(packet_id=0, source=3)
+        for node in range(1, tree.num_nodes):
+            assert policy.next_hop(node, packet) == tree.parent[node]
+
+    def test_base_station_never_transmits(self, tree):
+        policy = AddcPolicy(tree)
+        with pytest.raises(ConfigurationError):
+            policy.next_hop(0, Packet(packet_id=0, source=1))
+
+    def test_fairness_default_on(self, tree):
+        assert AddcPolicy(tree).fairness_wait
+        assert not AddcPolicy(tree, fairness_wait=False).fairness_wait
+
+    def test_describe(self, tree):
+        assert AddcPolicy(tree).describe() == "ADDC"
+        assert "no fairness" in AddcPolicy(tree, fairness_wait=False).describe()

@@ -1,0 +1,110 @@
+"""Tests for the in-network aggregation convergecast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregation import AggregationPolicy, run_aggregation
+from repro.core.collector import run_addc_collection
+from repro.errors import ConfigurationError, SimulationError
+from repro.graphs.tree import build_collection_tree
+from repro.sim.packet import Packet
+
+
+class TestAggregationPolicy:
+    @pytest.fixture()
+    def tree(self, quick_topology):
+        return build_collection_tree(
+            quick_topology.secondary.graph, quick_topology.secondary.base_station
+        )
+
+    def test_workload_is_exactly_the_leaves(self, tree):
+        policy = AggregationPolicy(tree)
+        packets = policy.build_workload()
+        children = tree.children()
+        leaves = {
+            node
+            for node in range(tree.num_nodes)
+            if not children[node] and node != tree.root
+        }
+        assert {p.source for p in packets} == leaves
+
+    def test_interior_releases_after_last_child(self, tree):
+        policy = AggregationPolicy(tree)
+        policy.build_workload()
+        children = tree.children()
+        interior = next(
+            node
+            for node in range(1, tree.num_nodes)
+            if len(children[node]) >= 2
+        )
+        kids = children[interior]
+        for kid in kids[:-1]:
+            assert policy.on_data_arrival(
+                Packet(packet_id=kid, source=kid), interior
+            ) == []
+        released = policy.on_data_arrival(
+            Packet(packet_id=kids[-1], source=kids[-1]), interior
+        )
+        assert len(released) == 1
+        assert released[0].source == interior
+
+    def test_leaf_receiving_is_an_error(self, tree):
+        policy = AggregationPolicy(tree)
+        policy.build_workload()
+        children = tree.children()
+        leaf = next(
+            node
+            for node in range(1, tree.num_nodes)
+            if not children[node]
+        )
+        with pytest.raises(SimulationError):
+            policy.on_data_arrival(Packet(packet_id=0, source=1), leaf)
+
+    def test_base_station_never_transmits(self, tree):
+        policy = AggregationPolicy(tree)
+        with pytest.raises(ConfigurationError):
+            policy.next_hop(tree.root, Packet(packet_id=0, source=1))
+
+
+class TestRunAggregation:
+    def test_completes_with_one_report_per_bs_child(self, tiny_topology, streams):
+        result = run_aggregation(tiny_topology, streams.spawn("agg-1"))
+        assert result.completed
+        tree = build_collection_tree(tiny_topology.secondary.graph, 0)
+        assert result.delivered == tree.root_degree()
+        # Every node transmits exactly once (the defining property of
+        # aggregation scheduling).
+        assert set(result.tx_successes) <= set(range(1, tree.num_nodes))
+        assert all(count == 1 for count in result.tx_successes.values())
+        assert len(result.tx_successes) == tree.num_nodes - 1
+
+    def test_aggregation_is_much_faster_than_collection(
+        self, quick_topology, streams
+    ):
+        aggregation = run_aggregation(
+            quick_topology, streams.spawn("agg-2"), blocking="homogeneous"
+        )
+        collection = run_addc_collection(
+            quick_topology,
+            streams.spawn("agg-2-collect"),
+            blocking="homogeneous",
+            with_bounds=False,
+        )
+        assert aggregation.completed and collection.result.completed
+        # Collection pushes n packets through the base station; aggregation
+        # needs one transmission per node with no root bottleneck.
+        assert aggregation.delay_slots * 2 < collection.result.delay_slots
+
+    def test_deterministic(self, tiny_topology, streams):
+        delays = [
+            run_aggregation(tiny_topology, streams.spawn("agg-3")).delay_slots
+            for _ in range(2)
+        ]
+        assert delays[0] == delays[1]
+
+    def test_bfs_tree_variant(self, tiny_topology, streams):
+        result = run_aggregation(
+            tiny_topology, streams.spawn("agg-4"), use_cds_tree=False
+        )
+        assert result.completed

@@ -1,0 +1,134 @@
+"""Tests for the delay/capacity analysis (Lemma 7, Theorems 1-2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.analysis import (
+    TheoreticalBounds,
+    expected_waiting_slots,
+    lemma8_service_bound_slots,
+    opportunity_probability,
+    theorem1_service_bound_slots,
+    theorem2_capacity_lower_bound,
+    theorem2_delay_bound_slots,
+)
+from repro.core.packing import beta
+from repro.errors import ConfigurationError
+
+
+class TestOpportunityProbability:
+    def test_paper_default_value(self):
+        # kappa = 2.432 at the Fig. 6 defaults -> p_o ~ 1.4%.
+        p_o = opportunity_probability(0.3, 2.432, 10.0, 400, 62500.0)
+        exponent = math.pi * 24.32**2 * 400 / 62500.0
+        assert p_o == pytest.approx(0.7**exponent)
+        assert 0.01 < p_o < 0.02
+
+    def test_no_pus_gives_certainty(self):
+        assert opportunity_probability(0.3, 2.0, 10.0, 0, 1000.0) == 1.0
+
+    def test_silent_pus_give_certainty(self):
+        assert opportunity_probability(0.0, 2.0, 10.0, 100, 1000.0) == 1.0
+
+    def test_decreasing_in_activity(self):
+        values = [
+            opportunity_probability(p, 2.4, 10.0, 100, 10000.0)
+            for p in (0.1, 0.2, 0.3, 0.4)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_decreasing_in_pcr(self):
+        values = [
+            opportunity_probability(0.3, k, 10.0, 100, 10000.0) for k in (2.0, 3.0, 4.0)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            opportunity_probability(1.0, 2.0, 10.0, 100, 1000.0)
+        with pytest.raises(ConfigurationError):
+            opportunity_probability(0.3, 2.0, 10.0, 100, -1.0)
+        with pytest.raises(ConfigurationError):
+            opportunity_probability(0.3, 0.5, 10.0, 100, 1000.0)
+
+
+class TestWaitingTime:
+    def test_inverse(self):
+        assert expected_waiting_slots(0.25) == 4.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            expected_waiting_slots(0.0)
+
+
+class TestServiceBounds:
+    def test_theorem1_formula(self):
+        kappa, delta, p_o = 2.5, 8.0, 0.1
+        expected = (2 * delta * beta(kappa) + 24 * beta(kappa + 1) - 1) / p_o
+        assert theorem1_service_bound_slots(kappa, delta, p_o) == pytest.approx(
+            expected
+        )
+
+    def test_lemma8_formula(self):
+        kappa, p_o = 2.5, 0.1
+        expected = (2 * beta(kappa) + 24 * beta(kappa + 1) - 1) / p_o
+        assert lemma8_service_bound_slots(kappa, p_o) == pytest.approx(expected)
+
+    def test_theorem1_dominates_lemma8(self):
+        # Delta >= 1, so the Theorem 1 bound is at least the backbone bound.
+        assert theorem1_service_bound_slots(2.5, 5.0, 0.1) >= (
+            lemma8_service_bound_slots(2.5, 0.1)
+        )
+
+    def test_theorem2_composition(self):
+        n, kappa, delta, root_degree, p_o = 100, 2.5, 6.0, 4, 0.1
+        expected = theorem1_service_bound_slots(kappa, delta, p_o) + (
+            n - root_degree
+        ) * lemma8_service_bound_slots(kappa, p_o)
+        assert theorem2_delay_bound_slots(
+            n, kappa, delta, root_degree, p_o
+        ) == pytest.approx(expected)
+
+    def test_theorem2_linear_in_n(self):
+        small = theorem2_delay_bound_slots(100, 2.5, 6.0, 4, 0.1)
+        double = theorem2_delay_bound_slots(200, 2.5, 6.0, 4, 0.1)
+        assert double / small == pytest.approx(2.0, rel=0.1)
+
+    def test_capacity_bound(self):
+        kappa, p_o = 2.5, 0.1
+        expected = p_o / (2 * beta(kappa) + 24 * beta(kappa + 1) - 1)
+        assert theorem2_capacity_lower_bound(kappa, p_o) == pytest.approx(expected)
+
+    def test_capacity_scales_with_bandwidth(self):
+        assert theorem2_capacity_lower_bound(2.5, 0.1, 2.0) == pytest.approx(
+            2.0 * theorem2_capacity_lower_bound(2.5, 0.1, 1.0)
+        )
+
+    def test_order_optimality_constant(self):
+        # The capacity lower bound is a constant fraction of W for constant
+        # p_o and kappa — the substance of Theorem 2.
+        fraction = theorem2_capacity_lower_bound(2.432, 0.0144)
+        assert 0.0 < fraction < 1.0
+
+
+class TestTheoreticalBounds:
+    def test_for_scenario_consistency(self):
+        bounds = TheoreticalBounds.for_scenario(
+            num_sus=2000,
+            num_pus=400,
+            area=62500.0,
+            p_t=0.3,
+            kappa=2.432,
+            su_radius=10.0,
+            delta=12.0,
+            root_degree=5,
+        )
+        assert bounds.p_o == pytest.approx(
+            opportunity_probability(0.3, 2.432, 10.0, 400, 62500.0)
+        )
+        assert bounds.expected_wait_slots == pytest.approx(1.0 / bounds.p_o)
+        assert bounds.theorem2_delay_slots > bounds.theorem1_slots
+        assert 0 < bounds.capacity_fraction < 1

@@ -1,0 +1,71 @@
+"""Tests for BFS layering, parents and rank order."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.bfs import UNREACHED, bfs_layers, bfs_order, bfs_parents
+from repro.graphs.graph import Graph
+
+
+def path_graph(n: int) -> Graph:
+    graph = Graph(n)
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+class TestLayers:
+    def test_path(self):
+        assert bfs_layers(path_graph(4), 0) == [0, 1, 2, 3]
+
+    def test_unreachable(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        assert bfs_layers(graph, 0) == [0, 1, UNREACHED]
+
+    def test_root_out_of_range(self):
+        with pytest.raises(GraphError):
+            bfs_layers(Graph(2), 5)
+
+    def test_layers_differ_by_at_most_one_on_edges(self):
+        graph = Graph(6)
+        edges = [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5)]
+        for u, v in edges:
+            graph.add_edge(u, v)
+        layers = bfs_layers(graph, 0)
+        for u, v in edges:
+            assert abs(layers[u] - layers[v]) <= 1
+
+
+class TestParents:
+    def test_root_is_own_parent(self):
+        assert bfs_parents(path_graph(3), 0)[0] == 0
+
+    def test_parent_is_one_layer_up(self):
+        graph = Graph(5)
+        for u, v in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]:
+            graph.add_edge(u, v)
+        layers = bfs_layers(graph, 0)
+        parents = bfs_parents(graph, 0)
+        for node in range(1, 5):
+            assert layers[parents[node]] == layers[node] - 1
+
+    def test_unreachable_parent(self):
+        graph = Graph(2)
+        assert bfs_parents(graph, 0)[1] == UNREACHED
+
+
+class TestOrder:
+    def test_sorted_by_layer_then_id(self):
+        graph = Graph(5)
+        for u, v in [(0, 2), (0, 4), (2, 1), (4, 3)]:
+            graph.add_edge(u, v)
+        order = bfs_order(graph, 0)
+        assert order == [0, 2, 4, 1, 3]
+
+    def test_excludes_unreachable(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        assert bfs_order(graph, 0) == [0, 1]

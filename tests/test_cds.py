@@ -1,0 +1,82 @@
+"""Tests for the connected-dominating-set construction (Wan et al. [25])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.cds import build_cds
+from repro.graphs.connectivity import connected_subgraph_nodes
+from repro.graphs.graph import Graph
+
+
+def random_udg(num_nodes: int, seed: int) -> Graph:
+    """Random unit-disk graph, regenerated until connected."""
+    from repro.graphs.connectivity import is_connected
+
+    rng = np.random.default_rng(seed)
+    for _ in range(50):
+        positions = rng.random((num_nodes, 2)) * 25.0
+        graph = Graph.from_positions(positions, 10.0)
+        if is_connected(graph):
+            return graph
+    raise AssertionError("could not generate a connected unit-disk graph")
+
+
+class TestCdsProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 40), st.integers(0, 2**31 - 1))
+    def test_cds_dominates_and_connects(self, num_nodes, seed):
+        graph = random_udg(num_nodes, seed)
+        cds = build_cds(graph, 0)
+        backbone = set(cds.backbone)
+        # Domination: every node is in the CDS or adjacent to a dominator.
+        dominators = set(cds.dominators)
+        for node in graph.nodes():
+            assert node in backbone or any(
+                nbr in dominators for nbr in graph.neighbors(node)
+            )
+        # Connectivity of the induced backbone subgraph.
+        assert connected_subgraph_nodes(graph, sorted(backbone))
+
+    def test_root_is_dominator(self):
+        graph = random_udg(20, 3)
+        cds = build_cds(graph, 0)
+        assert cds.dominators[0] == 0
+        assert cds.is_dominator(0)
+
+    def test_parents_are_adjacent(self):
+        graph = random_udg(30, 4)
+        cds = build_cds(graph, 0)
+        for dominator, connector in cds.dominator_parent.items():
+            assert graph.has_edge(dominator, connector)
+        for connector, dominator in cds.connector_parent.items():
+            assert graph.has_edge(connector, dominator)
+
+    def test_connectors_are_not_dominators(self):
+        graph = random_udg(30, 5)
+        cds = build_cds(graph, 0)
+        assert not set(cds.connectors) & set(cds.dominators)
+
+    def test_layers_decrease_along_backbone_chain(self):
+        graph = random_udg(35, 6)
+        cds = build_cds(graph, 0)
+        for dominator, connector in cds.dominator_parent.items():
+            # The connector sits one layer above its dominator ...
+            assert cds.layers[connector] == cds.layers[dominator] - 1
+            # ... and the connector's own parent is at or above that layer.
+            grandparent = cds.connector_parent[connector]
+            assert cds.layers[grandparent] <= cds.layers[connector]
+
+    def test_disconnected_rejected(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        with pytest.raises(GraphError):
+            build_cds(graph, 0)
+
+    def test_single_node(self):
+        cds = build_cds(Graph(1), 0)
+        assert cds.dominators == [0]
+        assert cds.connectors == []

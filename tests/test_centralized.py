@@ -1,0 +1,83 @@
+"""Tests for the centralized oracle scheduler baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.collector import run_addc_collection
+from repro.errors import SimulationError
+from repro.scheduling.centralized import run_centralized_collection
+
+
+class TestCentralizedScheduler:
+    def test_collects_everything(self, tiny_topology, streams):
+        result = run_centralized_collection(
+            tiny_topology, streams.spawn("central-1")
+        )
+        assert result.completed
+        assert result.delivered == tiny_topology.secondary.num_sus
+        assert sorted(r.source for r in result.deliveries) == list(
+            tiny_topology.secondary.su_ids()
+        )
+
+    def test_oracle_never_wastes_transmissions(self, tiny_topology, streams):
+        result = run_centralized_collection(
+            tiny_topology, streams.spawn("central-2")
+        )
+        # Coordinated scheduling is loss-free: attempts equal successes.
+        assert result.collisions == 0
+        assert result.total_transmissions == sum(result.tx_successes.values())
+        assert result.total_transmissions == sum(
+            r.hops for r in result.deliveries
+        )
+
+    def test_at_least_as_fast_as_addc(self, quick_topology, streams):
+        central = run_centralized_collection(
+            quick_topology, streams.spawn("central-3")
+        )
+        addc = run_addc_collection(
+            quick_topology, streams.spawn("central-3-addc"), with_bounds=False
+        )
+        assert central.completed and addc.result.completed
+        # Global knowledge and synchronization can only help; allow a thin
+        # noise margin (different PU activity draws).
+        assert central.delay_slots <= addc.result.delay_slots * 1.1
+
+    def test_addc_within_constant_factor(self, quick_topology, streams):
+        """The practical meaning of Theorem 2: distributed asynchronous
+        operation costs a constant factor over the centralized optimum."""
+        central = run_centralized_collection(
+            quick_topology, streams.spawn("central-4")
+        )
+        addc = run_addc_collection(
+            quick_topology, streams.spawn("central-4-addc"), with_bounds=False
+        )
+        assert addc.result.delay_slots <= 20 * central.delay_slots
+
+    def test_deterministic(self, tiny_topology, streams):
+        results = [
+            run_centralized_collection(
+                tiny_topology, streams.spawn("central-5")
+            ).delay_slots
+            for _ in range(2)
+        ]
+        assert results[0] == results[1]
+
+    def test_single_use_and_workload_required(self, tiny_topology, streams):
+        from repro.core.pcr import PcrParameters, compute_pcr
+        from repro.graphs.tree import build_collection_tree
+        from repro.scheduling.centralized import CentralizedScheduler
+        from repro.spectrum.sensing import CarrierSenseMap
+
+        pcr = compute_pcr(PcrParameters(pu_radius=10.0))
+        sense_map = CarrierSenseMap(tiny_topology, pcr.pcr)
+        tree = build_collection_tree(tiny_topology.secondary.graph, 0)
+        scheduler = CentralizedScheduler(
+            tiny_topology, tree, sense_map, streams.spawn("central-6")
+        )
+        with pytest.raises(SimulationError):
+            scheduler.run()
+        scheduler.load_snapshot()
+        scheduler.run()
+        with pytest.raises(SimulationError):
+            scheduler.run()

@@ -1,0 +1,62 @@
+"""Tests for centrally scheduled aggregation (the MLAS setting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregation import run_aggregation
+from repro.errors import ConfigurationError
+from repro.graphs.tree import build_collection_tree
+from repro.scheduling.centralized import run_centralized_collection
+
+
+class TestCentralizedAggregation:
+    def test_one_transmission_per_node(self, tiny_topology, streams):
+        result = run_centralized_collection(
+            tiny_topology, streams.spawn("cagg-1"), aggregation=True
+        )
+        assert result.completed
+        tree = build_collection_tree(tiny_topology.secondary.graph, 0)
+        assert result.delivered == tree.root_degree()
+        assert all(count == 1 for count in result.tx_successes.values())
+        assert len(result.tx_successes) == tree.num_nodes - 1
+
+    def test_faster_than_centralized_collection(self, quick_topology, streams):
+        aggregate = run_centralized_collection(
+            quick_topology, streams.spawn("cagg-2"), aggregation=True
+        )
+        collect = run_centralized_collection(
+            quick_topology, streams.spawn("cagg-3"), aggregation=False
+        )
+        assert aggregate.completed and collect.completed
+        assert aggregate.delay_slots < collect.delay_slots
+
+    def test_scheduled_beats_or_matches_async_aggregation(
+        self, quick_topology, streams
+    ):
+        scheduled = run_centralized_collection(
+            quick_topology, streams.spawn("cagg-4"), aggregation=True
+        )
+        distributed = run_aggregation(quick_topology, streams.spawn("cagg-5"))
+        assert scheduled.completed and distributed.completed
+        # The oracle schedule can only help (same seed-family PU noise
+        # differs, so allow a thin noise margin).
+        assert scheduled.delay_slots <= distributed.delay_slots * 1.15
+
+    def test_multiple_packets_rejected(self, tiny_topology, streams):
+        from repro.core.pcr import PcrParameters, compute_pcr
+        from repro.scheduling.centralized import CentralizedScheduler
+        from repro.spectrum.sensing import CarrierSenseMap
+
+        pcr = compute_pcr(PcrParameters(pu_radius=10.0))
+        sense_map = CarrierSenseMap(tiny_topology, pcr.pcr)
+        tree = build_collection_tree(tiny_topology.secondary.graph, 0)
+        scheduler = CentralizedScheduler(
+            tiny_topology,
+            tree,
+            sense_map,
+            streams.spawn("cagg-6"),
+            aggregation=True,
+        )
+        with pytest.raises(ConfigurationError):
+            scheduler.load_snapshot(packets_per_su=2)

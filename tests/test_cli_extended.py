@@ -1,0 +1,52 @@
+"""Tests for the scenario and save-sweep CLI surfaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestScenarioCommand:
+    def test_listing(self, capsys):
+        assert main(["scenario"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-default" in out
+        assert "whitespace-4ch" in out
+
+    def test_run_quiet_rural(self, capsys):
+        assert main(["scenario", "quiet-rural"]) == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+
+    def test_unknown_scenario(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["scenario", "atlantis"])
+
+
+class TestFig6Save:
+    def test_save_round_trip(self, capsys, tmp_path):
+        from repro.experiments.io import load_sweep
+
+        target = tmp_path / "fig6c.json"
+        code = main(
+            [
+                "fig6",
+                "c",
+                "--scale",
+                "quick",
+                "--repetitions",
+                "1",
+                "--save",
+                str(target),
+            ]
+        )
+        assert code == 0
+        assert "saved to" in capsys.readouterr().out
+        name, points = load_sweep(target)
+        assert name == "fig6c"
+        assert len(points) == 4
+        for _, point in points:
+            assert point.addc_delay_ms.mean > 0

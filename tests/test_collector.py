@@ -1,0 +1,66 @@
+"""Tests for the one-call ADDC collection runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.collector import run_addc_collection
+from repro.graphs.tree import NodeRole
+
+
+class TestRunAddcCollection:
+    def test_outcome_contents(self, tiny_topology, streams):
+        outcome = run_addc_collection(tiny_topology, streams.spawn("c1"))
+        assert outcome.result.completed
+        assert outcome.tree.num_nodes == tiny_topology.secondary.num_nodes
+        assert outcome.pcr.pcr == pytest.approx(outcome.pcr.kappa * 10.0)
+        assert outcome.sense_map.pu_protection_range == outcome.pcr.pcr
+        # ADDC senses SUs at the PCR too.
+        assert outcome.sense_map.su_csma_range == outcome.pcr.pcr
+        assert outcome.bounds is not None
+
+    def test_delay_within_theorem2_bound(self, tiny_topology, streams):
+        outcome = run_addc_collection(
+            tiny_topology, streams.spawn("c2"), blocking="homogeneous"
+        )
+        assert outcome.result.completed
+        assert outcome.result.delay_slots <= outcome.bounds.theorem2_delay_slots
+
+    def test_capacity_within_upper_bound(self, tiny_topology, streams):
+        outcome = run_addc_collection(tiny_topology, streams.spawn("c3"))
+        # The base station receives at most one packet per slot (W).
+        assert outcome.result.capacity_packets_per_slot <= 1.0
+
+    def test_bfs_tree_ablation(self, tiny_topology, streams):
+        outcome = run_addc_collection(
+            tiny_topology, streams.spawn("c4"), use_cds_tree=False
+        )
+        assert outcome.result.completed
+        roles = set(outcome.tree.roles[1:])
+        assert roles == {NodeRole.DOMINATEE}
+
+    def test_no_bounds_option(self, tiny_topology, streams):
+        outcome = run_addc_collection(
+            tiny_topology, streams.spawn("c5"), with_bounds=False
+        )
+        assert outcome.bounds is None
+
+    def test_fairness_ablation_completes(self, tiny_topology, streams):
+        outcome = run_addc_collection(
+            tiny_topology, streams.spawn("c6"), fairness_wait=False
+        )
+        assert outcome.result.completed
+
+    def test_zeta_bound_changes_pcr(self, tiny_topology, streams):
+        paper = run_addc_collection(
+            tiny_topology, streams.spawn("c7"), zeta_bound="paper", with_bounds=False
+        )
+        safe = run_addc_collection(
+            tiny_topology, streams.spawn("c8"), zeta_bound="safe", with_bounds=False
+        )
+        assert safe.pcr.pcr > paper.pcr.pcr
+
+    def test_p_t_override_affects_bounds(self, tiny_topology, streams):
+        high = run_addc_collection(tiny_topology, streams.spawn("c9"), p_t=0.6)
+        low = run_addc_collection(tiny_topology, streams.spawn("c10"), p_t=0.1)
+        assert high.bounds.p_o < low.bounds.p_o

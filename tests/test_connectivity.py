@@ -1,0 +1,54 @@
+"""Tests for connectivity predicates."""
+
+from __future__ import annotations
+
+from repro.graphs.connectivity import (
+    connected_component,
+    connected_subgraph_nodes,
+    is_connected,
+)
+from repro.graphs.graph import Graph
+
+
+class TestIsConnected:
+    def test_trivial_cases(self):
+        assert is_connected(Graph(0))
+        assert is_connected(Graph(1))
+
+    def test_two_isolated_nodes(self):
+        assert not is_connected(Graph(2))
+
+    def test_connected_path(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        assert is_connected(graph)
+
+    def test_two_components(self):
+        graph = Graph(4)
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        assert not is_connected(graph)
+
+
+class TestConnectedComponent:
+    def test_component_content(self):
+        graph = Graph(4)
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        assert connected_component(graph, 0) == {0, 1}
+        assert connected_component(graph, 3) == {2, 3}
+
+
+class TestConnectedSubgraph:
+    def test_empty_is_connected(self):
+        assert connected_subgraph_nodes(Graph(3), [])
+
+    def test_induced_subgraph(self):
+        graph = Graph(4)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        assert connected_subgraph_nodes(graph, [0, 1, 2])
+        # 0 and 3 are connected in the graph but not within the subset.
+        assert not connected_subgraph_nodes(graph, [0, 3])

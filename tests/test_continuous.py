@@ -1,0 +1,109 @@
+"""Tests for periodic (continuous) collection and per-round metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.collector import run_addc_collection
+from repro.errors import ConfigurationError, WorkloadError
+from repro.metrics.rounds import per_round_delays, sustainable_period_estimate
+from repro.sim.results import PacketRecord
+from repro.workloads.periodic import periodic_snapshot_workload
+
+
+class TestPeriodicWorkload:
+    def test_round_structure(self, quick_topology):
+        packets = periodic_snapshot_workload(
+            quick_topology.secondary, rounds=3, period_slots=100
+        )
+        n = quick_topology.secondary.num_sus
+        assert len(packets) == 3 * n
+        assert {p.birth_slot for p in packets} == {0, 100, 200}
+        assert len({p.packet_id for p in packets}) == 3 * n
+
+    def test_invalid_arguments(self, quick_topology):
+        with pytest.raises(WorkloadError):
+            periodic_snapshot_workload(quick_topology.secondary, 0, 100)
+        with pytest.raises(WorkloadError):
+            periodic_snapshot_workload(quick_topology.secondary, 2, 0)
+
+
+class TestPerRoundMetrics:
+    def records(self):
+        return [
+            PacketRecord(0, 1, 0, 40, 2),
+            PacketRecord(1, 2, 0, 55, 3),
+            PacketRecord(2, 1, 100, 160, 2),
+            PacketRecord(3, 2, 100, 150, 3),
+        ]
+
+    def test_per_round_delays(self):
+        delays = per_round_delays(self.records())
+        assert delays == {0: 56, 100: 61}
+
+    def test_sustainable_period(self):
+        assert sustainable_period_estimate(self.records()) == 61.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            per_round_delays([])
+
+
+class TestContinuousCollection:
+    def test_all_rounds_delivered(self, tiny_topology, streams):
+        outcome = run_addc_collection(
+            tiny_topology,
+            streams.spawn("cont-1"),
+            blocking="homogeneous",
+            rounds=3,
+            period_slots=600,
+        )
+        result = outcome.result
+        assert result.completed
+        n = tiny_topology.secondary.num_sus
+        assert result.delivered == 3 * n
+        delays = per_round_delays(result.deliveries)
+        assert set(delays) == {0, 600, 1200}
+
+    def test_no_delivery_before_birth(self, tiny_topology, streams):
+        outcome = run_addc_collection(
+            tiny_topology,
+            streams.spawn("cont-2"),
+            blocking="homogeneous",
+            rounds=2,
+            period_slots=500,
+        )
+        for record in outcome.result.deliveries:
+            assert record.delivered_slot >= record.birth_slot
+
+    def test_short_period_backlogs_rounds(self, tiny_topology, streams):
+        """A period far below the single-round service time makes later
+        rounds finish progressively later (queueing), while a long period
+        keeps per-round delays flat."""
+        crowded = run_addc_collection(
+            tiny_topology,
+            streams.spawn("cont-3"),
+            blocking="homogeneous",
+            rounds=4,
+            period_slots=50,
+        )
+        relaxed = run_addc_collection(
+            tiny_topology,
+            streams.spawn("cont-4"),
+            blocking="homogeneous",
+            rounds=4,
+            period_slots=4000,
+        )
+        crowded_delays = per_round_delays(crowded.result.deliveries)
+        relaxed_delays = per_round_delays(relaxed.result.deliveries)
+        assert max(crowded_delays.values()) > max(relaxed_delays.values())
+        # With a generous period, rounds do not interact: delays stay within
+        # a small factor of each other.
+        values = sorted(relaxed_delays.values())
+        assert values[-1] < 5 * values[0]
+
+    def test_periodic_needs_period(self, tiny_topology, streams):
+        with pytest.raises(ConfigurationError):
+            run_addc_collection(
+                tiny_topology, streams.spawn("cont-5"), rounds=3
+            )

@@ -1,0 +1,80 @@
+"""Cross-feature stress matrix.
+
+Hypothesis draws random *combinations* of engine features — blocking
+model, channel count and strategy, packet length, fairness, routing
+structure — and every drawn combination must still satisfy the core
+invariants: the run completes, packets are conserved, and the accounting
+adds up.  This is where feature-interaction bugs (like the
+transmit-and-receive-in-one-slot deactivation race the multi-channel work
+uncovered) get caught.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.collector import run_addc_collection
+from repro.experiments.config import ExperimentConfig
+from repro.network.deployment import deploy_crn
+from repro.rng import StreamFactory
+
+
+@pytest.fixture(scope="module")
+def stress_topology():
+    config = ExperimentConfig(
+        area=35.0 * 35.0, num_pus=8, num_sus=40, repetitions=1
+    )
+    return deploy_crn(config.deployment_spec(), StreamFactory(77).spawn("stress"))
+
+
+feature_combo = st.fixed_dictionaries(
+    {
+        "blocking": st.sampled_from(["geometric", "homogeneous"]),
+        "num_channels": st.sampled_from([1, 2, 3]),
+        "channel_strategy": st.sampled_from(
+            ["random-idle", "sticky", "least-blocked", "adaptive"]
+        ),
+        "packet_slots": st.sampled_from([1, 2]),
+        "fairness_wait": st.booleans(),
+        "use_cds_tree": st.booleans(),
+        "seed": st.integers(0, 2**31 - 1),
+    }
+)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(feature_combo)
+def test_any_feature_combination_upholds_invariants(stress_topology, combo):
+    seed = combo.pop("seed")
+    # Multi-slot packets under geometric p_t = 0.3 can starve; give those
+    # combos the mean-field model where the math stays mild.
+    if combo["packet_slots"] > 1 and combo["num_channels"] == 1:
+        combo["blocking"] = "homogeneous"
+    outcome = run_addc_collection(
+        stress_topology,
+        StreamFactory(seed).spawn("combo"),
+        with_bounds=False,
+        max_slots=400_000,
+        **combo,
+    )
+    result = outcome.result
+    assert result.completed, combo
+    # Conservation.
+    assert sorted(r.source for r in result.deliveries) == list(
+        stress_topology.secondary.su_ids()
+    )
+    total_hops = sum(r.hops for r in result.deliveries)
+    assert sum(result.tx_successes.values()) == total_hops
+    assert result.total_transmissions == total_hops + result.collisions
+    # Peak backlog is bounded by the subtree sizes of the routing tree.
+    sizes = outcome.tree.subtree_sizes()
+    for node, peak in result.peak_queue_lengths.items():
+        assert peak <= sizes[node]
+    # Accounting sanity.
+    assert result.handoffs >= 0 and result.pu_violations >= 0
+    assert result.delay_slots >= max(outcome.tree.depth)

@@ -1,0 +1,159 @@
+"""Tests for the energy-detection sensing model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.addc import AddcPolicy
+from repro.core.pcr import PcrParameters, compute_pcr, db_to_linear
+from repro.errors import ConfigurationError
+from repro.graphs.tree import build_collection_tree
+from repro.sim.engine import SlottedEngine
+from repro.spectrum.detection import EnergyDetector, q_function
+from repro.spectrum.sensing import CarrierSenseMap
+
+
+class TestQFunction:
+    def test_known_values(self):
+        assert q_function(0.0) == pytest.approx(0.5)
+        assert q_function(1.6448536) == pytest.approx(0.05, abs=1e-4)
+        assert float(q_function(10.0)) < 1e-20
+
+    def test_symmetry(self):
+        assert float(q_function(-1.3) + q_function(1.3)) == pytest.approx(1.0)
+
+
+class TestEnergyDetector:
+    def test_false_alarm_falls_with_threshold(self):
+        low = EnergyDetector(threshold=1.05, num_samples=200)
+        high = EnergyDetector(threshold=1.3, num_samples=200)
+        assert high.false_alarm_probability < low.false_alarm_probability
+
+    def test_false_alarm_falls_with_samples(self):
+        few = EnergyDetector(threshold=1.1, num_samples=50)
+        many = EnergyDetector(threshold=1.1, num_samples=800)
+        assert many.false_alarm_probability < few.false_alarm_probability
+
+    def test_detection_rises_with_snr(self):
+        detector = EnergyDetector(threshold=1.2, num_samples=200)
+        probabilities = detector.detection_probability([0.01, 0.1, 1.0, 10.0])
+        assert (np.diff(probabilities) > 0).all()
+
+    def test_strong_signal_always_detected(self):
+        detector = EnergyDetector(threshold=1.2, num_samples=200)
+        assert float(detector.detection_probability(100.0)) > 0.999999
+
+    def test_snr_falls_with_distance(self):
+        detector = EnergyDetector(noise_power=1e-4)
+        snr = detector.snr_at(10.0, [5.0, 10.0, 20.0], 4.0)
+        assert (np.diff(snr) < 0).all()
+
+    def test_roc_tradeoff(self):
+        """Raising the threshold trades false alarms for misses — the ROC
+        monotonicity every detector obeys."""
+        snr = 0.05
+        points = []
+        for threshold in (1.02, 1.1, 1.2, 1.3):
+            detector = EnergyDetector(threshold=threshold, num_samples=300)
+            points.append(
+                (
+                    detector.false_alarm_probability,
+                    float(detector.detection_probability(snr)),
+                )
+            )
+        false_alarms = [p[0] for p in points]
+        detections = [p[1] for p in points]
+        assert false_alarms == sorted(false_alarms, reverse=True)
+        assert detections == sorted(detections, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnergyDetector(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            EnergyDetector(num_samples=0)
+        with pytest.raises(ConfigurationError):
+            EnergyDetector(noise_power=0.0)
+        with pytest.raises(ConfigurationError):
+            EnergyDetector().detection_probability([-1.0])
+
+
+def run_with_detector(topology, streams, detector, max_slots=300_000):
+    pcr = compute_pcr(
+        PcrParameters(
+            alpha=4.0,
+            pu_power=topology.primary.power,
+            su_power=topology.secondary.power,
+            pu_radius=topology.primary.radius,
+            su_radius=topology.secondary.radius,
+            eta_p_db=8.0,
+            eta_s_db=8.0,
+        )
+    )
+    sense_map = CarrierSenseMap(topology, pcr.pcr)
+    tree = build_collection_tree(topology.secondary.graph, 0)
+    engine = SlottedEngine(
+        topology=topology,
+        sense_map=sense_map,
+        policy=AddcPolicy(tree),
+        streams=streams,
+        alpha=4.0,
+        eta_s=db_to_linear(8.0),
+        detector=detector,
+        max_slots=max_slots,
+    )
+    engine.load_snapshot()
+    return engine.run()
+
+
+class TestDetectorInEngine:
+    def test_sharp_detector_behaves_like_perfect_sensing(
+        self, tiny_topology, streams
+    ):
+        # Huge sample count + low noise: the detector is essentially exact.
+        detector = EnergyDetector(
+            threshold=1.15, num_samples=5000, noise_power=1e-7
+        )
+        result = run_with_detector(
+            tiny_topology, streams.spawn("det-1"), detector
+        )
+        assert result.completed
+        assert result.pu_violations == 0
+
+    def test_deaf_detector_violates_pu_protection(self, tiny_topology, streams):
+        # High noise floor: boundary PUs go unheard, violations follow.
+        detector = EnergyDetector(
+            threshold=1.15, num_samples=200, noise_power=5e-2
+        )
+        result = run_with_detector(
+            tiny_topology, streams.spawn("det-2"), detector
+        )
+        assert result.completed
+        assert result.pu_violations > 0
+
+    def test_paranoid_detector_slows_collection(self, tiny_topology, streams):
+        # A hair-trigger threshold false-alarms constantly: no violations,
+        # but many lost opportunities.
+        sharp = EnergyDetector(threshold=1.15, num_samples=5000, noise_power=1e-7)
+        jumpy = EnergyDetector(threshold=1.001, num_samples=100, noise_power=1e-7)
+        fast = run_with_detector(tiny_topology, streams.spawn("det-3"), sharp)
+        slow = run_with_detector(tiny_topology, streams.spawn("det-4"), jumpy)
+        assert slow.completed and fast.completed
+        assert slow.delay_slots > fast.delay_slots
+
+    def test_rejects_mean_field(self, tiny_topology, streams):
+        from repro.network.topology import CrnTopology  # noqa: F401
+
+        pcr = compute_pcr(PcrParameters(pu_radius=10.0))
+        sense_map = CarrierSenseMap(tiny_topology, pcr.pcr)
+        tree = build_collection_tree(tiny_topology.secondary.graph, 0)
+        with pytest.raises(ConfigurationError):
+            SlottedEngine(
+                topology=tiny_topology,
+                sense_map=sense_map,
+                policy=AddcPolicy(tree),
+                streams=streams.spawn("det-5"),
+                blocking="homogeneous",
+                homogeneous_p_o=0.1,
+                detector=EnergyDetector(),
+            )

@@ -1,0 +1,78 @@
+"""Tests for node-weighted Dijkstra (cross-checked against networkx)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.dijkstra import dijkstra_node_weighted, extract_path
+from repro.graphs.graph import Graph
+
+from tests.test_cds import random_udg
+
+networkx = pytest.importorskip("networkx")
+
+
+def to_networkx(graph: Graph, weights):
+    nx_graph = networkx.Graph()
+    nx_graph.add_nodes_from(graph.nodes())
+    # Node-weighted shortest paths reduce to edge weights
+    # w(u, v) = (w_u + w_v) / 2 plus endpoint halves; equivalently compare
+    # via edge weight = w_v for directed expansion.  Simplest faithful
+    # check: build a directed graph with edge weight = head node weight.
+    directed = networkx.DiGraph()
+    directed.add_nodes_from(graph.nodes())
+    for u, v in graph.edges():
+        directed.add_edge(u, v, weight=weights[v])
+        directed.add_edge(v, u, weight=weights[u])
+    return directed
+
+
+class TestCorrectness:
+    def test_simple_path(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        distances, parents = dijkstra_node_weighted(graph, 0, [1.0, 2.0, 3.0])
+        assert distances == [1.0, 3.0, 6.0]
+        assert extract_path(parents, 2) == [0, 1, 2]
+
+    def test_prefers_cool_detour(self):
+        # 0-1-3 (hot middle) vs 0-2-3 (cool middle).
+        graph = Graph(4)
+        for u, v in [(0, 1), (1, 3), (0, 2), (2, 3)]:
+            graph.add_edge(u, v)
+        _, parents = dijkstra_node_weighted(graph, 0, [0.0, 10.0, 1.0, 0.0])
+        assert extract_path(parents, 3) == [0, 2, 3]
+
+    def test_matches_networkx(self):
+        rng = np.random.default_rng(21)
+        graph = random_udg(40, 22)
+        weights = rng.random(graph.num_nodes).tolist()
+        distances, _ = dijkstra_node_weighted(graph, 0, weights)
+        nx_distances = networkx.single_source_dijkstra_path_length(
+            to_networkx(graph, weights), 0
+        )
+        for node in graph.nodes():
+            assert distances[node] == pytest.approx(nx_distances[node] + weights[0])
+
+    def test_unreachable_is_infinite(self):
+        graph = Graph(2)
+        distances, parents = dijkstra_node_weighted(graph, 0, [1.0, 1.0])
+        assert distances[1] == float("inf")
+        assert extract_path(parents, 1) is None
+
+
+class TestErrors:
+    def test_bad_source(self):
+        with pytest.raises(GraphError):
+            dijkstra_node_weighted(Graph(2), 5, [1.0, 1.0])
+
+    def test_wrong_weight_count(self):
+        with pytest.raises(GraphError):
+            dijkstra_node_weighted(Graph(2), 0, [1.0])
+
+    def test_negative_weights(self):
+        with pytest.raises(GraphError):
+            dijkstra_node_weighted(Graph(2), 0, [1.0, -1.0])

@@ -1,0 +1,97 @@
+"""Tests for bottleneck (minimax) Dijkstra and the 'highest' Coolest metric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.dijkstra import dijkstra_bottleneck, extract_path
+from repro.graphs.graph import Graph
+from repro.routing.coolest import CoolestPolicy
+from repro.routing.temperature import path_highest_temperature
+
+from tests.test_cds import random_udg
+
+
+class TestBottleneckDijkstra:
+    def test_prefers_cool_bottleneck_over_short_path(self):
+        # 0-1-3 (middle weight 10) vs 0-2-4-3 (all middle weights 1).
+        graph = Graph(5)
+        for u, v in [(0, 1), (1, 3), (0, 2), (2, 4), (4, 3)]:
+            graph.add_edge(u, v)
+        weights = [0.0, 10.0, 1.0, 0.0, 1.0]
+        bottlenecks, parents = dijkstra_bottleneck(graph, 0, weights)
+        assert extract_path(parents, 3) == [0, 2, 4, 3]
+        assert bottlenecks[3] == 1.0
+
+    def test_ties_break_to_fewer_hops(self):
+        # Two equal-bottleneck routes; the two-hop one must win.
+        graph = Graph(5)
+        for u, v in [(0, 1), (1, 4), (0, 2), (2, 3), (3, 4)]:
+            graph.add_edge(u, v)
+        weights = [0.0, 1.0, 1.0, 1.0, 0.0]
+        _, parents = dijkstra_bottleneck(graph, 0, weights)
+        assert extract_path(parents, 4) == [0, 1, 4]
+
+    def test_bottleneck_is_max_on_path(self):
+        graph = random_udg(30, 77)
+        rng = np.random.default_rng(7)
+        weights = rng.random(30).tolist()
+        bottlenecks, parents = dijkstra_bottleneck(graph, 0, weights)
+        for node in range(30):
+            path = extract_path(parents, node)
+            assert bottlenecks[node] == pytest.approx(
+                max(weights[v] for v in path)
+            )
+
+    def test_bottleneck_optimality_brute_force(self):
+        # Compare against exhaustive enumeration on a small graph.
+        import itertools
+
+        graph = random_udg(9, 78)
+        rng = np.random.default_rng(8)
+        weights = rng.random(9).tolist()
+        bottlenecks, _ = dijkstra_bottleneck(graph, 0, weights)
+
+        def best_bottleneck(target):
+            best = float("inf")
+            for length in range(1, 9):
+                for middle in itertools.permutations(
+                    [v for v in range(1, 9) if v != target], length - 1
+                ):
+                    path = [0, *middle, target]
+                    if all(
+                        graph.has_edge(a, b) for a, b in zip(path, path[1:])
+                    ):
+                        best = min(best, max(weights[v] for v in path))
+                if best < float("inf") and length >= 4:
+                    break
+            return best
+
+        for target in range(1, 9):
+            assert bottlenecks[target] <= best_bottleneck(target) + 1e-12
+
+    def test_errors(self):
+        with pytest.raises(GraphError):
+            dijkstra_bottleneck(Graph(2), 5, [0.0, 0.0])
+        with pytest.raises(GraphError):
+            dijkstra_bottleneck(Graph(2), 0, [0.0])
+        with pytest.raises(GraphError):
+            dijkstra_bottleneck(Graph(2), 0, [0.0, -1.0])
+
+
+class TestHighestMetricPolicy:
+    def test_routes_minimize_highest_temperature(self, quick_topology):
+        highest = CoolestPolicy(quick_topology, 0.3, metric="highest")
+        accumulated = CoolestPolicy(quick_topology, 0.3, metric="accumulated")
+        temps = highest.temperatures
+        for node in list(quick_topology.secondary.su_ids())[:25]:
+            hot = path_highest_temperature(highest.route(node), temps)
+            acc = path_highest_temperature(accumulated.route(node), temps)
+            assert hot <= acc + 1e-12
+
+    def test_describe(self, quick_topology):
+        assert "highest" in CoolestPolicy(
+            quick_topology, 0.3, metric="highest"
+        ).describe()

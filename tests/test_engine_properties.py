@@ -1,0 +1,97 @@
+"""Property-based engine tests over random small deployments.
+
+Hypothesis drives deployment seeds and scenario knobs; for every drawn
+scenario the run must satisfy the conservation and termination invariants
+regardless of geometry.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.collector import run_addc_collection
+from repro.errors import DisconnectedNetworkError
+from repro.experiments.config import ExperimentConfig
+from repro.network.deployment import deploy_crn
+from repro.routing.coolest import run_coolest_collection
+from repro.rng import StreamFactory
+
+
+def deploy(seed: int, num_sus: int, num_pus: int, p_t: float):
+    config = ExperimentConfig(
+        area=35.0 * 35.0,
+        num_pus=num_pus,
+        num_sus=num_sus,
+        p_t=p_t,
+        repetitions=1,
+        max_slots=150_000,
+    )
+    factory = StreamFactory(seed).spawn("prop")
+    try:
+        return deploy_crn(config.deployment_spec(), factory), factory
+    except DisconnectedNetworkError:
+        return None, None
+
+
+scenario = st.tuples(
+    st.integers(0, 2**31 - 1),
+    st.integers(30, 60),
+    st.integers(0, 10),
+    st.sampled_from([0.0, 0.1, 0.3]),
+)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(scenario)
+def test_addc_conservation_invariants(params):
+    seed, num_sus, num_pus, p_t = params
+    topology, factory = deploy(seed, num_sus, num_pus, p_t)
+    if topology is None:
+        return  # too sparse to connect: not this test's concern
+    outcome = run_addc_collection(
+        topology, factory.spawn("addc"), with_bounds=False, max_slots=150_000
+    )
+    result = outcome.result
+    assert result.completed
+    # Conservation: every source delivers exactly its own packet.
+    assert sorted(r.source for r in result.deliveries) == list(
+        topology.secondary.su_ids()
+    )
+    assert len({r.packet_id for r in result.deliveries}) == result.delivered
+    # Successes account for all hops; attempts cover successes + losses.
+    total_hops = sum(r.hops for r in result.deliveries)
+    assert sum(result.tx_successes.values()) == total_hops
+    assert result.total_transmissions == total_hops + result.collisions
+    # Timing sanity.
+    for record in result.deliveries:
+        assert 0 <= record.birth_slot <= record.delivered_slot
+        assert record.hops >= 1
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(scenario)
+def test_coolest_conservation_invariants(params):
+    seed, num_sus, num_pus, p_t = params
+    topology, factory = deploy(seed, num_sus, num_pus, p_t)
+    if topology is None:
+        return
+    outcome = run_coolest_collection(
+        topology, factory.spawn("coolest"), max_slots=150_000
+    )
+    result = outcome.result
+    assert result.completed
+    assert sorted(r.source for r in result.deliveries) == list(
+        topology.secondary.su_ids()
+    )
+    # Control traffic inflates attempts beyond delivered data hops.
+    data_hops = sum(r.hops for r in result.deliveries)
+    assert sum(result.tx_successes.values()) >= data_hops

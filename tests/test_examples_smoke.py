@@ -1,0 +1,38 @@
+"""Smoke-run the fast example scripts.
+
+Examples are documentation that can rot; executing them keeps them honest.
+Only the quick ones run here (the full set is exercised manually / in
+longer CI lanes).
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "topology_explorer.py",
+    "spectrum_planning.py",
+    "device_to_device.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} printed nothing"
+    assert "Traceback" not in out
+
+
+def test_all_examples_have_docstrings_and_main():
+    for script in EXAMPLES_DIR.glob("*.py"):
+        source = script.read_text()
+        assert source.lstrip().startswith('"""'), script.name
+        assert 'if __name__ == "__main__":' in source, script.name
+        assert "Run with" in source, script.name

@@ -1,0 +1,73 @@
+"""Tests for JSON persistence of experiment results."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.io import (
+    comparison_point_from_dict,
+    comparison_point_to_dict,
+    load_sweep,
+    save_sweep,
+)
+from repro.experiments.runner import ComparisonPoint
+from repro.metrics.aggregate import summarize_delays
+
+
+def make_point(p_t: float = 0.3) -> ComparisonPoint:
+    return ComparisonPoint(
+        config=ExperimentConfig.quick_scale().with_overrides(p_t=p_t),
+        addc_delay_ms=summarize_delays([100.0, 110.0]),
+        coolest_delay_ms=summarize_delays([320.0, 350.0]),
+        addc_delays=[100.0, 110.0],
+        coolest_delays=[320.0, 350.0],
+    )
+
+
+class TestRoundTrip:
+    def test_point_round_trip(self):
+        original = make_point()
+        rebuilt = comparison_point_from_dict(
+            comparison_point_to_dict(original)
+        )
+        assert rebuilt.config == original.config
+        assert rebuilt.addc_delays == original.addc_delays
+        assert rebuilt.coolest_delays == original.coolest_delays
+        assert rebuilt.addc_delay_ms.mean == original.addc_delay_ms.mean
+        assert rebuilt.speedup == pytest.approx(original.speedup)
+
+    def test_sweep_round_trip(self, tmp_path):
+        path = tmp_path / "fig6c.json"
+        points = [(0.1, make_point(0.1)), (0.3, make_point(0.3))]
+        save_sweep(path, "fig6c", points)
+        name, loaded = load_sweep(path)
+        assert name == "fig6c"
+        assert [x for x, _ in loaded] == [0.1, 0.3]
+        assert loaded[1][1].config.p_t == 0.3
+
+    def test_file_is_plain_json(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(path, "demo", [(1.0, make_point())])
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "demo"
+        assert payload["points"][0]["x"] == 1.0
+
+
+class TestErrors:
+    def test_missing_keys(self):
+        with pytest.raises(ConfigurationError):
+            comparison_point_from_dict({"config": {}})
+
+    def test_unreadable_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_sweep(tmp_path / "missing.json")
+
+    def test_not_a_sweep(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"something": 1}))
+        with pytest.raises(ConfigurationError):
+            load_sweep(path)

@@ -1,0 +1,63 @@
+"""Tests for fairness accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.fairness import jain_index, per_source_delay_spread, transmission_share
+from repro.errors import ConfigurationError
+
+
+class TestJainIndex:
+    def test_perfectly_even(self):
+        assert jain_index([2.0, 2.0, 2.0, 2.0]) == 1.0
+
+    def test_single_user_monopoly(self):
+        assert jain_index([1.0, 0.0, 0.0]) == pytest.approx(1.0 / 3.0)
+
+    def test_all_zero_is_even(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_single_value(self):
+        assert jain_index([5.0]) == 1.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    def test_bounds(self, values):
+        index = jain_index(values)
+        assert 1.0 / len(values) - 1e-9 <= index <= 1.0 + 1e-9
+
+    def test_scale_invariance(self):
+        values = [1.0, 2.0, 3.0]
+        assert jain_index(values) == pytest.approx(
+            jain_index([10 * v for v in values])
+        )
+
+    def test_errors(self):
+        with pytest.raises(ConfigurationError):
+            jain_index([])
+        with pytest.raises(ConfigurationError):
+            jain_index([-1.0])
+
+
+class TestTransmissionShare:
+    def test_monopoly(self):
+        assert transmission_share({1: 10, 2: 0}) == 1.0
+
+    def test_even_split(self):
+        assert transmission_share({1: 5, 2: 5}) == 0.5
+
+    def test_empty(self):
+        assert transmission_share({}) == 0.0
+
+
+class TestDelaySpread:
+    def test_uniform(self):
+        assert per_source_delay_spread([3.0, 3.0, 3.0]) == 1.0
+
+    def test_skewed(self):
+        assert per_source_delay_spread([1.0, 1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        with pytest.raises(ConfigurationError):
+            per_source_delay_spread([])

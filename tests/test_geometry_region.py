@@ -1,0 +1,88 @@
+"""Tests for deployment regions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.region import DiskRegion, SquareRegion
+
+
+class TestSquareRegion:
+    def test_area(self):
+        assert SquareRegion(side=250.0).area == 62500.0
+
+    def test_from_area(self):
+        region = SquareRegion.from_area(62500.0)
+        assert math.isclose(region.side, 250.0)
+
+    def test_center(self):
+        assert np.allclose(SquareRegion(10.0).center, [5.0, 5.0])
+
+    def test_sample_within_bounds(self):
+        region = SquareRegion(50.0)
+        points = region.sample(500, np.random.default_rng(1))
+        assert points.shape == (500, 2)
+        assert (points >= 0.0).all() and (points <= 50.0).all()
+
+    def test_sample_zero(self):
+        assert SquareRegion(1.0).sample(0, np.random.default_rng(0)).shape == (0, 2)
+
+    def test_contains(self):
+        region = SquareRegion(10.0)
+        assert region.contains(np.array([0.0, 10.0]))
+        assert not region.contains(np.array([10.1, 5.0]))
+
+    @pytest.mark.parametrize("side", [0.0, -1.0])
+    def test_invalid_side(self, side):
+        with pytest.raises(GeometryError):
+            SquareRegion(side)
+
+    def test_invalid_area(self):
+        with pytest.raises(GeometryError):
+            SquareRegion.from_area(-4.0)
+
+    def test_negative_count(self):
+        with pytest.raises(GeometryError):
+            SquareRegion(1.0).sample(-1, np.random.default_rng(0))
+
+
+class TestDiskRegion:
+    def test_area(self):
+        assert math.isclose(DiskRegion(radius=2.0).area, 4.0 * math.pi)
+
+    def test_sample_within_disk(self):
+        disk = DiskRegion(radius=5.0, center_x=10.0, center_y=-3.0)
+        points = disk.sample(500, np.random.default_rng(2))
+        distances = np.hypot(points[:, 0] - 10.0, points[:, 1] + 3.0)
+        assert (distances <= 5.0 + 1e-9).all()
+
+    def test_sampling_is_area_uniform(self):
+        # Inner half-radius disk holds a quarter of the area; the sample
+        # fraction should match.
+        disk = DiskRegion(radius=1.0)
+        points = disk.sample(20_000, np.random.default_rng(3))
+        inner = (np.hypot(points[:, 0], points[:, 1]) <= 0.5).mean()
+        assert abs(inner - 0.25) < 0.02
+
+    def test_contains(self):
+        disk = DiskRegion(radius=1.0)
+        assert disk.contains(np.array([1.0, 0.0]))
+        assert not disk.contains(np.array([1.01, 0.0]))
+
+    def test_invalid_radius(self):
+        with pytest.raises(GeometryError):
+            DiskRegion(radius=0.0)
+
+
+@settings(max_examples=25)
+@given(st.floats(min_value=0.1, max_value=1e3), st.integers(0, 50))
+def test_square_samples_always_inside(side, count):
+    region = SquareRegion(side)
+    points = region.sample(count, np.random.default_rng(0))
+    for row in points:
+        assert region.contains(row)

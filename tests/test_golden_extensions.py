@@ -1,0 +1,62 @@
+"""Golden anchors for the extension subsystems.
+
+Companion to ``test_golden_regression.py``: fixed-seed pinned outputs for
+multi-channel, aggregation, unicast and centralized runs, so semantic
+drift in any extension path is caught immediately.  Update deliberately,
+never casually.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregation import run_aggregation
+from repro.core.collector import run_addc_collection
+from repro.experiments.config import ExperimentConfig
+from repro.network.deployment import deploy_crn
+from repro.routing.unicast import run_unicast
+from repro.rng import StreamFactory
+from repro.scheduling.centralized import run_centralized_collection
+
+
+@pytest.fixture(scope="module")
+def golden_topology():
+    config = ExperimentConfig(
+        area=40.0 * 40.0, num_pus=10, num_sus=50, repetitions=1
+    )
+    return deploy_crn(config.deployment_spec(), StreamFactory(20120612).spawn("g"))
+
+
+class TestGoldenExtensions:
+    def test_multichannel_run(self, golden_topology):
+        result = run_addc_collection(
+            golden_topology,
+            StreamFactory(20120612).spawn("g").spawn("mc"),
+            num_channels=3,
+            with_bounds=False,
+        ).result
+        assert result.completed
+        assert result.delay_slots == 98
+
+    def test_aggregation_run(self, golden_topology):
+        result = run_aggregation(
+            golden_topology, StreamFactory(20120612).spawn("g").spawn("agg")
+        )
+        assert result.completed
+        assert result.delay_slots == 565
+
+    def test_unicast_run(self, golden_topology):
+        _, result = run_unicast(
+            golden_topology,
+            StreamFactory(20120612).spawn("g").spawn("uni"),
+            flows=[(3, 17), (21, 6)],
+        )
+        assert result.completed
+        assert result.delay_slots == 51
+
+    def test_centralized_run(self, golden_topology):
+        result = run_centralized_collection(
+            golden_topology, StreamFactory(20120612).spawn("g").spawn("cen")
+        )
+        assert result.completed
+        assert result.delay_slots == 1028

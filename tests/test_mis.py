@@ -1,0 +1,60 @@
+"""Tests for the maximal-independent-set dominator selection."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.graph import Graph
+from repro.graphs.mis import maximal_independent_set
+
+
+def random_connected_graph(num_nodes: int, seed: int) -> Graph:
+    rng = np.random.default_rng(seed)
+    graph = Graph(num_nodes)
+    # Random spanning tree first (guarantees connectivity) ...
+    for node in range(1, num_nodes):
+        graph.add_edge(node, int(rng.integers(0, node)))
+    # ... plus random extra edges.
+    for _ in range(num_nodes):
+        u, v = rng.integers(0, num_nodes, size=2)
+        if u != v and not graph.has_edge(int(u), int(v)):
+            graph.add_edge(int(u), int(v))
+    return graph
+
+
+class TestMisProperties:
+    def test_root_always_selected_first(self):
+        graph = random_connected_graph(20, 1)
+        assert maximal_independent_set(graph, 0)[0] == 0
+
+    def test_path_graph(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        assert maximal_independent_set(graph, 0) == [0, 2]
+
+    def test_star_graph(self):
+        graph = Graph(5)
+        for leaf in range(1, 5):
+            graph.add_edge(0, leaf)
+        assert maximal_independent_set(graph, 0) == [0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 40), st.integers(0, 2**31 - 1))
+    def test_independence_and_maximality(self, num_nodes, seed):
+        graph = random_connected_graph(num_nodes, seed)
+        selected = set(maximal_independent_set(graph, 0))
+        # Independence: no two selected nodes are adjacent.
+        for node in selected:
+            assert not any(nbr in selected for nbr in graph.neighbors(node))
+        # Maximality (= domination): every node is selected or has a
+        # selected neighbor.
+        for node in graph.nodes():
+            assert node in selected or any(
+                nbr in selected for nbr in graph.neighbors(node)
+            )
+
+    def test_deterministic(self):
+        graph = random_connected_graph(30, 7)
+        assert maximal_independent_set(graph, 0) == maximal_independent_set(graph, 0)

@@ -1,0 +1,112 @@
+"""Tests for multi-slot transmissions and the spectrum-handoff rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.addc import AddcPolicy
+from repro.core.pcr import PcrParameters, compute_pcr, db_to_linear
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.graphs.tree import build_collection_tree
+from repro.network.deployment import deploy_crn
+from repro.network.primary import MarkovActivity
+from repro.sim.engine import SlottedEngine
+from repro.spectrum.sensing import CarrierSenseMap
+
+
+def make_engine(topology, streams, packet_slots, max_slots=500_000, **kwargs):
+    pcr = compute_pcr(
+        PcrParameters(
+            alpha=4.0,
+            pu_power=topology.primary.power,
+            su_power=topology.secondary.power,
+            pu_radius=topology.primary.radius,
+            su_radius=topology.secondary.radius,
+            eta_p_db=8.0,
+            eta_s_db=8.0,
+        )
+    )
+    sense_map = CarrierSenseMap(topology, pcr.pcr)
+    tree = build_collection_tree(topology.secondary.graph, 0)
+    engine = SlottedEngine(
+        topology=topology,
+        sense_map=sense_map,
+        policy=AddcPolicy(tree),
+        streams=streams,
+        alpha=4.0,
+        eta_s=db_to_linear(8.0),
+        packet_slots=packet_slots,
+        max_slots=max_slots,
+        **kwargs,
+    )
+    engine.load_snapshot()
+    return engine
+
+
+class TestMultiSlotBasics:
+    def test_completes_with_two_slot_packets(self, tiny_topology, streams):
+        result = make_engine(tiny_topology, streams.spawn("ms-1"), 2).run()
+        assert result.completed
+        assert result.delivered == tiny_topology.secondary.num_sus
+
+    def test_single_slot_never_hands_off(self, tiny_topology, streams):
+        result = make_engine(tiny_topology, streams.spawn("ms-2"), 1).run()
+        assert result.handoffs == 0
+
+    def test_handoffs_occur_with_long_packets(self, tiny_topology, streams):
+        result = make_engine(tiny_topology, streams.spawn("ms-3"), 2).run()
+        assert result.completed
+        assert result.handoffs > 0
+
+    def test_longer_packets_cost_more(self, tiny_topology, streams):
+        short = make_engine(tiny_topology, streams.spawn("ms-4"), 1).run()
+        long = make_engine(tiny_topology, streams.spawn("ms-5"), 2).run()
+        assert long.delay_slots > short.delay_slots
+
+    def test_stand_alone_network_needs_no_handoff(
+        self, standalone_topology, streams
+    ):
+        # No PUs: long packets are free (only the channel-holding time).
+        result = make_engine(standalone_topology, streams.spawn("ms-6"), 3).run()
+        assert result.completed
+        assert result.handoffs == 0
+        assert result.collisions == 0
+
+    def test_invalid_length(self, tiny_topology, streams):
+        with pytest.raises(ConfigurationError):
+            make_engine(tiny_topology, streams.spawn("ms-7"), 0)
+
+    def test_deterministic(self, tiny_topology, streams):
+        delays = [
+            make_engine(tiny_topology, streams.spawn("ms-8"), 2).run().delay_slots
+            for _ in range(2)
+        ]
+        assert delays[0] == delays[1]
+
+
+class TestBurstinessInteraction:
+    def test_bursty_pus_rescue_long_packets(self, streams):
+        """With the same stationary activity, bursty (Markov) PU traffic
+        leaves long free windows, so multi-slot packets hand off less per
+        delivered packet than under i.i.d. activity."""
+        config = ExperimentConfig(
+            area=30.0 * 30.0, num_pus=6, num_sus=25, p_t=0.3, repetitions=1
+        )
+        iid_topology = deploy_crn(
+            config.deployment_spec(), streams.spawn("burst-iid")
+        )
+        bursty_topology = deploy_crn(
+            config.deployment_spec(),
+            streams.spawn("burst-markov"),
+            activity=MarkovActivity(p_t=0.3, burstiness=12.0),
+        )
+        iid = make_engine(iid_topology, streams.spawn("burst-run-iid"), 3).run()
+        bursty = make_engine(
+            bursty_topology, streams.spawn("burst-run-markov"), 3
+        ).run()
+        assert bursty.completed
+        assert iid.completed
+        per_packet_iid = iid.handoffs / iid.delivered
+        per_packet_bursty = bursty.handoffs / bursty.delivered
+        assert per_packet_bursty < per_packet_iid

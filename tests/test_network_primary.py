@@ -1,0 +1,99 @@
+"""Tests for the primary network and its activity models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.primary import BernoulliActivity, MarkovActivity, PrimaryNetwork
+
+
+class TestBernoulliActivity:
+    def test_stationary_probability(self):
+        assert BernoulliActivity(0.3).stationary_probability == 0.3
+
+    def test_empirical_rate(self):
+        model = BernoulliActivity(0.3)
+        rng = np.random.default_rng(1)
+        states = model.initial_states(200, rng)
+        total = states.sum()
+        for _ in range(200):
+            states = model.next_states(states, rng)
+            total += states.sum()
+        rate = total / (200 * 201)
+        assert abs(rate - 0.3) < 0.01
+
+    def test_extremes(self):
+        rng = np.random.default_rng(2)
+        assert not BernoulliActivity(0.0).initial_states(50, rng).any()
+        assert BernoulliActivity(1.0).initial_states(50, rng).all()
+
+    @pytest.mark.parametrize("p_t", [-0.1, 1.1])
+    def test_invalid_probability(self, p_t):
+        with pytest.raises(ConfigurationError):
+            BernoulliActivity(p_t)
+
+
+class TestMarkovActivity:
+    def test_stationary_rate_matches(self):
+        model = MarkovActivity(0.3, burstiness=4.0)
+        rng = np.random.default_rng(3)
+        states = model.initial_states(500, rng)
+        total = 0
+        for _ in range(2000):
+            states = model.next_states(states, rng)
+            total += states.sum()
+        rate = total / (500 * 2000)
+        assert abs(rate - 0.3) < 0.02
+
+    def test_burstiness_creates_correlation(self):
+        model = MarkovActivity(0.3, burstiness=8.0)
+        rng = np.random.default_rng(4)
+        states = model.initial_states(1000, rng)
+        next_states = model.next_states(states, rng)
+        # P(on -> on) should far exceed the stationary 0.3.
+        stay_rate = (states & next_states).sum() / max(states.sum(), 1)
+        assert stay_rate > 0.6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MarkovActivity(0.0)
+        with pytest.raises(ConfigurationError):
+            MarkovActivity(0.3, burstiness=0.5)
+        with pytest.raises(ConfigurationError):
+            # Stationarity would need a turn-on probability above 1.
+            MarkovActivity(0.95, burstiness=1.01)
+
+
+class TestPrimaryNetwork:
+    def make(self, count=10):
+        rng = np.random.default_rng(5)
+        return PrimaryNetwork(
+            positions=rng.random((count, 2)) * 100,
+            power=10.0,
+            radius=12.0,
+            activity=BernoulliActivity(0.3),
+        )
+
+    def test_num_pus(self):
+        assert self.make(7).num_pus == 7
+
+    def test_receivers_within_radius(self):
+        network = self.make(20)
+        rng = np.random.default_rng(6)
+        indices = np.arange(20)
+        receivers = network.sample_receivers(indices, rng)
+        distances = np.hypot(
+            *(receivers - network.positions[indices]).T
+        )
+        assert (distances <= network.radius + 1e-9).all()
+
+    def test_invalid_construction(self):
+        rng = np.random.default_rng(7)
+        with pytest.raises(ConfigurationError):
+            PrimaryNetwork(rng.random((3, 3)), 10.0, 12.0, BernoulliActivity(0.3))
+        with pytest.raises(ConfigurationError):
+            PrimaryNetwork(rng.random((3, 2)), 0.0, 12.0, BernoulliActivity(0.3))
+        with pytest.raises(ConfigurationError):
+            PrimaryNetwork(rng.random((3, 2)), 10.0, -1.0, BernoulliActivity(0.3))

@@ -1,0 +1,113 @@
+"""Tests for the disk-packing bounds (Lemmas 4-6)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.packing import (
+    beta,
+    lemma4_max_points,
+    lemma5_backbone_bound,
+    lemma6_delta_bound,
+    lemma6_neighborhood_bound,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBeta:
+    def test_at_zero(self):
+        assert beta(0.0) == 1.0
+
+    def test_known_value(self):
+        # beta(1) = 2 pi / sqrt(3) + pi + 1
+        expected = 2 * math.pi / math.sqrt(3) + math.pi + 1
+        assert beta(1.0) == pytest.approx(expected)
+
+    @given(st.floats(min_value=0.0, max_value=1e3))
+    def test_monotone(self, x):
+        assert beta(x + 0.5) > beta(x)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            beta(-1.0)
+
+
+class TestLemma4:
+    def test_reduces_to_beta(self):
+        assert lemma4_max_points(3.0) == beta(3.0)
+
+    def test_rescaling(self):
+        assert lemma4_max_points(6.0, 2.0) == beta(3.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.floats(min_value=1.0, max_value=8.0))
+    def test_empirical_packing_respects_bound(self, seed, disk_radius):
+        # Greedily pack points with mutual distance >= 1 inside the disk;
+        # the count must respect Lemma 4.
+        rng = np.random.default_rng(seed)
+        accepted: list = []
+        for _ in range(400):
+            angle = rng.uniform(0, 2 * math.pi)
+            radius = disk_radius * math.sqrt(rng.random())
+            candidate = np.array([radius * math.cos(angle), radius * math.sin(angle)])
+            if all(np.hypot(*(candidate - p)) >= 1.0 for p in accepted):
+                accepted.append(candidate)
+        assert len(accepted) <= lemma4_max_points(disk_radius)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            lemma4_max_points(-1.0)
+        with pytest.raises(ConfigurationError):
+            lemma4_max_points(1.0, 0.0)
+
+
+class TestNeighborhoodBounds:
+    def test_lemma5_formula(self):
+        kappa = 2.5
+        assert lemma5_backbone_bound(kappa) == pytest.approx(
+            beta(kappa) + 12 * beta(kappa + 1)
+        )
+
+    def test_lemma6_formula(self):
+        kappa, delta = 2.5, 10.0
+        assert lemma6_neighborhood_bound(kappa, delta) == pytest.approx(
+            delta * beta(kappa) + 12 * beta(kappa + 1)
+        )
+
+    def test_lemma6_at_least_lemma5_for_delta_ge_1(self):
+        assert lemma6_neighborhood_bound(3.0, 5.0) >= lemma5_backbone_bound(3.0)
+
+    def test_delta_bound_grows_with_n(self):
+        small = lemma6_delta_bound(100, 10.0, 31.25)
+        large = lemma6_delta_bound(10_000, 10.0, 31.25)
+        assert large > small
+
+    def test_delta_bound_value(self):
+        # log n + pi r^2 (e^2 - 1) / (2 c0)
+        expected = math.log(2000) + math.pi * 100 * (math.e**2 - 1) / (2 * 31.25)
+        assert lemma6_delta_bound(2000, 10.0, 31.25) == pytest.approx(expected)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            lemma5_backbone_bound(0.5)
+        with pytest.raises(ConfigurationError):
+            lemma6_neighborhood_bound(2.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            lemma6_delta_bound(0, 10.0, 1.0)
+
+
+class TestTreeDegreeAgainstLemma6:
+    def test_quick_topology_tree_degree_within_bound(self, quick_topology):
+        from repro.graphs.tree import build_collection_tree
+
+        tree = build_collection_tree(
+            quick_topology.secondary.graph, quick_topology.secondary.base_station
+        )
+        n = quick_topology.secondary.num_sus
+        c0 = quick_topology.region.area / n
+        bound = lemma6_delta_bound(n, quick_topology.secondary.radius, c0)
+        assert tree.max_degree() <= bound

@@ -1,0 +1,89 @@
+"""Tests for the fixed-partner PU receiver model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.primary import BernoulliActivity, PrimaryNetwork
+
+
+def make_network(paired=None):
+    rng = np.random.default_rng(0)
+    positions = rng.random((8, 2)) * 50.0
+    return PrimaryNetwork(
+        positions=positions,
+        power=10.0,
+        radius=10.0,
+        activity=BernoulliActivity(0.3),
+        paired_receivers=paired,
+    )
+
+
+class TestPairedReceivers:
+    def test_fixed_partners_returned(self):
+        rng = np.random.default_rng(1)
+        positions = rng.random((8, 2)) * 50.0
+        partners = positions + rng.uniform(-5, 5, size=(8, 2)) / np.sqrt(2)
+        network = PrimaryNetwork(
+            positions=positions,
+            power=10.0,
+            radius=10.0,
+            activity=BernoulliActivity(0.3),
+            paired_receivers=partners,
+        )
+        out = network.sample_receivers(np.array([2, 5]), rng)
+        assert np.allclose(out, partners[[2, 5]])
+        # Calls are idempotent — fixed partners, no randomness consumed.
+        again = network.sample_receivers(np.array([2, 5]), rng)
+        assert np.allclose(out, again)
+
+    def test_random_model_varies(self):
+        network = make_network()
+        rng = np.random.default_rng(2)
+        first = network.sample_receivers(np.array([0]), rng)
+        second = network.sample_receivers(np.array([0]), rng)
+        assert not np.allclose(first, second)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_network(paired=np.zeros((3, 2)))
+
+    def test_out_of_radius_partner_rejected(self):
+        rng = np.random.default_rng(3)
+        positions = rng.random((8, 2)) * 50.0
+        partners = positions.copy()
+        partners[0, 0] += 25.0  # far beyond R = 10
+        with pytest.raises(ConfigurationError):
+            make_network(paired=partners)
+
+    def test_probe_works_with_paired_receivers(self, streams):
+        """The Lemma-2 probe runs identically over fixed PU links."""
+        from repro.core.collector import run_addc_collection
+        from repro.experiments.config import ExperimentConfig
+        from repro.geometry.region import SquareRegion
+        from repro.network.secondary import SecondaryNetwork
+        from repro.network.topology import CrnTopology
+        from repro.network.deployment import deploy_crn
+
+        config = ExperimentConfig(
+            area=30.0 * 30.0, num_pus=6, num_sus=25, repetitions=1
+        )
+        base = deploy_crn(config.deployment_spec(), streams.spawn("paired"))
+        rng = np.random.default_rng(4)
+        offsets = rng.uniform(-4.0, 4.0, size=base.primary.positions.shape)
+        paired = PrimaryNetwork(
+            positions=base.primary.positions,
+            power=base.primary.power,
+            radius=base.primary.radius,
+            activity=BernoulliActivity(0.3),
+            paired_receivers=base.primary.positions + offsets / np.sqrt(2),
+        )
+        topology = CrnTopology(
+            region=base.region, primary=paired, secondary=base.secondary
+        )
+        outcome = run_addc_collection(
+            topology, streams.spawn("paired-run"), with_bounds=False
+        )
+        assert outcome.result.completed

@@ -1,0 +1,155 @@
+"""Tests for the Proper Carrier-sensing Range (Lemmas 2-3, Eq. 16)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.core.pcr import (
+    PcrParameters,
+    c2_constant,
+    compute_pcr,
+    db_to_linear,
+    linear_to_db,
+    zeta_series_bound,
+)
+from repro.errors import ConfigurationError, PcrDomainError
+
+
+class TestDbConversions:
+    def test_round_trip(self):
+        assert linear_to_db(db_to_linear(8.0)) == pytest.approx(8.0)
+
+    def test_known_values(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+        assert db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_invalid_linear(self):
+        with pytest.raises(ConfigurationError):
+            linear_to_db(0.0)
+
+
+class TestZetaBounds:
+    def test_paper_bound_at_alpha_4(self):
+        assert zeta_series_bound(4.0, "paper") == pytest.approx(-0.5)
+
+    def test_safe_bound_at_alpha_4(self):
+        assert zeta_series_bound(4.0, "safe") == pytest.approx(0.5)
+
+    def test_exact_is_riemann_sum(self):
+        # sum_{l >= 2} l^{-3} = zeta(3) - 1 ~ 0.2021.
+        assert zeta_series_bound(4.0, "exact") == pytest.approx(0.2020569, rel=1e-5)
+
+    def test_exact_below_safe(self):
+        for alpha in (2.5, 3.0, 3.5, 4.0, 5.0):
+            assert zeta_series_bound(alpha, "exact") < zeta_series_bound(alpha, "safe")
+
+    def test_invalid_variant(self):
+        with pytest.raises(ConfigurationError):
+            zeta_series_bound(4.0, "bogus")
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            zeta_series_bound(2.0)
+
+
+class TestC2:
+    def test_alpha_3_paper(self):
+        # 1/(3-2) - 1 = 0, so c2 = 6 exactly.
+        assert c2_constant(3.0, "paper") == pytest.approx(6.0)
+
+    def test_alpha_4_paper(self):
+        expected = 6.0 + 6.0 * (math.sqrt(3) / 2) ** (-4.0) * (-0.5)
+        assert c2_constant(4.0, "paper") == pytest.approx(expected)
+
+    def test_paper_domain_error(self):
+        with pytest.raises(PcrDomainError):
+            c2_constant(4.5, "paper")
+
+    def test_safe_always_positive(self):
+        for alpha in (2.1, 3.0, 4.0, 5.0, 8.0):
+            assert c2_constant(alpha, "safe") > 0
+
+    def test_exact_always_positive(self):
+        for alpha in (2.1, 3.0, 4.0, 5.0, 8.0):
+            assert c2_constant(alpha, "exact") > 0
+
+
+class TestComputePcr:
+    def test_fig4_default_regression(self):
+        result = compute_pcr(PcrParameters())
+        assert result.kappa == pytest.approx(3.128, abs=0.001)
+        assert result.pcr == pytest.approx(31.28, abs=0.01)
+        assert result.binding_constraint == "primary"
+
+    def test_fig6_default_regression(self):
+        result = compute_pcr(
+            PcrParameters(pu_radius=10.0, eta_p_db=8.0, eta_s_db=8.0)
+        )
+        assert result.kappa == pytest.approx(2.432, abs=0.001)
+
+    def test_equal_radii_and_thresholds_tie(self):
+        result = compute_pcr(
+            PcrParameters(pu_radius=10.0, su_radius=10.0)
+        )
+        assert result.primary_term == pytest.approx(result.secondary_term)
+
+    def test_alpha_3_larger_than_alpha_4(self):
+        # Fig. 4's observation: smaller path-loss exponent -> larger PCR.
+        pcr3 = compute_pcr(PcrParameters(alpha=3.0)).pcr
+        pcr4 = compute_pcr(PcrParameters(alpha=4.0)).pcr
+        assert pcr3 > pcr4
+
+    def test_nondecreasing_in_pu_power_above_su_power(self):
+        base = PcrParameters()
+        values = [
+            compute_pcr(replace(base, pu_power=p)).pcr for p in (10, 15, 20, 30)
+        ]
+        assert values == sorted(values)
+
+    def test_nondecreasing_in_su_power_above_pu_power(self):
+        base = PcrParameters()
+        values = [
+            compute_pcr(replace(base, su_power=p)).pcr for p in (10, 15, 20, 30)
+        ]
+        assert values == sorted(values)
+
+    def test_increasing_in_thresholds(self):
+        base = PcrParameters()
+        primary_terms = [
+            compute_pcr(replace(base, eta_p_db=v)).primary_term for v in (4, 8, 12)
+        ]
+        assert primary_terms == sorted(primary_terms)
+        assert primary_terms[0] < primary_terms[-1]
+        secondary_terms = [
+            compute_pcr(replace(base, eta_s_db=v)).secondary_term for v in (4, 8, 12)
+        ]
+        assert secondary_terms == sorted(secondary_terms)
+        assert secondary_terms[0] < secondary_terms[-1]
+        # The PCR itself (the max of the two terms) is non-decreasing.
+        pcrs = [compute_pcr(replace(base, eta_p_db=v)).pcr for v in (4, 8, 12)]
+        assert pcrs == sorted(pcrs)
+
+    def test_kappa_at_least_one(self):
+        result = compute_pcr(PcrParameters(eta_p_db=-20.0, eta_s_db=-20.0))
+        assert result.kappa >= 1.0
+
+    def test_exact_bound_smaller_than_safe(self):
+        exact = compute_pcr(PcrParameters(zeta_bound="exact")).pcr
+        safe = compute_pcr(PcrParameters(zeta_bound="safe")).pcr
+        assert exact < safe
+
+    def test_c1_c3_definition(self):
+        result = compute_pcr(PcrParameters(pu_power=20.0, su_power=10.0))
+        assert result.c1 == pytest.approx(1.0)
+        assert result.c3 == pytest.approx(0.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PcrParameters(alpha=2.0)
+        with pytest.raises(ConfigurationError):
+            PcrParameters(pu_power=-1.0)
+        with pytest.raises(ConfigurationError):
+            PcrParameters(zeta_bound="nope")

@@ -1,0 +1,155 @@
+"""Tests for local collection-tree maintenance under node churn."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.repair import (
+    attach_node,
+    detach_node,
+    orphaned_subtree,
+    refresh_depths,
+)
+from repro.graphs.tree import NodeRole, build_collection_tree
+
+from tests.test_cds import random_udg
+
+
+def tree_reaches_root(tree, skip=()):
+    for node in range(tree.num_nodes):
+        if node in skip:
+            continue
+        seen = set()
+        cursor = node
+        while cursor != tree.root:
+            if cursor in seen or tree.parent[cursor] < 0:
+                return False
+            seen.add(cursor)
+            cursor = tree.parent[cursor]
+    return True
+
+
+class TestDetach:
+    def test_dominatee_departure_is_free(self):
+        graph = random_udg(30, 42)
+        tree = build_collection_tree(graph, 0)
+        leaf = next(
+            node
+            for node in range(1, 30)
+            if tree.roles[node] is NodeRole.DOMINATEE
+        )
+        stranded = detach_node(tree, graph, leaf)
+        assert stranded == []
+        assert tree.parent[leaf] == -1
+        assert tree_reaches_root(tree, skip={leaf})
+
+    def test_dominator_departure_reparents_children(self):
+        graph = random_udg(40, 43)
+        tree = build_collection_tree(graph, 0)
+        dominator = next(
+            node
+            for node in range(1, 40)
+            if tree.roles[node] is NodeRole.DOMINATOR
+            and any(tree.parent[c] == node for c in range(40))
+        )
+        children_before = [
+            c for c in range(40) if tree.parent[c] == dominator
+        ]
+        stranded = detach_node(tree, graph, dominator)
+        for child in children_before:
+            if child in stranded:
+                continue
+            assert tree.parent[child] != dominator
+            assert graph.has_edge(child, tree.parent[child])
+        # A stranded child strands its entire subtree.
+        skip = {dominator}
+        for child in stranded:
+            skip.add(child)
+            skip.update(orphaned_subtree(tree, child))
+        assert tree_reaches_root(tree, skip=skip)
+
+    def test_root_cannot_leave(self):
+        graph = random_udg(10, 44)
+        tree = build_collection_tree(graph, 0)
+        with pytest.raises(GraphError):
+            detach_node(tree, graph, 0)
+
+    def test_no_cycles_after_many_departures(self):
+        graph = random_udg(50, 45)
+        tree = build_collection_tree(graph, 0)
+        rng = np.random.default_rng(1)
+        departed = set()
+        for _ in range(8):
+            candidates = [
+                node
+                for node in range(1, 50)
+                if node not in departed and tree.parent[node] != -1
+            ]
+            node = int(rng.choice(candidates))
+            stranded = detach_node(tree, graph, node)
+            departed.add(node)
+            # A stranded child strands its entire subtree; clear them all.
+            for child in stranded:
+                for orphan in [child, *orphaned_subtree(tree, child)]:
+                    departed.add(orphan)
+                    tree.parent[orphan] = -1
+        refresh_depths(tree)
+        assert tree_reaches_root(tree, skip=departed)
+        for node in range(50):
+            if node in departed:
+                continue
+            if node != tree.root:
+                assert tree.depth[node] == tree.depth[tree.parent[node]] + 1
+
+
+class TestAttach:
+    def test_join_attaches_to_backbone(self):
+        graph = random_udg(30, 46)
+        tree = build_collection_tree(graph, 0)
+        # Simulate a join: detach a dominatee and re-attach it.
+        leaf = next(
+            node
+            for node in range(1, 30)
+            if tree.roles[node] is NodeRole.DOMINATEE
+        )
+        detach_node(tree, graph, leaf)
+        parent = attach_node(tree, graph, leaf)
+        assert graph.has_edge(leaf, parent)
+        assert tree.roles[parent] in (NodeRole.DOMINATOR, NodeRole.CONNECTOR)
+        assert tree.depth[leaf] == tree.depth[parent] + 1
+        assert tree_reaches_root(tree)
+
+    def test_double_attach_rejected(self):
+        graph = random_udg(20, 47)
+        tree = build_collection_tree(graph, 0)
+        with pytest.raises(GraphError):
+            attach_node(tree, graph, 5)
+
+    def test_isolated_join_rejected(self):
+        # A node adjacent only to dominatees cannot attach locally.
+        graph = Graph(4)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        tree = build_collection_tree(graph, 0)
+        # Node 3 hangs off node 2; detach 3 then strip its backbone access
+        # by detaching node 2 as well.
+        detach_node(tree, graph, 3)
+        detach_node(tree, graph, 2)
+        with pytest.raises(GraphError):
+            attach_node(tree, graph, 3)
+
+
+class TestOrphanedSubtree:
+    def test_subtree_members(self):
+        graph = random_udg(30, 48)
+        tree = build_collection_tree(graph, 0)
+        sizes = tree.subtree_sizes()
+        for node in range(1, 30):
+            orphans = orphaned_subtree(tree, node)
+            assert len(orphans) == sizes[node] - 1
+            for orphan in orphans:
+                assert node in tree.path_to_root(orphan)

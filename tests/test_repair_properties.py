@@ -1,0 +1,80 @@
+"""Property-based churn: random detach/attach sequences keep the tree sane."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.repair import attach_node, detach_node, orphaned_subtree, refresh_depths
+from repro.graphs.tree import build_collection_tree
+
+from tests.test_cds import random_udg
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    st.integers(10, 45),
+    st.integers(0, 2**31 - 1),
+    st.lists(st.integers(0, 2**31 - 1), min_size=1, max_size=12),
+)
+def test_random_churn_preserves_tree_invariants(num_nodes, graph_seed, churn_seeds):
+    graph = random_udg(num_nodes, graph_seed)
+    tree = build_collection_tree(graph, 0)
+    offline = set()
+
+    for step, seed in enumerate(churn_seeds):
+        rng = np.random.default_rng(seed)
+        attached = [
+            node
+            for node in range(1, num_nodes)
+            if node not in offline and tree.parent[node] != -1
+        ]
+        if not attached:
+            break
+        if rng.random() < 0.7 or not offline:
+            # Departure: a random attached node leaves; stranded subtrees
+            # go offline wholesale.
+            leaver = int(rng.choice(attached))
+            stranded = detach_node(tree, graph, leaver)
+            offline.add(leaver)
+            for child in stranded:
+                for orphan in [child, *orphaned_subtree(tree, child)]:
+                    offline.add(orphan)
+                    tree.parent[orphan] = -1
+        else:
+            # Return: a random offline node tries to re-attach.
+            returner = int(sorted(offline)[0])
+            try:
+                attach_node(tree, graph, returner)
+                offline.discard(returner)
+            except GraphError:
+                pass  # no backbone neighbour right now: stays offline
+
+    refresh_depths(tree)
+
+    # Invariants over the surviving forest:
+    for node in range(num_nodes):
+        if node in offline:
+            assert tree.parent[node] == -1
+            continue
+        if node == tree.root:
+            assert tree.parent[node] == tree.root
+            continue
+        # Attached nodes reach the root through attached nodes only, with
+        # consistent depths and real edges, and without cycles.
+        seen = set()
+        cursor = node
+        while cursor != tree.root:
+            assert cursor not in seen, "cycle detected"
+            seen.add(cursor)
+            parent = tree.parent[cursor]
+            assert parent != -1
+            assert parent not in offline
+            assert graph.has_edge(cursor, parent)
+            assert tree.depth[cursor] == tree.depth[parent] + 1
+            cursor = parent

@@ -1,0 +1,82 @@
+"""Tests for the trace-replay PU activity model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.primary import ReplayActivity
+
+
+class TestReplayActivity:
+    def trace(self):
+        return np.array(
+            [
+                [True, False, False],
+                [False, True, False],
+                [False, False, True],
+            ]
+        )
+
+    def test_replays_in_order(self):
+        model = ReplayActivity(self.trace())
+        rng = np.random.default_rng(0)
+        states = model.initial_states(3, rng)
+        assert states.tolist() == [True, False, False]
+        states = model.next_states(states, rng)
+        assert states.tolist() == [False, True, False]
+        states = model.next_states(states, rng)
+        assert states.tolist() == [False, False, True]
+
+    def test_wraps_around(self):
+        model = ReplayActivity(self.trace())
+        rng = np.random.default_rng(0)
+        states = model.initial_states(3, rng)
+        for _ in range(3):
+            states = model.next_states(states, rng)
+        assert states.tolist() == [True, False, False]
+
+    def test_stationary_probability_is_trace_mean(self):
+        model = ReplayActivity(self.trace())
+        assert model.stationary_probability == pytest.approx(1.0 / 3.0)
+
+    def test_initial_resets_cursor(self):
+        model = ReplayActivity(self.trace())
+        rng = np.random.default_rng(0)
+        model.initial_states(3, rng)
+        model.next_states(np.zeros(3, dtype=bool), rng)
+        states = model.initial_states(3, rng)
+        assert states.tolist() == [True, False, False]
+        states = model.next_states(states, rng)
+        assert states.tolist() == [False, True, False]
+
+    def test_count_mismatch(self):
+        model = ReplayActivity(self.trace())
+        with pytest.raises(ConfigurationError):
+            model.initial_states(5, np.random.default_rng(0))
+
+    def test_bad_trace_shape(self):
+        with pytest.raises(ConfigurationError):
+            ReplayActivity(np.array([True, False]))
+
+    def test_drives_a_deployment(self, streams):
+        """A replayed trace drives a full collection run."""
+        from repro.core.collector import run_addc_collection
+        from repro.experiments.config import ExperimentConfig
+        from repro.network.deployment import deploy_crn
+
+        config = ExperimentConfig(
+            area=30.0 * 30.0, num_pus=6, num_sus=25, repetitions=1
+        )
+        rng = np.random.default_rng(11)
+        trace = rng.random((500, 6)) < 0.3
+        topology = deploy_crn(
+            config.deployment_spec(),
+            streams.spawn("replay"),
+            activity=ReplayActivity(trace),
+        )
+        outcome = run_addc_collection(
+            topology, streams.spawn("replay-run"), with_bounds=False
+        )
+        assert outcome.result.completed

@@ -1,0 +1,36 @@
+"""Tests for the one-call report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report_all import generate_report
+
+
+@pytest.fixture(scope="module")
+def small_report(tmp_path_factory):
+    base = ExperimentConfig.quick_scale().with_overrides(
+        repetitions=1, num_sus=50, num_pus=10, area=40.0 * 40.0
+    )
+    path = tmp_path_factory.mktemp("report") / "report.md"
+    document = generate_report(base, sweeps=["fig6c"], output_path=path)
+    return document, path
+
+
+class TestGenerateReport:
+    def test_contains_every_section(self, small_report):
+        document, _ = small_report
+        assert "# Reproduction report" in document
+        assert "Figure 4" in document
+        assert "Figure 6 (c)" in document
+        assert "Theorem-2 bound" in document
+
+    def test_written_file_matches(self, small_report):
+        document, path = small_report
+        assert path.read_text() == document
+
+    def test_tables_carry_numbers(self, small_report):
+        document, _ = small_report
+        assert "mean reduction" in document
+        assert "ADDC" in document and "Coolest" in document

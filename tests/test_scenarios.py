@@ -1,0 +1,61 @@
+"""Tests for the named scenario presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.scenarios import SCENARIOS, get_scenario, list_scenarios
+from repro.network.deployment import deploy_crn
+from repro.network.primary import MarkovActivity
+from repro.rng import StreamFactory
+
+
+class TestRegistry:
+    def test_list_is_sorted_and_complete(self):
+        assert list_scenarios() == sorted(SCENARIOS)
+        assert "paper-default" in list_scenarios()
+
+    def test_lookup(self):
+        scenario = get_scenario("paper-default")
+        assert scenario.config.num_sus == 115
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            get_scenario("atlantis")
+
+    def test_every_scenario_has_summary(self):
+        for scenario in SCENARIOS.values():
+            assert scenario.summary
+            assert scenario.name in SCENARIOS
+
+    def test_densities_within_sane_range(self):
+        for scenario in SCENARIOS.values():
+            assert 0 < scenario.config.su_density < 0.2
+            assert 0 <= scenario.config.pu_density < 0.05
+
+
+class TestScenarioBehaviour:
+    def test_bursty_activity_factory(self):
+        scenario = get_scenario("tv-band-bursty")
+        activity = scenario.make_activity()
+        assert isinstance(activity, MarkovActivity)
+        assert activity.stationary_probability == pytest.approx(0.3)
+
+    def test_default_activity_is_none(self):
+        assert get_scenario("paper-default").make_activity() is None
+
+    def test_multichannel_scenario(self):
+        assert get_scenario("whitespace-4ch").num_channels == 4
+
+    def test_scenarios_deploy(self):
+        # Deployment (the expensive part of a scenario) must succeed for a
+        # couple of representative presets.
+        for name in ("quiet-rural", "dense-iot-field"):
+            scenario = get_scenario(name)
+            topology = deploy_crn(
+                scenario.config.deployment_spec(),
+                StreamFactory(1).spawn(name),
+                activity=scenario.make_activity(),
+            )
+            assert topology.secondary.num_sus == scenario.config.num_sus

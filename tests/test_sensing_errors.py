@@ -1,0 +1,85 @@
+"""Tests for imperfect spectrum sensing (false alarms / missed detections)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.collector import run_addc_collection
+from repro.errors import ConfigurationError
+
+
+class TestFalseAlarms:
+    def test_false_alarms_slow_collection(self, tiny_topology, streams):
+        clean = run_addc_collection(
+            tiny_topology, streams.spawn("fa-0"), blocking="homogeneous"
+        )
+        noisy = run_addc_collection(
+            tiny_topology,
+            streams.spawn("fa-1"),
+            blocking="homogeneous",
+            p_false_alarm=0.6,
+        )
+        assert clean.result.completed and noisy.result.completed
+        # Losing 60% of the opportunities must visibly increase delay.
+        assert noisy.result.delay_slots > 1.5 * clean.result.delay_slots
+
+    def test_false_alarms_cause_no_violations(self, tiny_topology, streams):
+        outcome = run_addc_collection(
+            tiny_topology,
+            streams.spawn("fa-2"),
+            p_false_alarm=0.4,
+        )
+        assert outcome.result.completed
+        assert outcome.result.pu_violations == 0
+
+
+class TestMissedDetections:
+    def test_missed_detections_cause_violations(self, tiny_topology, streams):
+        outcome = run_addc_collection(
+            tiny_topology,
+            streams.spawn("md-1"),
+            p_missed_detection=0.5,
+        )
+        assert outcome.result.completed
+        # With half the busy slots sensed free, PU-protection violations
+        # must appear.
+        assert outcome.result.pu_violations > 0
+
+    def test_perfect_sensing_has_no_violations(self, tiny_topology, streams):
+        outcome = run_addc_collection(tiny_topology, streams.spawn("md-0"))
+        assert outcome.result.pu_violations == 0
+
+    def test_violating_transmissions_usually_fail(self, tiny_topology, streams):
+        """Under geometric blocking, a transmission during PU activity
+        inside the protection range faces that PU's interference at its
+        receiver; most such attempts fail the SIR check and are retried."""
+        outcome = run_addc_collection(
+            tiny_topology,
+            streams.spawn("md-2"),
+            p_missed_detection=0.8,
+        )
+        result = outcome.result
+        assert result.completed
+        assert result.pu_violations > 0
+        assert result.collisions > 0
+
+
+class TestValidation:
+    def test_incompatible_with_mean_field(self, tiny_topology, streams):
+        with pytest.raises(ConfigurationError):
+            run_addc_collection(
+                tiny_topology,
+                streams.spawn("bad-0"),
+                blocking="homogeneous",
+                p_missed_detection=0.2,
+            )
+
+    def test_invalid_probabilities(self, tiny_topology, streams):
+        with pytest.raises(ConfigurationError):
+            run_addc_collection(
+                tiny_topology, streams.spawn("bad-1"), p_false_alarm=1.5
+            )
+        with pytest.raises(ConfigurationError):
+            run_addc_collection(
+                tiny_topology, streams.spawn("bad-2"), p_missed_detection=-0.1
+            )

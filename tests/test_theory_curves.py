@@ -1,0 +1,39 @@
+"""Tests for the analytic Figure 6 counterpart curves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.theory_curves import theory_curve
+
+
+class TestTheoryCurves:
+    def test_paper_scale_evaluates_instantly(self):
+        points = theory_curve("fig6c")
+        assert len(points) == 4
+        assert all(p.delay_bound_slots > 0 for p in points)
+
+    def test_trends_match_the_paper(self):
+        # Delay bound grows in N, n, p_t, P_p, P_s; falls in alpha.
+        for name in ("fig6a", "fig6b", "fig6c", "fig6e", "fig6f"):
+            series = [p.delay_bound_slots for p in theory_curve(name)]
+            assert series == sorted(series), name
+            assert series[-1] > series[0], name
+        alpha_series = [p.delay_bound_slots for p in theory_curve("fig6d")]
+        assert alpha_series == sorted(alpha_series, reverse=True)
+
+    def test_p_o_consistency(self):
+        for point in theory_curve("fig6c"):
+            assert 0 < point.p_o < 1
+            assert point.kappa >= 1
+
+    def test_custom_base_config(self):
+        base = ExperimentConfig.quick_scale()
+        points = theory_curve("fig6b", base)
+        assert [p.x for p in points] == [40, 60, 80, 100, 120]
+
+    def test_unknown_sweep(self):
+        with pytest.raises(ConfigurationError):
+            theory_curve("fig9z")

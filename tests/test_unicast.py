@@ -1,0 +1,129 @@
+"""Tests for unicast flows over the ADDC MAC."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pcr import PcrParameters, compute_pcr, db_to_linear
+from repro.errors import ConfigurationError
+from repro.routing.unicast import UnicastPolicy
+from repro.sim.engine import SlottedEngine
+from repro.spectrum.sensing import CarrierSenseMap
+
+
+def run_unicast(topology, streams, flows, routing="min-hop", **engine_kwargs):
+    pcr = compute_pcr(
+        PcrParameters(
+            alpha=4.0,
+            pu_power=topology.primary.power,
+            su_power=topology.secondary.power,
+            pu_radius=topology.primary.radius,
+            su_radius=topology.secondary.radius,
+            eta_p_db=8.0,
+            eta_s_db=8.0,
+        )
+    )
+    sense_map = CarrierSenseMap(topology, pcr.pcr)
+    policy = UnicastPolicy(topology, flows, routing=routing)
+    engine = SlottedEngine(
+        topology=topology,
+        sense_map=sense_map,
+        policy=policy,
+        streams=streams,
+        alpha=4.0,
+        eta_s=db_to_linear(8.0),
+        max_slots=engine_kwargs.pop("max_slots", 200_000),
+        **engine_kwargs,
+    )
+    engine.load_packets(policy.build_workload())
+    return policy, engine.run()
+
+
+class TestRoutes:
+    def test_min_hop_routes_are_shortest(self, quick_topology):
+        from repro.graphs.bfs import bfs_layers
+
+        flows = [(5, 12), (3, 20), (7, 1)]
+        policy = UnicastPolicy(quick_topology, flows)
+        graph = quick_topology.secondary.graph
+        for index, (source, destination) in enumerate(flows):
+            route = policy.route_of(index)
+            assert route[0] == source and route[-1] == destination
+            layers = bfs_layers(graph, source)
+            assert len(route) - 1 == layers[destination]
+            for a, b in zip(route, route[1:]):
+                assert graph.has_edge(a, b)
+
+    def test_coolest_routes_valid(self, quick_topology):
+        policy = UnicastPolicy(quick_topology, [(5, 12)], routing="coolest")
+        route = policy.route_of(0)
+        assert route[0] == 5 and route[-1] == 12
+
+    def test_validation(self, quick_topology):
+        with pytest.raises(ConfigurationError):
+            UnicastPolicy(quick_topology, [])
+        with pytest.raises(ConfigurationError):
+            UnicastPolicy(quick_topology, [(5, 5)])
+        with pytest.raises(ConfigurationError):
+            UnicastPolicy(quick_topology, [(0, 5)])
+        with pytest.raises(ConfigurationError):
+            UnicastPolicy(quick_topology, [(5, 9999)])
+        with pytest.raises(ConfigurationError):
+            UnicastPolicy(quick_topology, [(5, 6)], routing="wormhole")
+
+
+class TestUnicastRuns:
+    def test_all_flows_delivered(self, tiny_topology, streams):
+        flows = [(1, 10), (5, 20), (7, 3), (12, 25)]
+        policy, result = run_unicast(
+            tiny_topology, streams.spawn("uni-1"), flows
+        )
+        assert result.completed
+        assert result.delivered == len(flows)
+        # Delivery records carry the flow sources.
+        assert sorted(r.source for r in result.deliveries) == sorted(
+            s for s, _ in flows
+        )
+
+    def test_hops_match_route_length(self, tiny_topology, streams):
+        flows = [(1, 10), (5, 20)]
+        policy, result = run_unicast(
+            tiny_topology, streams.spawn("uni-2"), flows
+        )
+        for record in result.deliveries:
+            assert record.hops == len(policy.route_of(record.packet_id)) - 1
+
+    def test_flow_through_base_station_is_relayed(self, tiny_topology, streams):
+        """A route passing through the base station must not be recorded as
+        delivered there — the BS relays it onward."""
+        from repro.graphs.bfs import bfs_layers, bfs_parents
+
+        graph = tiny_topology.secondary.graph
+        # Find a pair whose shortest path runs through node 0.
+        parents = bfs_parents(graph, 0)
+        layers = bfs_layers(graph, 0)
+        neighbors = sorted(graph.neighbors(0))
+        chosen = None
+        for a in neighbors:
+            for b in neighbors:
+                if a != b and not graph.has_edge(a, b):
+                    chosen = (a, b)
+                    break
+            if chosen:
+                break
+        if chosen is None:
+            pytest.skip("no BS-through pair in this topology")
+        policy = UnicastPolicy(tiny_topology, [chosen])
+        if 0 not in policy.route_of(0):
+            pytest.skip("shortest path avoided the base station")
+        _, result = run_unicast(tiny_topology, streams.spawn("uni-3"), [chosen])
+        assert result.completed
+        record = result.deliveries[0]
+        assert record.hops == len(policy.route_of(0)) - 1
+
+    def test_bidirectional_flows(self, tiny_topology, streams):
+        _, result = run_unicast(
+            tiny_topology, streams.spawn("uni-4"), [(1, 9), (9, 1)]
+        )
+        assert result.completed
+        assert result.delivered == 2

@@ -1,0 +1,104 @@
+"""Tests for the ASCII visualization helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs.tree import build_collection_tree
+from repro.viz.ascii_map import render_deployment, render_field, render_tree_summary
+
+
+@pytest.fixture(scope="module")
+def tree(quick_topology):
+    return build_collection_tree(
+        quick_topology.secondary.graph, quick_topology.secondary.base_station
+    )
+
+
+class TestRenderDeployment:
+    def test_contains_all_glyph_kinds(self, quick_topology, tree):
+        text = render_deployment(quick_topology, tree)
+        assert "B" in text
+        assert "O" in text
+        assert "x" in text
+        assert "legend" not in text  # the legend line is glyph-labelled
+        assert "dominator" in text
+
+    def test_without_tree_all_dots(self, quick_topology):
+        text = render_deployment(quick_topology)
+        assert "B" in text and "." in text
+        assert "O" not in text.splitlines()[1]  # map body has no dominators
+
+    def test_dimensions(self, quick_topology):
+        text = render_deployment(quick_topology, width=40)
+        lines = text.splitlines()
+        assert lines[0] == "+" + "-" * 40 + "+"
+        body = [line for line in lines[1:-2] if line.startswith("|")]
+        assert all(len(line) == 42 for line in body)
+
+    def test_width_validation(self, quick_topology):
+        with pytest.raises(ConfigurationError):
+            render_deployment(quick_topology, width=4)
+
+
+class TestRenderField:
+    def test_shades_scale_with_values(self, quick_topology):
+        n = quick_topology.secondary.num_nodes
+        values = np.linspace(0.0, 1.0, n)
+        text = render_field(quick_topology, values)
+        assert "@" in text  # darkest shade present for the max
+        assert "range" in text
+
+    def test_constant_field(self, quick_topology):
+        n = quick_topology.secondary.num_nodes
+        text = render_field(quick_topology, np.full(n, 0.5))
+        assert "range: 0.5" in text
+
+    def test_shape_validation(self, quick_topology):
+        with pytest.raises(ConfigurationError):
+            render_field(quick_topology, [1.0, 2.0])
+
+
+class TestTreeSummary:
+    def test_summary_contents(self, quick_topology, tree):
+        text = render_tree_summary(tree)
+        assert "dominators" in text
+        assert f"max depth {max(tree.depth)}" in text
+        assert "depth  0" in text
+
+    def test_histogram_counts_every_node(self, quick_topology, tree):
+        text = render_tree_summary(tree)
+        counted = sum(
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.strip().startswith("depth")
+        )
+        assert counted == tree.num_nodes
+
+
+class TestRenderHistogram:
+    def test_counts_and_summary(self):
+        from repro.viz.ascii_map import render_histogram
+
+        text = render_histogram([1, 1, 2, 5, 5, 5], bins=2, title="demo")
+        assert text.startswith("demo")
+        assert "n=6" in text
+        assert text.count("#") >= 2
+
+    def test_single_value(self):
+        from repro.viz.ascii_map import render_histogram
+
+        text = render_histogram([3.0], bins=3)
+        assert "n=1" in text
+
+    def test_validation(self):
+        from repro.viz.ascii_map import render_histogram
+
+        with pytest.raises(ConfigurationError):
+            render_histogram([], bins=2)
+        with pytest.raises(ConfigurationError):
+            render_histogram([1.0], bins=0)
+        with pytest.raises(ConfigurationError):
+            render_histogram([1.0], width=0)

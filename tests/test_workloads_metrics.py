@@ -1,0 +1,90 @@
+"""Tests for workload generation and cross-run metric aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.aggregate import (
+    relative_delay_reduction_percent,
+    summarize_delays,
+)
+from repro.workloads.snapshot import partial_snapshot_workload, snapshot_workload
+from repro.workloads.sweep import sweep_configs
+
+
+class TestSnapshotWorkload:
+    def test_one_packet_per_su(self, quick_topology):
+        packets = snapshot_workload(quick_topology.secondary)
+        assert len(packets) == quick_topology.secondary.num_sus
+        assert sorted(p.source for p in packets) == list(
+            quick_topology.secondary.su_ids()
+        )
+        assert len({p.packet_id for p in packets}) == len(packets)
+
+    def test_multiple_packets(self, quick_topology):
+        packets = snapshot_workload(quick_topology.secondary, packets_per_su=3)
+        assert len(packets) == 3 * quick_topology.secondary.num_sus
+
+    def test_invalid_count(self, quick_topology):
+        with pytest.raises(WorkloadError):
+            snapshot_workload(quick_topology.secondary, packets_per_su=0)
+
+    def test_partial_sources(self, quick_topology):
+        packets = partial_snapshot_workload(quick_topology.secondary, [1, 5, 9])
+        assert [p.source for p in packets] == [1, 5, 9]
+
+    def test_partial_rejects_base_station(self, quick_topology):
+        with pytest.raises(WorkloadError):
+            partial_snapshot_workload(quick_topology.secondary, [0])
+
+
+class TestSweepConfigs:
+    def test_replaces_field(self):
+        base = ExperimentConfig.quick_scale()
+        points = sweep_configs(base, "p_t", [0.1, 0.2])
+        assert [p.value for p in points] == [0.1, 0.2]
+        assert points[0].config.p_t == 0.1
+        assert points[0].config.num_sus == base.num_sus
+
+    def test_unknown_field(self):
+        with pytest.raises(ConfigurationError):
+            sweep_configs(ExperimentConfig.quick_scale(), "nope", [1])
+
+    def test_empty_values(self):
+        with pytest.raises(ConfigurationError):
+            sweep_configs(ExperimentConfig.quick_scale(), "p_t", [])
+
+    def test_non_dataclass(self):
+        with pytest.raises(ConfigurationError):
+            sweep_configs({"p_t": 0.3}, "p_t", [0.1])
+
+
+class TestAggregation:
+    def test_summary_statistics(self):
+        stats = summarize_delays([10.0, 20.0, 30.0])
+        assert stats.mean == 20.0
+        assert stats.minimum == 10.0
+        assert stats.maximum == 30.0
+        assert stats.std == pytest.approx(10.0)
+        assert stats.stderr == pytest.approx(10.0 / 3**0.5)
+
+    def test_single_repetition(self):
+        stats = summarize_delays([5.0])
+        assert stats.std == 0.0
+        assert stats.stderr == 0.0
+
+    def test_rejects_empty_and_nonfinite(self):
+        with pytest.raises(ConfigurationError):
+            summarize_delays([])
+        with pytest.raises(ConfigurationError):
+            summarize_delays([1.0, float("inf")])
+
+    def test_reduction_percent(self):
+        # Coolest taking 3.66x ADDC's time = "266% less delay".
+        assert relative_delay_reduction_percent(100.0, 366.0) == pytest.approx(266.0)
+
+    def test_reduction_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            relative_delay_reduction_percent(0.0, 10.0)
