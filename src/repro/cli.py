@@ -10,6 +10,7 @@ Commands
 ``fig6``       regenerate one Figure 6 sub-figure (a-f), optionally --save
 ``scenario``   list or run a named scenario preset
 ``report``     regenerate the full evaluation record (slow)
+``lint``       run reprolint (determinism & paper-invariant checks)
 
 Every command accepts ``--scale {quick,bench,paper}`` (density-preserving
 scenario sizes; ``paper`` is the full n = 2000 setting — expect a very long
@@ -333,6 +334,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated sub-figures, e.g. fig6c,fig6d (default: all)",
     )
     report.set_defaults(handler=_cmd_report)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run reprolint, the determinism & paper-invariant linter",
+    )
+    from repro.lint.cli import configure_parser as _configure_lint_parser
+
+    _configure_lint_parser(lint)
 
     return parser
 

@@ -34,6 +34,7 @@ from repro.core.addc import AddcPolicy
 from repro.core.aggregation import AggregationPolicy, run_aggregation
 from repro.core.collector import CollectionOutcome, run_addc_collection
 from repro.core.fairness import jain_index, transmission_share
+from repro.core.numeric import close, is_zero
 
 __all__ = [
     "beta",
@@ -59,4 +60,6 @@ __all__ = [
     "run_addc_collection",
     "jain_index",
     "transmission_share",
+    "close",
+    "is_zero",
 ]

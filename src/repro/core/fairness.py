@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, Sequence
 
+from repro.core.numeric import is_zero
 from repro.errors import ConfigurationError
 
 __all__ = ["jain_index", "transmission_share", "per_source_delay_spread"]
@@ -33,8 +34,9 @@ def jain_index(values: Sequence[float]) -> float:
         raise ConfigurationError("jain_index needs non-negative values")
     total = float(sum(values))
     square_sum = float(sum(v * v for v in values))
-    if total == 0.0 or square_sum == 0.0:
-        # All-zero (or subnormal-underflow) allocations are vacuously even.
+    # Exact-zero guard: all-zero (or subnormal-underflow) allocations are
+    # vacuously even; any non-zero square_sum keeps the ratio well-defined.
+    if is_zero(total) or is_zero(square_sum):
         return 1.0
     return total * total / (len(values) * square_sum)
 
@@ -56,6 +58,6 @@ def per_source_delay_spread(delays: Sequence[float]) -> float:
     if len(delays) == 0:
         raise ConfigurationError("need at least one delay")
     mean = sum(delays) / len(delays)
-    if mean == 0:
+    if is_zero(mean):
         return 1.0
     return max(delays) / mean

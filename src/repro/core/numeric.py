@@ -1,0 +1,48 @@
+"""Explicit float-comparison helpers.
+
+The geometry/spectrum/core layers accumulate rounding error through
+path-loss powers and packing bounds, so exact ``==`` against floats is
+banned there (reprolint rule INV002).  These helpers make the intent of
+every comparison explicit:
+
+* :func:`close` — tolerance equality (a thin :func:`math.isclose` wrapper
+  with the library's default tolerances),
+* :func:`is_zero` — a *named* zero guard.  The default ``abs_tol=0.0``
+  keeps exact-zero semantics (the only dangerous value for a divisor is
+  0.0 itself); pass ``abs_tol`` to also treat underflowed dust as zero.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["close", "is_zero"]
+
+
+def close(
+    a: float, b: float, rel_tol: float = 1e-9, abs_tol: float = 1e-12
+) -> bool:
+    """Tolerance equality for accumulated floats.
+
+    >>> close(0.1 + 0.2, 0.3)
+    True
+    >>> close(1.0, 1.1)
+    False
+    """
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def is_zero(value: float, abs_tol: float = 0.0) -> bool:
+    """Whether ``value`` is (effectively) zero.
+
+    With the default ``abs_tol=0.0`` this is an exact-zero guard — useful
+    before divisions, where any non-zero float is safe.
+
+    >>> is_zero(0.0)
+    True
+    >>> is_zero(1e-300)
+    False
+    >>> is_zero(1e-300, abs_tol=1e-12)
+    True
+    """
+    return abs(value) <= abs_tol

@@ -11,6 +11,18 @@ callers can catch library failures without masking unrelated bugs::
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "GeometryError",
+    "GraphError",
+    "DisconnectedNetworkError",
+    "PcrDomainError",
+    "SimulationError",
+    "InterferenceViolationError",
+    "WorkloadError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` package."""

@@ -11,7 +11,7 @@ from typing import List, Set
 from repro.graphs.bfs import bfs_layers, UNREACHED
 from repro.graphs.graph import Graph
 
-__all__ = ["is_connected", "connected_component"]
+__all__ = ["is_connected", "connected_component", "connected_subgraph_nodes"]
 
 
 def connected_component(graph: Graph, start: int) -> Set[int]:

@@ -1,0 +1,138 @@
+"""Rule plugin registry and the per-module context rules run against.
+
+A rule is a subclass of :class:`Rule` decorated with :func:`register_rule`.
+Each rule declares an ``id`` (stable, used in suppressions and config), a
+``name``, a ``description``, a ``default_severity``, and optional
+``default_options`` that ``[tool.reprolint.rules.<id>]`` entries override
+key-by-key.  ``check`` receives a :class:`ModuleContext` (parsed AST plus
+path/config helpers) and yields ``(node_or_location, message)`` findings via
+:meth:`ModuleContext.diagnostic`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Type
+
+from repro.errors import ConfigurationError
+from repro.lint.config import LintConfig, path_matches
+from repro.lint.diagnostics import Diagnostic, Severity
+
+__all__ = [
+    "ModuleContext",
+    "Rule",
+    "register_rule",
+    "all_rules",
+    "get_rule",
+    "dotted_name",
+]
+
+_REGISTRY: Dict[str, Type["Rule"]] = {}
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Flatten an attribute chain to ``"a.b.c"`` (None for non-name chains).
+
+    >>> import ast
+    >>> dotted_name(ast.parse("np.random.default_rng", mode="eval").body)
+    'np.random.default_rng'
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one module under analysis."""
+
+    relpath: str
+    source: str
+    tree: ast.Module
+    config: LintConfig = field(default_factory=LintConfig)
+
+    @property
+    def is_dunder_init(self) -> bool:
+        return self.relpath.endswith("__init__.py")
+
+    @property
+    def module_basename(self) -> str:
+        return self.relpath.rsplit("/", 1)[-1]
+
+    def in_paths(self, patterns: List[str]) -> bool:
+        """Suffix-match this module's path against glob ``patterns``."""
+        return path_matches(self.relpath, patterns)
+
+    def option(self, rule: "Rule", key: str) -> Any:
+        """Resolve a rule option: pyproject override, else rule default."""
+        options = self.config.options_for(rule.id)
+        if key in options:
+            return options[key]
+        if key in rule.default_options:
+            return rule.default_options[key]
+        raise ConfigurationError(f"rule {rule.id} has no option {key!r}")
+
+    def diagnostic(
+        self, rule: "Rule", node: ast.AST, message: str
+    ) -> Diagnostic:
+        """Build a diagnostic for ``node`` with the rule's effective severity."""
+        return Diagnostic(
+            rule_id=rule.id,
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            severity=self.config.severity_for(rule.id, rule.default_severity),
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for reprolint rules; subclass and :func:`register_rule`."""
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    default_severity: Severity = Severity.WARNING
+    default_options: Dict[str, Any] = {}
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        """Yield diagnostics for ``module``; implemented by subclasses."""
+        raise NotImplementedError
+
+    @classmethod
+    def summary_row(cls) -> str:
+        return f"{cls.id:<8} {str(cls.default_severity):<8} {cls.name}: {cls.description}"
+
+
+def register_rule(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_class.id or not rule_class.name:
+        raise ConfigurationError(
+            f"rule {rule_class.__name__} must define a non-empty id and name"
+        )
+    existing = _REGISTRY.get(rule_class.id)
+    if existing is not None and existing is not rule_class:
+        raise ConfigurationError(f"duplicate rule id {rule_class.id}")
+    _REGISTRY[rule_class.id] = rule_class
+    return rule_class
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Every registered rule class, sorted by id (imports the rule pack)."""
+    import repro.lint.rules  # noqa: F401  (populates the registry on import)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Type[Rule]:
+    """Look up one rule class by id."""
+    for rule_class in all_rules():
+        if rule_class.id == rule_id:
+            return rule_class
+    raise ConfigurationError(f"unknown rule id {rule_id!r}")

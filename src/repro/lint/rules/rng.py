@@ -1,0 +1,111 @@
+"""RNG-discipline rules.
+
+The reproducibility contract of this repo (see ``repro/rng/streams.py``)
+requires every stochastic component to draw from a named, seeded stream
+obtained via :class:`repro.rng.StreamFactory`.  These rules catch the two
+ways code escapes that contract: the stdlib :mod:`random` module (global,
+process-wide state) and direct ``numpy.random`` entry points (fresh or
+global generators whose seeding is invisible to the experiment harness).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import ModuleContext, Rule, dotted_name, register_rule
+
+__all__ = ["StdlibRandomRule", "NumpyGlobalRngRule"]
+
+_NUMPY_ALIASES = ("np", "numpy")
+
+
+@register_rule
+class StdlibRandomRule(Rule):
+    """RNG001: the stdlib ``random`` module is banned.
+
+    ``random`` keeps hidden global state; results silently depend on import
+    order and on every other consumer of the module.  Draw from a named
+    stream instead: ``StreamFactory(seed).stream("component")``.
+    """
+
+    id = "RNG001"
+    name = "random-module"
+    description = "stdlib `random` is banned; use repro.rng.StreamFactory streams"
+    default_severity = Severity.ERROR
+    default_options = {"allow": ["repro/rng/*"]}
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        if module.in_paths(module.option(self, "allow")):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield module.diagnostic(
+                            self,
+                            node,
+                            "import of stdlib `random`; use "
+                            "repro.rng.StreamFactory named streams instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    yield module.diagnostic(
+                        self,
+                        node,
+                        "import from stdlib `random`; use "
+                        "repro.rng.StreamFactory named streams instead",
+                    )
+
+
+@register_rule
+class NumpyGlobalRngRule(Rule):
+    """RNG002: no direct ``numpy.random`` entry points outside ``repro/rng``.
+
+    ``np.random.default_rng(seed)`` creates a generator whose seed is
+    untracked by the experiment's :class:`~repro.rng.StreamFactory`, and the
+    legacy ``np.random.*`` functions mutate process-global state.  Both make
+    Fig. 4/6 replays diverge once call order changes.  Stochastic functions
+    should accept an ``np.random.Generator`` (or a stream name) from their
+    caller.
+    """
+
+    id = "RNG002"
+    name = "numpy-global-rng"
+    description = (
+        "direct numpy.random calls/imports are banned outside repro/rng; "
+        "accept an injected Generator"
+    )
+    default_severity = Severity.ERROR
+    default_options = {"allow": ["repro/rng/*"]}
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        if module.in_paths(module.option(self, "allow")):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                parts = name.split(".")
+                if len(parts) >= 3 and parts[0] in _NUMPY_ALIASES and parts[1] == "random":
+                    yield module.diagnostic(
+                        self,
+                        node,
+                        f"call to `{name}` bypasses repro.rng.StreamFactory; "
+                        "accept an np.random.Generator from the caller",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level != 0:
+                    continue
+                if node.module == "numpy.random" or (
+                    node.module == "numpy"
+                    and any(alias.name == "random" for alias in node.names)
+                ):
+                    yield module.diagnostic(
+                        self,
+                        node,
+                        "import of numpy.random entry points bypasses "
+                        "repro.rng.StreamFactory; accept a Generator instead",
+                    )

@@ -1,0 +1,127 @@
+"""Lint driver: file discovery, rule execution, suppression filtering."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import ModuleContext, all_rules
+from repro.lint.suppress import parse_suppressions
+
+__all__ = ["LintReport", "iter_python_files", "lint_source", "lint_paths"]
+
+PARSE_RULE_ID = "PARSE"
+
+
+@dataclass
+class LintReport:
+    """Aggregate outcome of one lint run."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    def worst_severity(self) -> Optional[Severity]:
+        """Highest severity present, or None when the run is clean."""
+        if not self.diagnostics:
+            return None
+        return max(diagnostic.severity for diagnostic in self.diagnostics)
+
+    def failed(self, fail_on: Severity) -> bool:
+        """Whether any finding is at or above the ``fail_on`` threshold."""
+        worst = self.worst_severity()
+        return worst is not None and worst >= fail_on
+
+
+def iter_python_files(
+    paths: Sequence[Path], config: LintConfig
+) -> Iterable[Path]:
+    """Expand files/directories into non-excluded ``.py`` files, sorted."""
+    collected: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            collected.extend(sorted(path.rglob("*.py")))
+        else:
+            collected.append(path)
+    for candidate in collected:
+        if not config.is_excluded(candidate.as_posix()):
+            yield candidate
+
+
+def _relpath(path: Path) -> str:
+    """Project-relative posix path when possible (stable diagnostics)."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: Optional[LintConfig] = None,
+) -> List[Diagnostic]:
+    """Lint one module given as a string; ``path`` drives path-scoped rules.
+
+    Suppression comments are honoured; returns the surviving diagnostics
+    sorted by location.
+    """
+    report = LintReport()
+    _lint_into(report, source, path, config or LintConfig())
+    return report.diagnostics
+
+
+def _lint_into(
+    report: LintReport, source: str, relpath: str, config: LintConfig
+) -> None:
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        report.diagnostics.append(
+            Diagnostic(
+                rule_id=PARSE_RULE_ID,
+                path=relpath,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg}",
+            )
+        )
+        report.files_checked += 1
+        return
+
+    suppressions = parse_suppressions(source)
+    module = ModuleContext(relpath=relpath, source=source, tree=tree, config=config)
+    found: List[Diagnostic] = []
+    for rule_class in all_rules():
+        if not config.rule_enabled(rule_class.id):
+            continue
+        for diagnostic in rule_class().check(module):
+            if suppressions.is_suppressed(diagnostic.rule_id, diagnostic.line):
+                report.suppressed += 1
+            else:
+                found.append(diagnostic)
+    found.sort(key=lambda d: (d.line, d.col, d.rule_id))
+    report.diagnostics.extend(found)
+    report.files_checked += 1
+
+
+def lint_paths(
+    paths: Sequence[Path], config: Optional[LintConfig] = None
+) -> LintReport:
+    """Lint files and directories; the main entry point behind the CLI."""
+    config = config or LintConfig()
+    report = LintReport()
+    for path in iter_python_files([Path(p) for p in paths], config):
+        relpath = _relpath(path)
+        if config.is_excluded(relpath):
+            continue
+        source = path.read_text(encoding="utf-8")
+        _lint_into(report, source, relpath, config)
+    report.diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule_id))
+    return report

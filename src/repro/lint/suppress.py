@@ -1,0 +1,83 @@
+"""``# reprolint: disable=`` suppression comments.
+
+Two forms are recognised (comments are found with :mod:`tokenize`, so the
+markers are never confused with string contents):
+
+* ``# reprolint: disable=RNG002`` — suppresses the listed rule(s) on the
+  comment's own line; when the comment stands alone on its line, it
+  suppresses the *next* line instead (so long statements can carry the
+  justification above them).
+* ``# reprolint: disable-file=DET001`` — suppresses the rule(s) for the
+  whole file; conventionally placed near the top.
+
+Rule lists are comma-separated (``disable=RNG001,RNG002``) and ``all``
+disables every rule.  Anything after the rule list is free text — use it
+for the justification, e.g.::
+
+    rng = np.random.default_rng(seed)  # reprolint: disable=RNG002 -- deprecated fallback
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+__all__ = ["SuppressionIndex", "parse_suppressions"]
+
+_MARKER = re.compile(
+    r"#\s*reprolint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_-]+(?:\s*,\s*[A-Za-z0-9_-]+)*)"
+)
+_ALL = "all"
+
+
+@dataclass
+class SuppressionIndex:
+    """Which rules are suppressed on which lines of one file."""
+
+    file_level: Set[str] = field(default_factory=set)
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is silenced at (1-based) ``line``."""
+        for scope in (self.file_level, self.by_line.get(line, ())):
+            if _ALL in scope or rule_id in scope:
+                return True
+        return False
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Scan ``source`` for reprolint suppression comments.
+
+    >>> index = parse_suppressions("x = 1  # reprolint: disable=INV002\\n")
+    >>> index.is_suppressed("INV002", 1)
+    True
+    >>> index.is_suppressed("RNG001", 1)
+    False
+    """
+    index = SuppressionIndex()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return index
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _MARKER.search(token.string)
+        if match is None:
+            continue
+        rules = {
+            rule.strip() for rule in match.group("rules").split(",") if rule.strip()
+        }
+        if match.group("scope") == "disable-file":
+            index.file_level.update(rules)
+            continue
+        line = token.start[0]
+        # A standalone comment documents the line below it.
+        standalone = token.line[: token.start[1]].strip() == ""
+        target = line + 1 if standalone else line
+        index.by_line.setdefault(target, set()).update(rules)
+    return index

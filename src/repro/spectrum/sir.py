@@ -16,6 +16,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.numeric import is_zero
 from repro.errors import ConfigurationError
 from repro.spectrum.pathloss import received_power
 
@@ -54,7 +55,9 @@ def sir_at_receiver(
     interference = float(
         np.sum(powers * np.maximum(distances, 1e-6) ** (-alpha))
     )
-    if interference == 0.0:
+    # Zero-interference guard (underflowed aggregate power counts as none):
+    # the paper's noise-free model then gives an infinite SIR.
+    if is_zero(interference, abs_tol=1e-300):
         return float("inf")
     return signal / interference
 

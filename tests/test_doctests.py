@@ -20,6 +20,11 @@ MODULES = [
     "repro.core.packing",
     "repro.core.pcr",
     "repro.core.fairness",
+    "repro.core.numeric",
+    "repro.lint.config",
+    "repro.lint.diagnostics",
+    "repro.lint.registry",
+    "repro.lint.suppress",
     "repro.network.primary",
     "repro.workloads.sweep",
     "repro.metrics.stats",

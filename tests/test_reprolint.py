@@ -1,0 +1,469 @@
+"""Tier-1 gate and unit tests for reprolint (``repro.lint``).
+
+Three layers:
+
+* per-rule fixtures — every rule in the pack has one snippet it must flag
+  and one it must leave alone,
+* framework behaviour — suppression comments, pyproject config (excludes,
+  severity overrides, select/ignore, rule options), CLI formats/exit codes,
+* the repo gate — linting ``src/`` at HEAD must come back clean, so any
+  new determinism or paper-invariant violation fails tier-1.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.cli
+from repro.errors import ConfigurationError
+from repro.lint import (
+    Diagnostic,
+    LintConfig,
+    Severity,
+    all_rules,
+    get_rule,
+    lint_paths,
+    lint_source,
+    path_matches,
+)
+from repro.lint.cli import main as reprolint_main
+from repro.lint.config import _parse_minimal_toml, load_pyproject_table
+from repro.lint.suppress import parse_suppressions
+
+SRC_DIR = Path(repro.__file__).resolve().parents[1]
+REPO_ROOT = SRC_DIR.parent
+PYPROJECT = REPO_ROOT / "pyproject.toml"
+
+
+def rule_ids(diagnostics) -> set:
+    return {diagnostic.rule_id for diagnostic in diagnostics}
+
+
+# One (flagging_path, bad_source, clean_source) triple per rule.  The clean
+# snippet is linted at the same path, so it exercises the rule itself rather
+# than the path scoping.
+RULE_FIXTURES = {
+    "RNG001": (
+        "repro/sim/backoff.py",
+        "import random\n",
+        "from repro.rng import StreamFactory\n\n__all__ = []\n",
+    ),
+    "RNG002": (
+        "repro/sim/backoff.py",
+        "import numpy as np\n\nrng = np.random.default_rng(7)\n",
+        (
+            "import numpy as np\n\n\n"
+            "def draw(rng: np.random.Generator) -> float:\n"
+            "    return float(rng.random())\n\n\n"
+            "__all__ = ['draw']\n"
+        ),
+    ),
+    "DET001": (
+        "repro/sim/engine.py",
+        "import time\n\nstart = time.time()\n",
+        "def advance(slot: int) -> int:\n    return slot + 1\n\n\n__all__ = ['advance']\n",
+    ),
+    "DET002": (
+        "repro/metrics/rollup.py",
+        "result = [n * 2 for n in {3, 1, 2}]\n",
+        "result = [n * 2 for n in sorted({3, 1, 2})]\n",
+    ),
+    "INV001": (
+        "repro/spectrum/sensing.py",
+        "BETA_COEFF = 3.6275987284684357\n",
+        "import math\n\nSQRT3 = math.sqrt(3.0)\n",
+    ),
+    "INV002": (
+        "repro/spectrum/sir.py",
+        "def check(x: float) -> bool:\n    return x == 0.0\n\n\n__all__ = ['check']\n",
+        (
+            "def check(count: int) -> bool:\n"
+            "    return count == 0\n\n\n__all__ = ['check']\n"
+        ),
+    ),
+    "API001": (
+        "repro/sim/policies.py",
+        "def act(history=[]):\n    return history\n\n\n__all__ = ['act']\n",
+        "def act(history=None):\n    return history or []\n\n\n__all__ = ['act']\n",
+    ),
+    "API002": (
+        "repro/sim/policies.py",
+        (
+            "def guard():\n    try:\n        return 1\n"
+            "    except:\n        return 0\n\n\n__all__ = ['guard']\n"
+        ),
+        (
+            "def guard():\n    try:\n        return 1\n"
+            "    except ValueError:\n        return 0\n\n\n__all__ = ['guard']\n"
+        ),
+    ),
+    "API003": (
+        "repro/metrics/summary.py",
+        "__all__ = ['gone']\n\n\ndef present() -> int:\n    return 1\n",
+        "__all__ = ['present']\n\n\ndef present() -> int:\n    return 1\n",
+    ),
+}
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+    def test_positive_fixture_fires(self, rule_id):
+        path, bad, _ = RULE_FIXTURES[rule_id]
+        diagnostics = lint_source(bad, path=path)
+        assert rule_id in rule_ids(diagnostics), (
+            f"{rule_id} should flag:\n{bad}"
+        )
+        finding = next(d for d in diagnostics if d.rule_id == rule_id)
+        assert finding.line >= 1
+        assert finding.path == path
+
+    @pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+    def test_negative_fixture_clean(self, rule_id):
+        path, _, good = RULE_FIXTURES[rule_id]
+        diagnostics = lint_source(good, path=path)
+        assert rule_id not in rule_ids(diagnostics), (
+            f"{rule_id} should not flag:\n{good}"
+        )
+
+    def test_every_registered_rule_has_fixtures(self):
+        assert {rule.id for rule in all_rules()} == set(RULE_FIXTURES)
+
+    def test_rng002_flags_numpy_random_import(self):
+        diagnostics = lint_source(
+            "from numpy.random import default_rng\n", path="repro/sim/x.py"
+        )
+        assert "RNG002" in rule_ids(diagnostics)
+
+    def test_rng_rules_allow_repro_rng_package(self):
+        source = "import numpy as np\n\nrng = np.random.default_rng(0)\n"
+        assert "RNG002" in rule_ids(lint_source(source, path="repro/sim/x.py"))
+        assert "RNG002" not in rule_ids(
+            lint_source(source, path="repro/rng/streams.py")
+        )
+
+    def test_det001_only_fires_in_hot_paths(self):
+        source = "import time\n\nstamp = time.time()\n"
+        assert "DET001" in rule_ids(lint_source(source, path="repro/sim/x.py"))
+        assert "DET001" not in rule_ids(
+            lint_source(source, path="repro/experiments/report.py")
+        )
+
+    def test_det002_flags_order_sensitive_wrappers(self):
+        assert "DET002" in rule_ids(
+            lint_source("order = list(set([3, 1, 2]))\n", path="repro/a.py")
+        )
+        assert "DET002" in rule_ids(
+            lint_source("for x in {1, 2}:\n    pass\n", path="repro/a.py")
+        )
+        assert "DET002" not in rule_ids(
+            lint_source("order = sorted(set([3, 1, 2]))\n", path="repro/a.py")
+        )
+
+    def test_inv001_catches_truncated_constant_copies(self):
+        diagnostics = lint_source("S = 1.7320508\n", path="repro/core/x.py")
+        assert "INV001" in rule_ids(diagnostics)
+
+    def test_inv001_allows_canonical_modules(self):
+        source = "C = 0.8660254037844386\n"
+        assert "INV001" not in rule_ids(
+            lint_source(source, path="repro/core/pcr.py")
+        )
+
+    def test_inv002_scoped_to_numeric_layers(self):
+        source = "flag = 1.0 == 2.0\n"
+        assert "INV002" in rule_ids(
+            lint_source(source, path="repro/geometry/distance.py")
+        )
+        assert "INV002" not in rule_ids(
+            lint_source(source, path="repro/experiments/runner.py")
+        )
+
+    def test_api003_missing_all_and_init_exemption(self):
+        source = "def helper() -> int:\n    return 1\n"
+        assert "API003" in rule_ids(lint_source(source, path="repro/util.py"))
+        # __init__.py re-export lists are deliberate; only dangling names count.
+        assert "API003" not in rule_ids(
+            lint_source("from repro.errors import ReproError\n", path="repro/__init__.py")
+        )
+        assert "API003" in rule_ids(
+            lint_source("__all__ = ['missing']\n", path="repro/__init__.py")
+        )
+
+    def test_syntax_error_reported_as_parse_diagnostic(self):
+        diagnostics = lint_source("def broken(:\n", path="repro/x.py")
+        assert [d.rule_id for d in diagnostics] == ["PARSE"]
+        assert diagnostics[0].severity is Severity.ERROR
+
+
+class TestSuppressions:
+    def test_same_line_disable(self):
+        path, bad, _ = RULE_FIXTURES["INV002"]
+        suppressed = bad.replace(
+            "x == 0.0",
+            "x == 0.0  # reprolint: disable=INV002 -- exact-zero guard",
+        )
+        assert "INV002" not in rule_ids(lint_source(suppressed, path=path))
+
+    def test_standalone_comment_covers_next_line(self):
+        source = (
+            "# reprolint: disable=INV001 -- fixture constant\n"
+            "BETA_COEFF = 3.6275987284684357\n"
+        )
+        assert "INV001" not in rule_ids(
+            lint_source(source, path="repro/spectrum/x.py")
+        )
+
+    def test_file_level_disable(self):
+        source = (
+            "# reprolint: disable-file=DET002\n"
+            "a = list(set([1, 2]))\n"
+            "b = list(set([3, 4]))\n"
+        )
+        assert "DET002" not in rule_ids(lint_source(source, path="repro/a.py"))
+
+    def test_disable_all(self):
+        source = "import random  # reprolint: disable=all\n"
+        assert lint_source(source, path="repro/sim/a.py") == []
+
+    def test_unrelated_rule_still_fires(self):
+        source = "import random  # reprolint: disable=DET002\n"
+        assert "RNG001" in rule_ids(lint_source(source, path="repro/sim/a.py"))
+
+    def test_marker_inside_string_is_ignored(self):
+        source = (
+            "note = '# reprolint: disable=RNG001'\nimport random\n"
+        )
+        assert "RNG001" in rule_ids(lint_source(source, path="repro/sim/a.py"))
+
+    def test_parse_suppressions_index(self):
+        index = parse_suppressions(
+            "x = 1  # reprolint: disable=INV002, DET002\n"
+        )
+        assert index.is_suppressed("INV002", 1)
+        assert index.is_suppressed("DET002", 1)
+        assert not index.is_suppressed("INV002", 2)
+        assert not index.is_suppressed("RNG001", 1)
+
+
+class TestConfig:
+    def write_pyproject(self, tmp_path: Path, body: str) -> Path:
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(body, encoding="utf-8")
+        return pyproject
+
+    def test_excludes_respected(self, tmp_path):
+        package = tmp_path / "repro" / "sim"
+        package.mkdir(parents=True)
+        (package / "bad.py").write_text("import random\n", encoding="utf-8")
+        legacy = tmp_path / "legacy"
+        legacy.mkdir()
+        (legacy / "old.py").write_text("import random\n", encoding="utf-8")
+        pyproject = self.write_pyproject(
+            tmp_path,
+            "[tool.reprolint]\nexclude = [\"legacy/*\"]\n",
+        )
+        config = LintConfig.from_pyproject(pyproject)
+        report = lint_paths([tmp_path], config)
+        assert report.files_checked == 1
+        assert {d.rule_id for d in report.diagnostics} >= {"RNG001"}
+        assert all("legacy" not in d.path for d in report.diagnostics)
+
+    def test_severity_override_and_fail_on(self, tmp_path):
+        pyproject = self.write_pyproject(
+            tmp_path,
+            "[tool.reprolint]\nfail_on = \"error\"\n\n"
+            "[tool.reprolint.severity]\nDET002 = \"info\"\n",
+        )
+        config = LintConfig.from_pyproject(pyproject)
+        diagnostics = lint_source(
+            "a = list(set([1, 2]))\n", path="repro/a.py", config=config
+        )
+        assert [d.severity for d in diagnostics] == [Severity.INFO]
+        report = lint_paths([], config)
+        report.diagnostics.extend(diagnostics)
+        assert not report.failed(config.fail_on)
+
+    def test_select_and_ignore(self):
+        config = LintConfig(select=["RNG001"])
+        source = "import random\n\nimport time\n\nstart = time.time()\n"
+        assert rule_ids(lint_source(source, "repro/sim/a.py", config)) == {"RNG001"}
+        config = LintConfig(ignore=["RNG001"])
+        assert "RNG001" not in rule_ids(
+            lint_source(source, "repro/sim/a.py", config)
+        )
+
+    def test_rule_option_override(self, tmp_path):
+        pyproject = self.write_pyproject(
+            tmp_path,
+            "[tool.reprolint]\n\n"
+            "[tool.reprolint.rules.RNG002]\nallow = [\"repro/legacy/*\"]\n",
+        )
+        config = LintConfig.from_pyproject(pyproject)
+        source = "import numpy as np\n\nrng = np.random.default_rng(0)\n"
+        assert "RNG002" not in rule_ids(
+            lint_source(source, "repro/legacy/x.py", config)
+        )
+        # The built-in allow list was *replaced*, so repro/rng now flags.
+        assert "RNG002" in rule_ids(
+            lint_source(source, "repro/rng/streams.py", config)
+        )
+
+    def test_minimal_toml_parser_parity(self):
+        body = (
+            "[tool.reprolint]\n"
+            "exclude = [\"a/*\", \"b/*\"]\n"
+            "fail_on = \"error\"\n"
+            "[tool.reprolint.severity]\n"
+            "DET002 = \"info\"\n"
+            "[tool.reprolint.rules.RNG002]\n"
+            "allow = [\"x/*\"]\n"
+        )
+        parsed = _parse_minimal_toml(body)["tool"]["reprolint"]
+        assert parsed["exclude"] == ["a/*", "b/*"]
+        assert parsed["fail_on"] == "error"
+        assert parsed["severity"]["DET002"] == "info"
+        assert parsed["rules"]["RNG002"]["allow"] == ["x/*"]
+
+    def test_path_matches_suffix_semantics(self):
+        assert path_matches("src/repro/rng/streams.py", ["repro/rng/*"])
+        assert path_matches("repro/rng/streams.py", ["repro/rng/*"])
+        assert not path_matches("src/repro/sim/engine.py", ["repro/rng/*"])
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Severity.from_name("fatal")
+
+    def test_repo_pyproject_table_loads(self):
+        table = load_pyproject_table(PYPROJECT)
+        assert "exclude" in table
+
+
+class TestFrameworkApi:
+    def test_get_rule_roundtrip(self):
+        assert get_rule("RNG001").name == "random-module"
+        with pytest.raises(ConfigurationError):
+            get_rule("NOPE999")
+
+    def test_diagnostic_dict_and_human_formats(self):
+        diagnostic = Diagnostic(
+            rule_id="RNG001",
+            path="repro/a.py",
+            line=3,
+            col=4,
+            severity=Severity.ERROR,
+            message="nope",
+        )
+        assert diagnostic.format_human() == "repro/a.py:3:4: RNG001 error: nope"
+        assert diagnostic.as_dict()["severity"] == "error"
+
+    def test_lint_is_deterministic(self, tmp_path):
+        package = tmp_path / "repro" / "sim"
+        package.mkdir(parents=True)
+        (package / "a.py").write_text(
+            "import random\nimport time\n\nstart = time.time()\n",
+            encoding="utf-8",
+        )
+        (package / "b.py").write_text("def f(x=[]):\n    return x\n", encoding="utf-8")
+        first = [d.as_dict() for d in lint_paths([tmp_path]).diagnostics]
+        second = [d.as_dict() for d in lint_paths([tmp_path]).diagnostics]
+        assert first == second
+        locations = [(d["path"], d["line"], d["col"]) for d in first]
+        assert locations == sorted(locations), "diagnostics come out sorted"
+
+
+class TestCli:
+    def test_json_output_and_exit_code(self, tmp_path, capsys):
+        package = tmp_path / "repro" / "sim"
+        package.mkdir(parents=True)
+        (package / "bad.py").write_text("import random\n", encoding="utf-8")
+        code = reprolint_main(["--format", "json", str(tmp_path)])
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert code == 1
+        assert payload["files_checked"] == 1
+        assert payload["diagnostics"][0]["rule"] == "RNG001"
+        assert payload["diagnostics"][0]["line"] == 1
+
+    def test_human_output_contains_location(self, tmp_path, capsys):
+        package = tmp_path / "repro"
+        package.mkdir()
+        (package / "bad.py").write_text(
+            "def f(x=[]):\n    return x\n", encoding="utf-8"
+        )
+        code = reprolint_main([str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "bad.py:1:" in out
+        assert "API001" in out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        package = tmp_path / "repro"
+        package.mkdir()
+        (package / "ok.py").write_text(
+            "__all__ = ['f']\n\n\ndef f() -> int:\n    return 1\n",
+            encoding="utf-8",
+        )
+        assert reprolint_main([str(tmp_path)]) == 0
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert reprolint_main([str(tmp_path / "nope")]) == 2
+
+    def test_list_rules(self, capsys):
+        assert reprolint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_class in all_rules():
+            assert rule_class.id in out
+
+    def test_ignore_flag(self, tmp_path, capsys):
+        package = tmp_path / "repro"
+        package.mkdir()
+        (package / "bad.py").write_text(
+            "def f(x=[]):\n    return x\n\n\n__all__ = ['f']\n", encoding="utf-8"
+        )
+        assert reprolint_main(["--ignore", "API001", str(tmp_path)]) == 0
+
+
+class TestRepoGate:
+    """The tier-1 contract: the repo itself lints clean, violations fail."""
+
+    def test_src_tree_is_lint_clean(self, capsys):
+        code = reprolint_main(["--config", str(PYPROJECT), str(SRC_DIR)])
+        out = capsys.readouterr().out
+        assert code == 0, f"reprolint found violations in src/:\n{out}"
+
+    def test_addc_repro_lint_subcommand(self, capsys):
+        code = repro.cli.main(
+            ["lint", "--config", str(PYPROJECT), str(SRC_DIR)]
+        )
+        assert code == 0
+        assert "finding(s)" in capsys.readouterr().out
+
+    def test_introduced_violation_fails(self, tmp_path, capsys):
+        package = tmp_path / "repro" / "sim"
+        package.mkdir(parents=True)
+        clean = SRC_DIR / "repro" / "sim" / "packet.py"
+        (package / "packet.py").write_text(
+            clean.read_text(encoding="utf-8")
+            + "\nimport random  # injected regression\n",
+            encoding="utf-8",
+        )
+        code = reprolint_main(["--config", str(PYPROJECT), str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RNG001" in out and "packet.py" in out
+
+    def test_rule_pack_fixtures_fail_via_cli(self, tmp_path, capsys):
+        for rule_id, (path, bad, _) in sorted(RULE_FIXTURES.items()):
+            # Unique basename per rule: several fixtures share a directory.
+            target = tmp_path / Path(path).parent / f"fixture_{rule_id.lower()}.py"
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(bad, encoding="utf-8")
+        code = reprolint_main(["--config", str(PYPROJECT), str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        for rule_id in RULE_FIXTURES:
+            assert rule_id in out, f"{rule_id} fixture missing from CLI output"

@@ -12,6 +12,7 @@ from repro.metrics.stats import (
     comparison_significant,
     t_confidence_interval,
 )
+from repro.rng import StreamFactory
 
 
 class TestTInterval:
@@ -59,15 +60,45 @@ class TestBootstrap:
         assert ci.contains(5.0)
         assert ci.half_width < 0.2
 
-    def test_deterministic_given_seed(self):
+    def test_deterministic_given_injected_rng(self):
         values = [1.0, 3.0, 2.0, 5.0, 4.0]
-        a = bootstrap_confidence_interval(values, seed=7)
-        b = bootstrap_confidence_interval(values, seed=7)
+        factory = StreamFactory(seed=7)
+        a = bootstrap_confidence_interval(values, rng=factory.stream("bootstrap"))
+        b = bootstrap_confidence_interval(values, rng=factory.stream("bootstrap"))
         assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_seed_fallback_is_deprecated_but_reproducible(self):
+        values = [1.0, 3.0, 2.0, 5.0, 4.0]
+        with pytest.warns(DeprecationWarning):
+            a = bootstrap_confidence_interval(values, seed=7)
+        with pytest.warns(DeprecationWarning):
+            b = bootstrap_confidence_interval(values, seed=7)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_seed_fallback_matches_equivalent_generator(self):
+        values = [1.0, 3.0, 2.0, 5.0, 4.0]
+        with pytest.warns(DeprecationWarning):
+            legacy = bootstrap_confidence_interval(values, seed=7)
+        injected = bootstrap_confidence_interval(
+            values, rng=np.random.default_rng(7)
+        )
+        assert (legacy.lower, legacy.upper) == (injected.lower, injected.upper)
+
+    def test_default_path_matches_legacy_seed_zero(self):
+        values = [1.0, 3.0, 2.0, 5.0, 4.0]
+        default = bootstrap_confidence_interval(values)
+        explicit = bootstrap_confidence_interval(
+            values, rng=np.random.default_rng(0)
+        )
+        assert (default.lower, default.upper) == (explicit.lower, explicit.upper)
 
     def test_errors(self):
         with pytest.raises(ConfigurationError):
             bootstrap_confidence_interval([1.0, 2.0], resamples=10)
+        with pytest.raises(ConfigurationError):
+            bootstrap_confidence_interval(
+                [1.0, 2.0], seed=1, rng=np.random.default_rng(1)
+            )
 
     @settings(max_examples=20, deadline=None)
     @given(
