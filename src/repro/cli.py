@@ -6,6 +6,7 @@ Commands
 ``bounds``     the analytic delay/capacity bounds for a scenario
 ``collect``    run one ADDC collection and print the outcome
 ``compare``    ADDC vs Coolest over repeated deployments
+``chaos``      one ADDC collection under fault injection (repro.faults)
 ``fig4``       regenerate Figure 4 (PCR sweeps)
 ``fig6``       regenerate one Figure 6 sub-figure (a-f), optionally --save
 ``scenario``   list or run a named scenario preset
@@ -184,6 +185,67 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import chaos_plan
+    from repro.metrics.resilience import resilience_report
+
+    config = _config_from(args)
+    if args.smoke:
+        # CI sanity run: small, fast, and strict about the accounting.
+        config = config.with_overrides(repetitions=1)
+    streams = StreamFactory(config.seed).spawn("cli-chaos")
+    topology = deploy_crn(config.deployment_spec(), streams)
+    plan = chaos_plan(
+        topology.secondary.su_ids(),
+        args.horizon_slots,
+        args.intensity,
+        streams,
+        drop_queue=not args.keep_queues,
+        mean_downtime_slots=args.mean_downtime,
+        # Pinned-idle detectors are only meaningful under geometric
+        # blocking (the mean-field model has no PUs to violate).
+        sensing_fault_fraction=0.25 if config.blocking == "geometric" else 0.0,
+        blackout=args.blackout,
+    )
+    print(f"fault plan: {plan.describe()}")
+    outcome = run_addc_collection(
+        topology,
+        streams.spawn("addc"),
+        eta_p_db=config.eta_p_db,
+        eta_s_db=config.eta_s_db,
+        alpha=config.alpha,
+        blocking=config.blocking,
+        fault_plan=plan,
+        max_slots=config.max_slots,
+    )
+    result = outcome.result
+    report = resilience_report(result, topology.secondary.num_sus)
+    print(result.summary())
+    print(report.summary())
+    if args.smoke:
+        # The delivery books must balance exactly on a completed run.
+        if not result.completed:
+            print("SMOKE FAIL: run did not complete", file=sys.stderr)
+            return 1
+        if result.delivered + result.packets_lost != result.num_packets:
+            print(
+                "SMOKE FAIL: delivered + lost != expected "
+                f"({result.delivered} + {result.packets_lost} != "
+                f"{result.num_packets})",
+                file=sys.stderr,
+            )
+            return 1
+        if result.packets_orphaned > result.packets_lost:
+            print("SMOKE FAIL: more orphans than losses", file=sys.stderr)
+            return 1
+        if not 0.0 <= report.availability <= 1.0:
+            print("SMOKE FAIL: availability outside [0, 1]", file=sys.stderr)
+            return 1
+        print("chaos smoke OK")
+        return 0
+    return 0 if result.completed else 1
+
+
 def _cmd_fig4(args: argparse.Namespace) -> int:
     print(render_fig4_table(figure4_rows()))
     return 0
@@ -304,6 +366,45 @@ def build_parser() -> argparse.ArgumentParser:
     compare = commands.add_parser("compare", help="ADDC vs Coolest")
     _add_scale_options(compare)
     compare.set_defaults(handler=_cmd_compare)
+
+    chaos = commands.add_parser(
+        "chaos", help="run one ADDC collection under fault injection"
+    )
+    _add_scale_options(chaos)
+    chaos.add_argument(
+        "--intensity",
+        type=float,
+        default=0.2,
+        help="expected fraction of SUs hit by a transient outage",
+    )
+    chaos.add_argument(
+        "--horizon-slots",
+        type=int,
+        default=2000,
+        help="slots over which fault onsets are scheduled",
+    )
+    chaos.add_argument(
+        "--mean-downtime",
+        type=float,
+        default=200.0,
+        help="mean outage duration in slots",
+    )
+    chaos.add_argument(
+        "--keep-queues",
+        action="store_true",
+        help="downed nodes keep their queued packets (default: dropped)",
+    )
+    chaos.add_argument(
+        "--blackout",
+        action="store_true",
+        help="add one base-station blackout window mid-run",
+    )
+    chaos.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI mode: one repetition plus accounting checks",
+    )
+    chaos.set_defaults(handler=_cmd_chaos)
 
     fig4 = commands.add_parser("fig4", help="regenerate Figure 4")
     fig4.set_defaults(handler=_cmd_fig4)

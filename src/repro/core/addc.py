@@ -11,7 +11,7 @@ policy contributes the two ADDC-specific decisions:
 
 from __future__ import annotations
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, GraphError
 from repro.graphs.tree import CollectionTree
 from repro.sim.packet import Packet
 
@@ -33,6 +33,10 @@ class AddcPolicy:
         self.tree = tree
         self.fairness_wait = bool(fairness_wait)
         self.graph = graph
+        # Roles of transiently-down nodes, restored on rejoin so a
+        # recovered backbone member comes back *as backbone* and its
+        # stranded former descendants can re-adopt it.
+        self._saved_roles = {}
 
     def next_hop(self, node: int, packet: Packet) -> int:
         """Forward to the collection-tree parent, whatever the packet."""
@@ -68,6 +72,44 @@ class AddcPolicy:
             for orphan in [child, *subtree]:
                 self.tree.parent[orphan] = -1
         return partitioned
+
+    def on_node_outage(self, node: int):
+        """Repair around a transiently-down node, remembering roles.
+
+        Same tree surgery as a departure, but the roles of the node and of
+        every node the repair strands are saved for :meth:`on_node_rejoin`.
+        """
+        self._saved_roles.setdefault(node, self.tree.roles[node])
+        partitioned = self.on_node_departure(node)
+        for orphan in partitioned:
+            self._saved_roles.setdefault(orphan, self.tree.roles[orphan])
+        return partitioned
+
+    def on_node_rejoin(self, node: int) -> bool:
+        """Try to re-attach a recovered node; ``False`` means retry later.
+
+        Attachment needs an adjacent attached backbone member
+        (:func:`repro.graphs.repair.attach_node`); a recovered node whose
+        neighbourhood is still down waits.  On success the node's
+        pre-outage role is restored and depths are refreshed so
+        depth-ordered repairs stay consistent.
+        """
+        if self.graph is None:
+            raise ConfigurationError(
+                "AddcPolicy needs the secondary graph to repair outages; "
+                "construct it with graph=G_s"
+            )
+        from repro.graphs.repair import attach_node, refresh_depths
+
+        try:
+            attach_node(self.tree, self.graph, node)
+        except GraphError:
+            return False
+        saved = self._saved_roles.pop(node, None)
+        if saved is not None:
+            self.tree.roles[node] = saved
+        refresh_depths(self.tree)
+        return True
 
     def describe(self) -> str:
         """Policy name for reports."""

@@ -55,6 +55,7 @@ def run_addc_collection(
     channel_strategy: str = "random-idle",
     packet_slots: int = 1,
     departure_schedule=None,
+    fault_plan=None,
     max_slots: int = 2_000_000,
     contention_window_ms: float = 0.5,
     slot_duration_ms: float = 1.0,
@@ -69,6 +70,7 @@ def run_addc_collection(
     ``p_false_alarm`` / ``p_missed_detection`` enable imperfect spectrum
     sensing.  ``rounds > 1`` with ``period_slots`` runs the continuous
     (periodic-snapshot) workload instead of the paper's single snapshot.
+    ``fault_plan`` injects scripted adversity (:mod:`repro.faults`).
     ``num_channels > 1`` spreads the PUs uniformly over that many licensed
     channels (the paper's model is the single-channel case).
     """
@@ -128,6 +130,7 @@ def run_addc_collection(
         channel_strategy=channel_strategy,
         packet_slots=packet_slots,
         departure_schedule=departure_schedule,
+        fault_plan=fault_plan,
         slot_duration_ms=slot_duration_ms,
         contention_window_ms=contention_window_ms,
         max_slots=max_slots,

@@ -21,6 +21,7 @@ __all__ = [
     "SimulationError",
     "InterferenceViolationError",
     "WorkloadError",
+    "ExperimentIOError",
 ]
 
 
@@ -79,3 +80,11 @@ class InterferenceViolationError(SimulationError):
 
 class WorkloadError(ReproError):
     """A workload description is invalid or inconsistent with the topology."""
+
+
+class ExperimentIOError(ReproError):
+    """An experiment artifact on disk is unreadable or malformed.
+
+    The message always names the offending path, so a failed overnight
+    sweep points straight at the file to inspect or delete.
+    """

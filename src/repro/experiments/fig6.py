@@ -122,8 +122,15 @@ def run_fig6_sweep(
     base: ExperimentConfig,
     repetitions: Optional[int] = None,
     values: Optional[Sequence[float]] = None,
+    on_incomplete: str = "skip",
 ) -> List[Tuple[float, ComparisonPoint]]:
-    """Run one sub-figure end to end; returns (x-value, comparison) pairs."""
+    """Run one sub-figure end to end; returns (x-value, comparison) pairs.
+
+    Incomplete repetitions are skipped by default (recorded in each
+    point's ``skipped_repetitions``) so one pathological deployment does
+    not abort a multi-hour sweep; pass ``on_incomplete="raise"`` to get
+    the strict single-point behaviour.
+    """
     if values is not None:
         sweep = Fig6Sweep(
             name=sweep.name,
@@ -134,5 +141,12 @@ def run_fig6_sweep(
         )
     results: List[Tuple[float, ComparisonPoint]] = []
     for x_value, config in sweep_point_configs(sweep, base):
-        results.append((x_value, run_comparison_point(config, repetitions)))
+        results.append(
+            (
+                x_value,
+                run_comparison_point(
+                    config, repetitions, on_incomplete=on_incomplete
+                ),
+            )
+        )
     return results

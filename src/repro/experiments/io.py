@@ -9,10 +9,11 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from pathlib import Path
 from typing import Dict, List, Sequence, Tuple, Union
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ExperimentIOError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ComparisonPoint
 from repro.metrics.aggregate import RunStatistics
@@ -31,6 +32,7 @@ def comparison_point_to_dict(point: ComparisonPoint) -> Dict:
         "config": dataclasses.asdict(point.config),
         "addc_delays_ms": list(point.addc_delays),
         "coolest_delays_ms": list(point.coolest_delays),
+        "skipped_repetitions": point.skipped_repetitions,
     }
 
 
@@ -54,6 +56,8 @@ def comparison_point_from_dict(record: Dict) -> ComparisonPoint:
         coolest_delay_ms=_statistics(coolest),
         addc_delays=addc,
         coolest_delays=coolest,
+        # Absent in artifacts written before skip-support existed.
+        skipped_repetitions=int(record.get("skipped_repetitions", 0)),
     )
 
 
@@ -62,7 +66,13 @@ def save_sweep(
     name: str,
     points: Sequence[Tuple[float, ComparisonPoint]],
 ) -> None:
-    """Write one figure sweep (x-values plus comparison points) to JSON."""
+    """Write one figure sweep (x-values plus comparison points) to JSON.
+
+    The write is atomic: the payload lands in a temporary sibling file
+    that replaces the target via :func:`os.replace`, so a crash (or a
+    concurrent reader) never observes a half-written sweep — an overnight
+    sweep interrupted mid-save keeps its previous good artifact.
+    """
     payload = {
         "name": name,
         "points": [
@@ -70,19 +80,44 @@ def save_sweep(
             for x, point in points
         ],
     }
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    target = Path(path)
+    temporary = target.with_name(target.name + ".tmp")
+    try:
+        temporary.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        os.replace(temporary, target)
+    except OSError as exc:
+        try:
+            temporary.unlink()
+        except OSError:
+            pass
+        raise ExperimentIOError(f"cannot write sweep file {target}: {exc}") from exc
 
 
 def load_sweep(path: Union[str, Path]) -> Tuple[str, List[Tuple[float, ComparisonPoint]]]:
-    """Read a sweep written by :func:`save_sweep`."""
+    """Read a sweep written by :func:`save_sweep`.
+
+    Raises
+    ------
+    ExperimentIOError
+        If the file is missing, unreadable, not JSON, or JSON of the
+        wrong shape — always naming the offending path.
+    """
     try:
         payload = json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
-        raise ConfigurationError(f"cannot read sweep file {path}: {exc}") from exc
-    if "name" not in payload or "points" not in payload:
-        raise ConfigurationError(f"{path} is not a sweep file")
-    points = [
-        (float(entry["x"]), comparison_point_from_dict(entry["comparison"]))
-        for entry in payload["points"]
-    ]
+        raise ExperimentIOError(f"cannot read sweep file {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "name" not in payload or "points" not in payload:
+        raise ExperimentIOError(
+            f"{path} is not a sweep file (expected a JSON object with "
+            "'name' and 'points')"
+        )
+    try:
+        points = [
+            (float(entry["x"]), comparison_point_from_dict(entry["comparison"]))
+            for entry in payload["points"]
+        ]
+    except (ConfigurationError, KeyError, TypeError, ValueError) as exc:
+        raise ExperimentIOError(
+            f"sweep file {path} is corrupt: bad point record ({exc})"
+        ) from exc
     return str(payload["name"]), points

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.collector import run_addc_collection
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.experiments.config import ExperimentConfig
 from repro.metrics.aggregate import (
     RunStatistics,
@@ -36,6 +36,9 @@ class ComparisonPoint:
     coolest_delay_ms: RunStatistics
     addc_delays: List[float] = field(default_factory=list)
     coolest_delays: List[float] = field(default_factory=list)
+    #: Repetitions dropped by ``on_incomplete="skip"`` (either algorithm
+    #: hit max_slots); the averages cover the surviving repetitions only.
+    skipped_repetitions: int = 0
 
     @property
     def reduction_percent(self) -> float:
@@ -75,12 +78,28 @@ def _require_complete(delay_ms: Optional[float], label: str, rep: int) -> float:
 
 
 def run_comparison_point(
-    config: ExperimentConfig, repetitions: Optional[int] = None
+    config: ExperimentConfig,
+    repetitions: Optional[int] = None,
+    on_incomplete: str = "raise",
 ) -> ComparisonPoint:
-    """Run ADDC and Coolest over ``repetitions`` fresh deployments."""
+    """Run ADDC and Coolest over ``repetitions`` fresh deployments.
+
+    ``on_incomplete`` decides what an incomplete repetition (either
+    algorithm hitting ``max_slots``) does: ``"raise"`` (default) aborts
+    the point with a :class:`SimulationError`; ``"skip"`` drops that
+    repetition from the averages and counts it in
+    :attr:`ComparisonPoint.skipped_repetitions` — the right behaviour for
+    long sweep drivers, where one pathological deployment should cost one
+    data point's precision, not the whole overnight sweep.
+    """
+    if on_incomplete not in ("raise", "skip"):
+        raise ConfigurationError(
+            f"on_incomplete must be 'raise' or 'skip', got {on_incomplete!r}"
+        )
     reps = repetitions if repetitions is not None else config.repetitions
     addc_delays: List[float] = []
     coolest_delays: List[float] = []
+    skipped = 0
     root = StreamFactory(config.seed)
 
     for rep in range(reps):
@@ -111,6 +130,11 @@ def run_comparison_point(
             contention_window_ms=config.contention_window_ms,
             slot_duration_ms=config.slot_duration_ms,
         )
+        if on_incomplete == "skip" and (
+            addc.result.delay_ms is None or coolest.result.delay_ms is None
+        ):
+            skipped += 1
+            continue
         addc_delays.append(
             _require_complete(addc.result.delay_ms, "ADDC", rep)
         )
@@ -118,12 +142,18 @@ def run_comparison_point(
             _require_complete(coolest.result.delay_ms, "Coolest", rep)
         )
 
+    if not addc_delays:
+        raise SimulationError(
+            f"all {reps} repetitions hit max_slots before completing; "
+            "raise max_slots or shrink the scenario"
+        )
     return ComparisonPoint(
         config=config,
         addc_delay_ms=summarize_delays(addc_delays),
         coolest_delay_ms=summarize_delays(coolest_delays),
         addc_delays=addc_delays,
         coolest_delays=coolest_delays,
+        skipped_repetitions=skipped,
     )
 
 

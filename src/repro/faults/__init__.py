@@ -1,0 +1,23 @@
+"""Deterministic fault injection and resilience scenarios.
+
+``repro.faults`` scripts adversity against a running collection: crash-stop
+departures, *transient* node outages with scheduled recovery, stuck
+spectrum detectors, per-link path-loss degradation, and base-station
+blackout windows.  Plans are plain data (:class:`FaultPlan`), generated
+either by hand or by the MTBF/MTTR-style generators, and are consumed by
+:class:`repro.sim.engine.SlottedEngine` via its ``fault_plan`` parameter.
+Resilience metrics over the outcome live in
+:mod:`repro.metrics.resilience`.
+"""
+
+from repro.faults.generators import chaos_plan, crash_plan, mtbf_outage_plan
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "chaos_plan",
+    "crash_plan",
+    "mtbf_outage_plan",
+]

@@ -1,0 +1,257 @@
+"""Fault-injection schema: typed fault events and replayable fault plans.
+
+The paper's premise is that SUs live with unpredictable spectrum loss —
+PUs reclaim channels, sensing is imperfect, nodes come and go (Section I).
+A :class:`FaultPlan` makes that adversity *scriptable*: a sorted list of
+:class:`FaultEvent` entries the engine applies at exact slot boundaries,
+so every chaos run is deterministic and replayable from ``(seed, plan)``.
+
+Supported fault kinds
+---------------------
+``crash``
+    Permanent crash-stop departure (the runtime-churn model): queued data
+    is lost, the policy repairs its routing structure, partitioned nodes
+    retire too.
+``outage``
+    *Transient* node downtime: the node powers off at ``slot`` and tries to
+    rejoin at ``until``.  Its queue is kept (default) or dropped
+    (``drop_queue=True``); arrivals for it are buffered, not lost; on
+    recovery the policy re-attaches it (``on_node_rejoin``) and the engine
+    reports the repair latency.
+``stuck-busy`` / ``stuck-idle``
+    A sensing fault pinning the node's detector output during
+    ``[slot, until)``: stuck-busy nodes never transmit (every slot reads
+    busy); stuck-idle nodes ignore PU activity and transmit into it.
+``link-degradation``
+    Extra path loss (``extra_loss_db``) on the directed link
+    ``node -> peer`` during ``[slot, until)``, applied to the received
+    signal in SIR adjudication — a fading/obstruction model.
+``bs-blackout``
+    The base station stops receiving during ``[slot, until)``; deliveries
+    into it fail and are retried (counted in ``blackout_failures``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultPlan"]
+
+#: Every fault kind the engine understands.
+FAULT_KINDS = (
+    "crash",
+    "outage",
+    "stuck-busy",
+    "stuck-idle",
+    "link-degradation",
+    "bs-blackout",
+)
+
+#: Kinds that carry a ``[slot, until)`` active window.
+_WINDOWED = ("outage", "stuck-busy", "stuck-idle", "link-degradation", "bs-blackout")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.  Use the classmethod constructors.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    slot:
+        Onset slot (the fault applies before that slot's contention).
+    node:
+        Target SU id; ``-1`` for ``bs-blackout`` (the base station).
+    until:
+        End slot (exclusive) for windowed kinds; for ``outage`` it is the
+        *scheduled* recovery slot (actual rejoin may be later if no
+        backbone neighbour is reachable yet).  ``None`` for ``crash``.
+    peer:
+        Receiver of the degraded directed link (``link-degradation`` only).
+    extra_loss_db:
+        Additional path loss in dB on the degraded link.
+    drop_queue:
+        Whether an ``outage`` drops the node's queued data at onset
+        (counted lost/orphaned) instead of freezing the queue.
+    """
+
+    kind: str
+    slot: int
+    node: int = -1
+    until: Optional[int] = None
+    peer: int = -1
+    extra_loss_db: float = 0.0
+    drop_queue: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.slot < 0:
+            raise ConfigurationError(f"fault slot must be >= 0, got {self.slot}")
+        if self.kind in _WINDOWED:
+            if self.until is None or self.until <= self.slot:
+                raise ConfigurationError(
+                    f"{self.kind} fault needs until > slot, got "
+                    f"[{self.slot}, {self.until})"
+                )
+        elif self.until is not None:
+            raise ConfigurationError(f"{self.kind} fault takes no until slot")
+        if self.kind == "bs-blackout":
+            if self.node != -1:
+                raise ConfigurationError("bs-blackout targets the base station only")
+        elif self.node < 0:
+            raise ConfigurationError(f"{self.kind} fault needs a target node")
+        if self.kind == "link-degradation":
+            if self.peer < 0:
+                raise ConfigurationError("link-degradation needs a peer node")
+            if self.peer == self.node:
+                raise ConfigurationError("link-degradation needs node != peer")
+            if self.extra_loss_db <= 0:
+                raise ConfigurationError(
+                    f"extra_loss_db must be positive, got {self.extra_loss_db}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Constructors                                                        #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def crash(cls, slot: int, node: int) -> "FaultEvent":
+        """Permanent crash-stop departure of ``node`` at ``slot``."""
+        return cls(kind="crash", slot=slot, node=node)
+
+    @classmethod
+    def outage(
+        cls, slot: int, node: int, recover_slot: int, drop_queue: bool = False
+    ) -> "FaultEvent":
+        """Transient downtime of ``node`` over ``[slot, recover_slot)``."""
+        return cls(
+            kind="outage",
+            slot=slot,
+            node=node,
+            until=recover_slot,
+            drop_queue=drop_queue,
+        )
+
+    @classmethod
+    def stuck_busy(cls, slot: int, node: int, until: int) -> "FaultEvent":
+        """Detector of ``node`` pinned busy during ``[slot, until)``."""
+        return cls(kind="stuck-busy", slot=slot, node=node, until=until)
+
+    @classmethod
+    def stuck_idle(cls, slot: int, node: int, until: int) -> "FaultEvent":
+        """Detector of ``node`` pinned idle during ``[slot, until)``."""
+        return cls(kind="stuck-idle", slot=slot, node=node, until=until)
+
+    @classmethod
+    def link_degradation(
+        cls, slot: int, node: int, peer: int, until: int, extra_loss_db: float
+    ) -> "FaultEvent":
+        """Extra path loss on the link ``node -> peer`` during ``[slot, until)``."""
+        return cls(
+            kind="link-degradation",
+            slot=slot,
+            node=node,
+            peer=peer,
+            until=until,
+            extra_loss_db=extra_loss_db,
+        )
+
+    @classmethod
+    def bs_blackout(cls, slot: int, until: int) -> "FaultEvent":
+        """Base station receives nothing during ``[slot, until)``."""
+        return cls(kind="bs-blackout", slot=slot, until=until)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, slot-sorted schedule of fault events.
+
+    Construction sorts events by onset slot (stable, so same-slot events
+    keep their authoring order — the order the engine applies them in).
+    """
+
+    events: Tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.events, key=lambda event: event.slot)
+        )
+        object.__setattr__(self, "events", ordered)
+
+    @classmethod
+    def from_events(cls, events: Iterable[FaultEvent]) -> "FaultPlan":
+        """Build a plan from any iterable of events."""
+        return cls(events=tuple(events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def merged_with(self, other: "FaultPlan") -> "FaultPlan":
+        """The union of two plans (re-sorted by onset slot)."""
+        return FaultPlan(events=self.events + other.events)
+
+    def validate_for(self, su_ids: Iterable[int], base_station: int) -> None:
+        """Check every event targets a real SU of the deployed topology.
+
+        Raises
+        ------
+        ConfigurationError
+            On an unknown node, a base-station target, or a degraded link
+            whose peer is neither an SU nor the base station.
+        """
+        valid = set(int(node) for node in su_ids)
+        for event in self.events:
+            if event.kind == "bs-blackout":
+                continue
+            if event.node == base_station:
+                raise ConfigurationError(
+                    f"{event.kind} fault cannot target the base station "
+                    f"(node {base_station}); use bs-blackout"
+                )
+            if event.node not in valid:
+                raise ConfigurationError(
+                    f"{event.kind} fault targets node {event.node}, not an SU"
+                )
+            if event.kind == "link-degradation":
+                if event.peer != base_station and event.peer not in valid:
+                    raise ConfigurationError(
+                        f"link-degradation peer {event.peer} is not a "
+                        "secondary node"
+                    )
+
+    def onsets_by_slot(self) -> Dict[int, List[FaultEvent]]:
+        """Events grouped by onset slot, in application order."""
+        grouped: Dict[int, List[FaultEvent]] = {}
+        for event in self.events:
+            grouped.setdefault(event.slot, []).append(event)
+        return grouped
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """How many events of each kind the plan holds (summary lines)."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def describe(self) -> str:
+        """One-line human-readable plan summary."""
+        if not self.events:
+            return "FaultPlan(empty)"
+        parts = ", ".join(
+            f"{count} {kind}" for kind, count in sorted(self.counts_by_kind().items())
+        )
+        horizon = max(
+            event.until if event.until is not None else event.slot
+            for event in self.events
+        )
+        return f"FaultPlan({parts}; horizon slot {horizon})"

@@ -18,6 +18,7 @@ from repro.metrics.breakdown import (
     node_activity,
     packet_journey,
 )
+from repro.metrics.resilience import ResilienceReport, resilience_report
 from repro.metrics.rounds import per_round_delays, sustainable_period_estimate
 from repro.metrics.timeline import delivery_timeline, steady_state_rate
 from repro.metrics.stats import (
@@ -42,6 +43,8 @@ __all__ = [
     "EnergyModel",
     "EnergyReport",
     "energy_consumption",
+    "ResilienceReport",
+    "resilience_report",
     "NodeActivity",
     "hop_latencies",
     "node_activity",

@@ -1,0 +1,124 @@
+"""Resilience metrics for runs under fault injection (:mod:`repro.faults`).
+
+A fault-free collection is judged by its delay; a faulted one is judged by
+how much of the snapshot still arrives and how quickly the network heals.
+:func:`resilience_report` condenses a finished run's fault bookkeeping into
+the four quantities the chaos benchmarks sweep:
+
+* **delivery ratio** — delivered fraction of the expected data packets;
+* **repair latency** — slots from an outage's onset to the node's actual
+  tree re-attachment (later than the scheduled recovery when the
+  neighbourhood was still down);
+* **downtime-weighted throughput** — delivery rate normalized by the
+  node-slots that were actually available, separating protocol loss from
+  capacity that simply was not there;
+* **orphaned packets per fault event** — how much data the average fault
+  destroys (queues lost with nodes, in-flight transmissions into them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult
+
+__all__ = ["ResilienceReport", "resilience_report"]
+
+#: Fault kinds that take the node off the air (and so consume node-slots).
+_DOWNTIME_KINDS = ("crash", "outage")
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Resilience summary of one (possibly faulted) run."""
+
+    delivery_ratio: Optional[float]
+    packets_lost: int
+    packets_orphaned: int
+    fault_events: int
+    outages_recovered: int
+    outages_open: int
+    mean_repair_slots: Optional[float]
+    max_repair_slots: Optional[int]
+    availability: float
+    downtime_weighted_throughput: Optional[float]
+    blackout_failures: int
+    arrivals_deferred: int
+
+    @property
+    def orphans_per_fault(self) -> float:
+        """Mean data packets destroyed per applied fault event."""
+        if self.fault_events == 0:
+            return 0.0
+        return self.packets_orphaned / self.fault_events
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        ratio = (
+            "n/a" if self.delivery_ratio is None else f"{self.delivery_ratio:.3f}"
+        )
+        repair = (
+            "n/a"
+            if self.mean_repair_slots is None
+            else f"{self.mean_repair_slots:.1f}"
+        )
+        return (
+            f"delivery {ratio}, {self.fault_events} fault(s), "
+            f"{self.outages_recovered} recovered "
+            f"(mean repair {repair} slots), "
+            f"availability {self.availability:.3f}, "
+            f"{self.packets_orphaned} orphaned"
+        )
+
+
+def resilience_report(
+    result: SimulationResult, num_sus: int
+) -> ResilienceReport:
+    """Condense a finished run into a :class:`ResilienceReport`.
+
+    ``num_sus`` sizes the availability denominator (node-slots the network
+    would have offered fault-free).  Works on fault-free runs too: every
+    fault figure is zero and availability is 1, so resilience sweeps can
+    include the intensity-0 point without special cases.
+    """
+    if num_sus < 1:
+        raise ConfigurationError(f"num_sus must be >= 1, got {num_sus}")
+    slots = result.slots_simulated
+
+    repairs: List[int] = []
+    outages_open = 0
+    down_node_slots = 0
+    for record in result.fault_records:
+        if record.kind == "outage":
+            if record.recovered_slot is None:
+                outages_open += 1
+            else:
+                repairs.append(record.recovered_slot - record.slot)
+        if record.kind in _DOWNTIME_KINDS:
+            end = record.recovered_slot if record.recovered_slot is not None else slots
+            down_node_slots += max(end - record.slot, 0)
+
+    availability = 1.0
+    if slots > 0:
+        availability = max(1.0 - down_node_slots / (num_sus * slots), 0.0)
+
+    throughput = None
+    if slots > 0 and availability > 0.0:
+        throughput = result.delivered / (slots * availability)
+
+    return ResilienceReport(
+        delivery_ratio=result.delivery_ratio,
+        packets_lost=result.packets_lost,
+        packets_orphaned=result.packets_orphaned,
+        fault_events=result.fault_event_count,
+        outages_recovered=len(repairs),
+        outages_open=outages_open,
+        mean_repair_slots=(sum(repairs) / len(repairs)) if repairs else None,
+        max_repair_slots=max(repairs) if repairs else None,
+        availability=availability,
+        downtime_weighted_throughput=throughput,
+        blackout_failures=result.blackout_failures,
+        arrivals_deferred=result.arrivals_deferred,
+    )

@@ -50,6 +50,27 @@ __all__ = ["CoolestPolicy", "CoolestOutcome", "run_coolest_collection"]
 _METRICS = ("accumulated", "mixed", "highest")
 
 
+class _MaskedGraph:
+    """A read-only adjacency view of ``graph`` with some nodes removed.
+
+    Masked nodes keep their ids (Dijkstra's arrays stay index-aligned)
+    but have no edges, so they can be neither relays nor destinations.
+    """
+
+    def __init__(self, graph, masked: frozenset) -> None:
+        self._graph = graph
+        self._masked = masked
+
+    @property
+    def num_nodes(self) -> int:
+        return self._graph.num_nodes
+
+    def neighbors(self, node: int):
+        if node in self._masked:
+            return []
+        return [n for n in self._graph.neighbors(node) if n not in self._masked]
+
+
 class CoolestPolicy:
     """Forward every packet one hop along its source-independent coolest path.
 
@@ -92,14 +113,12 @@ class CoolestPolicy:
             temperature_range = topology.secondary.radius
         temperatures = node_temperatures_at_range(topology, p_t, temperature_range)
 
-        graph = topology.secondary.graph
-        base = topology.secondary.base_station
+        self._graph = topology.secondary.graph
+        self._base = topology.secondary.base_station
         if metric == "highest":
             # [17]'s bottleneck metric: minimize the hottest node on the
             # path (hop count breaks ties, keeping routes finite-stretch).
-            _, parents = dijkstra_bottleneck(
-                graph, base, [float(t) for t in temperatures]
-            )
+            self._route_weights = [float(t) for t in temperatures]
         else:
             if metric == "mixed":
                 weights: List[float] = mixed_node_weights(temperatures)
@@ -109,13 +128,63 @@ class CoolestPolicy:
             # is entirely PU-free (zero temperature everywhere would
             # otherwise make all paths cost zero and the parent choice
             # arbitrary).
-            weights = [w + 1e-6 for w in weights]
-            _, parents = dijkstra_node_weighted(graph, base, weights)
-        if any(parent < 0 for parent in parents):
+            self._route_weights = [w + 1e-6 for w in weights]
+        # Nodes currently excluded from routing (crashed or in a transient
+        # outage); the parent tree is recomputed whenever this changes.
+        self._offline: set = set()
+        self._recompute_parents()
+        if any(parent < 0 for parent in self._parents):
             raise GraphError("G_s must be connected for Coolest routing")
-        self._parents = parents
-        self._base = base
         self.temperatures = temperatures
+
+    def _recompute_parents(self) -> None:
+        """Rerun Dijkstra with offline nodes masked out of the adjacency.
+
+        Masking (rather than infinite weights) keeps every metric safe: the
+        bottleneck metric compares hop counts between equal-cost paths, so
+        an infinitely hot node could still be chosen as a relay.
+        """
+        graph = self._graph
+        if self._offline:
+            graph = _MaskedGraph(self._graph, frozenset(self._offline))
+        if self.metric == "highest":
+            _, parents = dijkstra_bottleneck(graph, self._base, self._route_weights)
+        else:
+            _, parents = dijkstra_node_weighted(
+                graph, self._base, self._route_weights
+            )
+        self._parents = parents
+
+    def on_node_departure(self, node: int):
+        """Route around a crashed node; returns nodes the crash cut off.
+
+        Coolest is a global shortest-path scheme, so the "repair" is a
+        recompute over the surviving subgraph — the centralized-recovery
+        cost the paper's distributed argument (Section I) highlights.
+        """
+        reachable_before = {
+            n for n, parent in enumerate(self._parents) if parent >= 0
+        }
+        self._offline.add(node)
+        self._recompute_parents()
+        return sorted(
+            n
+            for n, parent in enumerate(self._parents)
+            if parent < 0 and n != node and n in reachable_before
+        )
+
+    # A transient outage needs the same global reroute as a crash.
+    on_node_outage = on_node_departure
+
+    def on_node_rejoin(self, node: int) -> bool:
+        """Readmit a recovered node; ``False`` if it is still cut off."""
+        self._offline.discard(node)
+        self._recompute_parents()
+        if self._parents[node] < 0:
+            self._offline.add(node)
+            self._recompute_parents()
+            return False
+        return True
 
     def next_hop(self, node: int, packet: Packet) -> int:
         """One hop along the coolest path, or along an explicit control route."""
@@ -133,6 +202,8 @@ class CoolestPolicy:
         parent = self._parents[node]
         if parent == node:
             raise GraphError(f"node {node} has a broken parent pointer")
+        if parent < 0:
+            raise GraphError(f"node {node} has no route to the base station")
         return parent
 
     def build_workload(self, num_sus: int) -> List[Packet]:
@@ -222,6 +293,7 @@ def run_coolest_collection(
     route_discovery: bool = True,
     p_t: Optional[float] = None,
     csma_range: Optional[float] = None,
+    fault_plan=None,
     max_slots: int = 2_000_000,
     contention_window_ms: float = 0.5,
     slot_duration_ms: float = 1.0,
@@ -233,6 +305,11 @@ def run_coolest_collection(
     but carrier-sense other SUs only at ``csma_range`` (default: their
     transmission radius), so transmissions are adjudicated — and sometimes
     lost — under the physical SIR model.
+
+    When a ``fault_plan`` is given, prefer ``route_discovery=False``:
+    discovered routes are frozen into the control packets, so a fault
+    arriving mid-discovery strands them on their stale paths (hop-by-hop
+    forwarding reroutes fine).
     """
     pcr_params = PcrParameters(
         alpha=alpha,
@@ -275,6 +352,7 @@ def run_coolest_collection(
         sir_check=True,
         blocking=blocking,
         homogeneous_p_o=homogeneous_p_o,
+        fault_plan=fault_plan,
         slot_duration_ms=slot_duration_ms,
         contention_window_ms=contention_window_ms,
         max_slots=max_slots,

@@ -57,11 +57,12 @@ from typing import Deque, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.faults.plan import FaultEvent, FaultPlan
 from repro.network.topology import CrnTopology
 from repro.rng import StreamFactory
 from repro.sim.packet import Packet
 from repro.sim.policies import MacPolicy
-from repro.sim.results import PacketRecord, SimulationResult
+from repro.sim.results import FaultRecord, PacketRecord, SimulationResult
 from repro.sim.trace import TraceEvent, TraceKind, TraceLog
 from repro.spectrum.sensing import CarrierSenseMap
 
@@ -177,7 +178,27 @@ class SlottedEngine:
         ``on_node_departure(node)`` hook repairs the routing structure and
         reports any nodes the departure *partitioned* — those retire (and
         lose their data) too.  The run completes when every data packet is
-        delivered or lost.
+        delivered or lost.  Equivalent to a :class:`~repro.faults.FaultPlan`
+        of ``crash`` events; both may be given and are merged.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` of scripted adversity
+        (see :mod:`repro.faults`).  Crash-stop events behave exactly like
+        ``departure_schedule`` entries.  A transient ``outage`` takes the
+        node down without losing it: its queue is kept (or dropped when the
+        event says so — dropped data counts as lost *and* orphaned), the
+        policy repairs the routing structure around it, nodes the repair
+        could not re-parent wait as *stranded* instead of retiring, and
+        arrivals for any down node are buffered (``arrivals_deferred``)
+        rather than lost.  From the scheduled recovery slot on, the engine
+        asks ``policy.on_node_rejoin(node)`` each slot until the node
+        re-attaches (e.g. via :func:`repro.graphs.repair.attach_node`);
+        the reattachment slot is recorded per fault in
+        ``SimulationResult.fault_records``.  Sensing faults pin a node's
+        detector busy (never transmits) or idle (transmits into PU
+        activity); link-degradation events subtract ``extra_loss_db`` from
+        the received signal of one directed link in SIR adjudication; a
+        base-station blackout makes deliveries fail and retry
+        (``blackout_failures``).
     slot_hook:
         Optional callable invoked as ``slot_hook(engine)`` at the end of
         every simulated slot, with ``last_slot_su_links`` and
@@ -204,6 +225,7 @@ class SlottedEngine:
         packet_slots: int = 1,
         detector=None,
         departure_schedule=None,
+        fault_plan: Optional[FaultPlan] = None,
         slot_duration_ms: float = 1.0,
         contention_window_ms: float = 0.5,
         max_slots: int = 2_000_000,
@@ -287,10 +309,14 @@ class SlottedEngine:
                 )
             self._imperfect_sensing = True
         self._sensing_rng = streams.stream("sensing-errors")
-        self._departures = {}
+        # Unified fault machinery: legacy departure schedules become
+        # crash-stop FaultEvents so one code path applies all adversity.
+        scripted: List[FaultEvent] = []
         if departure_schedule:
             su_ids = set(topology.secondary.su_ids())
-            for slot_key, nodes in departure_schedule.items():
+            for slot_key, nodes in sorted(
+                departure_schedule.items(), key=lambda item: int(item[0])
+            ):
                 slot_index = int(slot_key)
                 if slot_index < 0:
                     raise ConfigurationError("departure slots must be >= 0")
@@ -299,8 +325,43 @@ class SlottedEngine:
                         raise ConfigurationError(
                             f"departing node {leaver} is not an SU"
                         )
-                self._departures[slot_index] = [int(v) for v in nodes]
+                    scripted.append(FaultEvent.crash(slot_index, int(leaver)))
+        if fault_plan is not None:
+            fault_plan.validate_for(
+                topology.secondary.su_ids(), topology.secondary.base_station
+            )
+            scripted.extend(fault_plan.events)
+        if blocking == "homogeneous" and any(
+            event.kind == "stuck-idle" for event in scripted
+        ):
+            raise ConfigurationError(
+                "stuck-idle sensing faults need blocking='geometric': the "
+                "mean-field model folds PU interference into the blocking, "
+                "so a pinned-idle detector there would transmit consequence-"
+                "free (stuck-busy faults are fine in either mode)"
+            )
+        # Onset events per slot; the stable sort keys on the slot alone, so
+        # same-slot events apply in authoring order (departures first).
+        self._fault_onsets: Dict[int, List[FaultEvent]] = {}
+        for event in sorted(scripted, key=lambda item: item.slot):
+            self._fault_onsets.setdefault(event.slot, []).append(event)
+        #: Window-end events per slot (sensing / link / blackout faults).
+        self._fault_expiries: Dict[int, List[FaultEvent]] = {}
+        self._has_faults = bool(self._fault_onsets)
         self._dead: set = set()
+        # Transient-outage state: nodes currently powered off or stranded
+        # (detached by a repair, waiting for a parent), their scheduled
+        # rejoin slots, open fault records, and buffered arrivals.
+        self._down: set = set()
+        self._stranded: set = set()
+        self._rejoin_at: Dict[int, int] = {}
+        self._open_outages: Dict[int, FaultRecord] = {}
+        self._deferred_arrivals: Dict[int, List[Packet]] = {}
+        # Sensing-fault and link-degradation state (active windows).
+        self._stuck_busy: set = set()
+        self._stuck_idle: set = set()
+        self._link_loss: Dict[Tuple[int, int], float] = {}
+        self._bs_blackouts = 0
         self.slot_duration_ms = float(slot_duration_ms)
         self.contention_window_ms = float(contention_window_ms)
         self.max_slots = int(max_slots)
@@ -487,40 +548,260 @@ class SlottedEngine:
         if length > peaks.get(node, 0):
             peaks[node] = length
 
-    def _retire(self, node: int) -> None:
-        """Remove a node from the network, losing its queued data."""
+    def _retire(self, node: int) -> int:
+        """Remove a node from the network for good; returns lost data packets."""
         if node in self._dead:
-            return
+            return 0
         self._dead.add(node)
         lost = sum(1 for packet in self._queues[node] if packet.is_data)
+        deferred = self._deferred_arrivals.pop(node, None)
+        if deferred:
+            lost += sum(1 for packet in deferred if packet.is_data)
         self._result.packets_lost += lost
         self._queues[node].clear()
         self._active.discard(node)
         self._ongoing.pop(node, None)
+        self._down.discard(node)
+        self._stranded.discard(node)
+        self._rejoin_at.pop(node, None)
+        self._open_outages.pop(node, None)
+        self._stuck_busy.discard(node)
+        self._stuck_idle.discard(node)
+        return lost
 
-    def _process_departures(self) -> None:
-        """Apply this slot's scheduled node departures (runtime churn)."""
-        for node in self._departures.pop(self._slot, []):
-            if node in self._dead:
-                continue
-            self._result.nodes_departed += 1
-            self._retire(node)
-            handler = getattr(self.policy, "on_node_departure", None)
-            if handler is None:
-                raise SimulationError(
-                    f"policy {self.policy.describe()} does not support node "
-                    "departures (no on_node_departure hook)"
-                )
+    def _suspend(self, node: int) -> None:
+        """Freeze a node's contention state for transient downtime.
+
+        Unlike :meth:`_retire`, the queue survives (unless the fault said
+        to drop it) and the activity span closes so energy accounting does
+        not bill the downtime as listening.
+        """
+        if node in self._active:
+            span = self._slot - self._first_active_slot.pop(node, self._slot) + 1
+            self._result.active_slot_spans[node] = (
+                self._result.active_slot_spans.get(node, 0) + span
+            )
+            self._active.discard(node)
+            self._extra_wait[node] = 0.0
+        self._ongoing.pop(node, None)
+        if self.trace is not None:
+            self.trace.record(
+                TraceEvent(slot=self._slot, kind=TraceKind.NODE_DOWN, node=node)
+            )
+
+    def _departure_handler(self, kind: str):
+        """The policy hook that repairs the routing structure for ``kind``."""
+        if kind == "outage":
+            handler = getattr(self.policy, "on_node_outage", None)
+            if handler is not None:
+                return handler
+        handler = getattr(self.policy, "on_node_departure", None)
+        if handler is None:
+            raise SimulationError(
+                f"policy {self.policy.describe()} does not support node "
+                f"{kind}s (no on_node_departure hook)"
+            )
+        return handler
+
+    def _apply_crash(self, event: FaultEvent) -> None:
+        node = event.node
+        if node in self._dead:
+            return
+        record = FaultRecord(kind="crash", node=node, slot=self._slot)
+        self._result.fault_records.append(record)
+        self._result.nodes_departed += 1
+        was_down = node in self._down
+        lost = self._retire(node)
+        if not was_down:
+            # A node that was already detached by an earlier fault has no
+            # tree presence left to repair.
+            handler = self._departure_handler("crash")
             for partitioned in handler(node):
-                self._retire(partitioned)
-        # Abort in-flight transmissions aimed at nodes that just left.
+                if partitioned in self._down:
+                    # A stranded-but-alive node stays up; it keeps waiting
+                    # for a reattachment point.
+                    continue
+                lost += self._retire(partitioned)
+        record.packets_orphaned = lost
+
+    def _apply_outage(self, event: FaultEvent) -> None:
+        node = event.node
+        if node in self._dead or node in self._down:
+            return
+        record = FaultRecord(kind="outage", node=node, slot=self._slot)
+        self._result.fault_records.append(record)
+        self._open_outages[node] = record
+        self._down.add(node)
+        self._rejoin_at[node] = int(event.until)
+        if event.drop_queue:
+            orphaned = sum(1 for packet in self._queues[node] if packet.is_data)
+            self._result.packets_lost += orphaned
+            record.packets_orphaned = orphaned
+            self._queues[node].clear()
+        self._suspend(node)
+        handler = self._departure_handler("outage")
+        for stranded in handler(node):
+            if stranded in self._dead or stranded in self._down:
+                continue
+            # The repair found no parent for this node: it is alive but
+            # detached.  It waits (queue intact, arrivals buffered) and
+            # retries attachment every slot from the next one on.
+            self._down.add(stranded)
+            self._stranded.add(stranded)
+            self._rejoin_at[stranded] = self._slot + 1
+            self._suspend(stranded)
+
+    def _apply_windowed(self, event: FaultEvent) -> None:
+        """Activate a sensing, link, or blackout fault window."""
+        record = FaultRecord(
+            kind=event.kind,
+            node=event.node,
+            slot=self._slot,
+            recovered_slot=int(event.until),
+        )
+        self._result.fault_records.append(record)
+        self._fault_expiries.setdefault(int(event.until), []).append(event)
+        self._has_faults = True
+        if event.kind == "stuck-busy":
+            self._stuck_busy.add(event.node)
+        elif event.kind == "stuck-idle":
+            self._stuck_idle.add(event.node)
+        elif event.kind == "link-degradation":
+            self._link_loss[(event.node, event.peer)] = 10.0 ** (
+                -event.extra_loss_db / 10.0
+            )
+        else:  # bs-blackout
+            self._bs_blackouts += 1
+
+    def _expire_fault(self, event: FaultEvent) -> None:
+        if event.kind == "stuck-busy":
+            self._stuck_busy.discard(event.node)
+        elif event.kind == "stuck-idle":
+            self._stuck_idle.discard(event.node)
+        elif event.kind == "link-degradation":
+            self._link_loss.pop((event.node, event.peer), None)
+        elif event.kind == "bs-blackout":
+            self._bs_blackouts = max(self._bs_blackouts - 1, 0)
+
+    def _complete_rejoin(self, node: int) -> None:
+        """A down node re-attached to the routing structure: bring it back."""
+        self._down.discard(node)
+        self._stranded.discard(node)
+        self._rejoin_at.pop(node, None)
+        self._result.nodes_recovered += 1
+        record = self._open_outages.pop(node, None)
+        if record is not None:
+            record.recovered_slot = self._slot
+        if self.trace is not None:
+            self.trace.record(
+                TraceEvent(slot=self._slot, kind=TraceKind.NODE_REJOIN, node=node)
+            )
+        for packet in self._deferred_arrivals.pop(node, []):
+            self._queues[node].append(packet)
+            self._note_queue(node)
+        if self._queues[node]:
+            self._activate(node)
+
+    def _attempt_rejoins(self) -> None:
+        """Re-attach every due node; cascades within the slot.
+
+        A wave-by-wave loop lets a whole stranded subtree reconnect in the
+        recovery slot: once the recovered node is back on the backbone,
+        its former descendants find parents in later waves.
+        """
+        due = sorted(
+            node
+            for node, at_slot in self._rejoin_at.items()
+            if at_slot <= self._slot and node not in self._dead
+        )
+        if not due:
+            return
+        handler = getattr(self.policy, "on_node_rejoin", None)
+        if handler is None:
+            raise SimulationError(
+                f"policy {self.policy.describe()} does not support transient "
+                "outages (no on_node_rejoin hook)"
+            )
+        progress = True
+        while due and progress:
+            progress = False
+            waiting: List[int] = []
+            for node in due:
+                if handler(node):
+                    self._complete_rejoin(node)
+                    progress = True
+                else:
+                    waiting.append(node)
+            due = waiting
+
+    def _abort_doomed_transmissions(self) -> None:
+        """Abort in-flight transmissions aimed at nodes that just went away.
+
+        A packet flying toward a *dead* receiver is unrecoverable: it is
+        dropped from the sender's queue, counted in ``packets_lost``, and
+        attributed to the receiver's fault record, so the delivery books
+        balance.  A packet aimed at a *down-but-recovering* receiver stays
+        queued — the repaired routing structure gives it a new next hop.
+        """
+        if not self._ongoing:
+            return
         doomed = [
-            sender
+            (sender, receiver)
             for sender, (receiver, _, _, _) in self._ongoing.items()
-            if receiver in self._dead
+            if receiver in self._dead or receiver in self._down
         ]
-        for sender in doomed:
+        records = {
+            record.node: record
+            for record in self._result.fault_records
+            if record.slot == self._slot
+        }
+        for sender, receiver in doomed:
             del self._ongoing[sender]
+            if receiver in self._dead:
+                packet = self._queues[sender].popleft()
+                if packet.is_data:
+                    self._result.packets_lost += 1
+                    record = records.get(receiver)
+                    if record is not None:
+                        record.packets_orphaned += 1
+                if self.trace is not None:
+                    self.trace.record(
+                        TraceEvent(
+                            slot=self._slot,
+                            kind=TraceKind.TX_ABORT,
+                            node=sender,
+                            peer=receiver,
+                            packet_id=packet.packet_id,
+                        )
+                    )
+            if self._queues[sender]:
+                self._draw_backoff(sender)
+            else:
+                span = self._slot - self._first_active_slot.pop(
+                    sender, self._slot
+                ) + 1
+                self._result.active_slot_spans[sender] = (
+                    self._result.active_slot_spans.get(sender, 0) + span
+                )
+                self._active.discard(sender)
+                self._extra_wait[sender] = 0.0
+
+    def _process_faults(self) -> None:
+        """Apply this slot's fault expiries, onsets, and rejoin attempts."""
+        for event in self._fault_expiries.pop(self._slot, ()):
+            self._expire_fault(event)
+        onsets = self._fault_onsets.pop(self._slot, ())
+        for event in onsets:
+            if event.kind == "crash":
+                self._apply_crash(event)
+            elif event.kind == "outage":
+                self._apply_outage(event)
+            else:
+                self._apply_windowed(event)
+        if onsets:
+            self._abort_doomed_transmissions()
+        if self._rejoin_at:
+            self._attempt_rejoins()
 
     def _inject_arrivals(self) -> None:
         """Move due future arrivals into their source queues."""
@@ -532,6 +813,12 @@ class SlottedEngine:
             if start in self._dead:
                 if packet.is_data:
                     self._result.packets_lost += 1
+                continue
+            if start in self._down:
+                # Down-but-recovering source: hold the sample until the
+                # node rejoins instead of losing it.
+                self._deferred_arrivals.setdefault(start, []).append(packet)
+                self._result.arrivals_deferred += 1
                 continue
             self._queues[start].append(packet)
             self._note_queue(start)
@@ -558,8 +845,8 @@ class SlottedEngine:
                 self._result.completed = False
                 self._result.slots_simulated = self._slot
                 return self._result
-            if self._departures:
-                self._process_departures()
+            if self._has_faults:
+                self._process_faults()
             self._inject_arrivals()
             self._advance_pu_states()
             self._contend_and_transmit()
@@ -730,6 +1017,11 @@ class SlottedEngine:
                             sensed_busy = False
                     elif sensing_draws[node] < self.p_false_alarm:
                         sensed_busy = True
+            # Sensing faults pin the detector output, consuming no draws.
+            if node in self._stuck_busy:
+                sensed_busy = True
+            elif node in self._stuck_idle:
+                sensed_busy = False
             if not sensed_busy:
                 ready.append((extra_wait[node] + backoff[node], node))
             else:
@@ -827,6 +1119,14 @@ class SlottedEngine:
             np.hypot(deltas[:, 0], deltas[:, 1]), _MIN_DISTANCE
         )
         signal = self._su_power * signal_dist ** (-self.alpha)
+        if self._link_loss:
+            # Link-degradation faults: extra path loss on specific directed
+            # links weakens the *signal* only (interference terms keep
+            # their free-space power), so the link's SIR margin shrinks.
+            for index in range(count):
+                factor = self._link_loss.get((tx_nodes[index], rx_nodes[index]))
+                if factor is not None:
+                    signal[index] *= factor
 
         # Capture rule: among links sharing a receiver, only the strongest
         # signal can be decoded.
@@ -948,7 +1248,30 @@ class SlottedEngine:
                 # A missed detection let this node transmit while a PU was
                 # active inside its protection range (on its channel).
                 self._result.pu_violations += 1
-            if not success:
+            if self._bs_blackouts > 0 and receiver == self._base_station:
+                # Base-station blackout: the sink is not listening, so the
+                # delivery fails regardless of SIR.  The sender backs off
+                # exponentially and retries; this is *not* a collision
+                # (ADDC's collision-free property is about contention).
+                self._result.blackout_failures += 1
+                streak = min(
+                    self._collision_streak[node] + 1, self.max_backoff_exponent
+                )
+                self._collision_streak[node] = streak
+                window = 1 << streak
+                self._hold_until_slot[node] = (
+                    self._slot + 1 + int(self._backoff_rng.integers(0, window))
+                )
+                if self.trace is not None:
+                    self.trace.record(
+                        TraceEvent(
+                            slot=self._slot,
+                            kind=TraceKind.TX_ABORT,
+                            node=node,
+                            peer=receiver,
+                        )
+                    )
+            elif not success:
                 # Hidden-terminal collision or capture loss: the packet
                 # stays queued and is retransmitted after an exponentially
                 # growing random hold-off (the paper's footnote 2).

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["PacketRecord", "SimulationResult"]
+__all__ = ["PacketRecord", "FaultRecord", "SimulationResult"]
 
 
 @dataclass(frozen=True)
@@ -22,6 +22,33 @@ class PacketRecord:
     def delay_slots(self) -> int:
         """Slots from production to base-station delivery (inclusive)."""
         return self.delivered_slot - self.birth_slot + 1
+
+
+@dataclass
+class FaultRecord:
+    """Lifecycle of one applied fault event (``repro.faults``).
+
+    ``recovered_slot`` is the slot the engine finished undoing the fault:
+    the actual tree-reattachment slot for an ``outage`` (later than the
+    scheduled recovery when no backbone neighbour was reachable yet), the
+    window end for sensing/link/blackout faults, and ``None`` for a
+    ``crash`` or an outage still open when the run ended.
+    ``packets_orphaned`` counts the data packets this event destroyed
+    (queues lost with the node, in-flight transmissions into it).
+    """
+
+    kind: str
+    node: int
+    slot: int
+    recovered_slot: Optional[int] = None
+    packets_orphaned: int = 0
+
+    @property
+    def repair_slots(self) -> Optional[int]:
+        """Slots from fault onset to full recovery (``None`` if open)."""
+        if self.recovered_slot is None:
+            return None
+        return self.recovered_slot - self.slot
 
 
 @dataclass
@@ -51,6 +78,10 @@ class SimulationResult:
     handoffs: int = 0
     packets_lost: int = 0
     nodes_departed: int = 0
+    nodes_recovered: int = 0
+    blackout_failures: int = 0
+    arrivals_deferred: int = 0
+    fault_records: List[FaultRecord] = field(default_factory=list)
     peak_queue_lengths: Dict[int, int] = field(default_factory=dict)
     frozen_slot_count: int = 0
     opportunity_slot_count: int = 0
@@ -61,6 +92,23 @@ class SimulationResult:
     def delivered(self) -> int:
         """Packets that reached the base station."""
         return len(self.deliveries)
+
+    @property
+    def delivery_ratio(self) -> Optional[float]:
+        """Delivered fraction of the expected data packets (faults lose some)."""
+        if self.num_packets == 0:
+            return None
+        return self.delivered / self.num_packets
+
+    @property
+    def fault_event_count(self) -> int:
+        """Fault events the engine actually applied during the run."""
+        return len(self.fault_records)
+
+    @property
+    def packets_orphaned(self) -> int:
+        """Data packets destroyed by fault events (a subset of losses)."""
+        return sum(record.packets_orphaned for record in self.fault_records)
 
     @property
     def delay_slots(self) -> Optional[int]:

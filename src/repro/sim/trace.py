@@ -20,9 +20,12 @@ class TraceKind(Enum):
     TX_START = "tx_start"
     TX_SUCCESS = "tx_success"
     TX_COLLISION = "tx_collision"
+    TX_ABORT = "tx_abort"
     DELIVERY = "delivery"
     FREEZE = "freeze"
     BACKOFF_DRAW = "backoff_draw"
+    NODE_DOWN = "node_down"
+    NODE_REJOIN = "node_rejoin"
 
 
 @dataclass(frozen=True)

@@ -6,7 +6,7 @@ import dataclasses
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.fig4 import FIG4_SWEEPS, Fig4Row, figure4_rows
 from repro.experiments.fig6 import FIG6_SWEEPS, run_fig6_sweep, sweep_point_configs
@@ -139,6 +139,7 @@ class TestRunner:
         assert point.addc_delay_ms.mean > 0
         assert point.coolest_delay_ms.mean > 0
         assert point.addc_delay_ms.count == 1
+        assert point.skipped_repetitions == 0
 
     def test_reduction_and_speedup_consistent(self, point):
         assert point.speedup == pytest.approx(
@@ -152,6 +153,25 @@ class TestRunner:
         stats = run_addc_only(config, fairness_wait=False, use_cds_tree=False)
         assert stats.mean > 0
         assert stats.count == 1
+
+    def test_on_incomplete_value_validated(self):
+        config = ExperimentConfig.quick_scale().with_overrides(repetitions=1)
+        with pytest.raises(ConfigurationError):
+            run_comparison_point(config, on_incomplete="ignore")
+
+    def test_on_incomplete_modes_when_max_slots_too_small(self):
+        # Five slots cannot complete any collection, so "raise" aborts on
+        # the first repetition and "skip" drops them all — which is itself
+        # an error (a point with no surviving repetitions has no average).
+        config = ExperimentConfig.quick_scale().with_overrides(
+            repetitions=1, num_sus=50, num_pus=10, area=40.0 * 40.0,
+            max_slots=5,
+        )
+        with pytest.raises(SimulationError):
+            run_comparison_point(config)
+        with pytest.raises(SimulationError) as excinfo:
+            run_comparison_point(config, on_incomplete="skip")
+        assert "all 1 repetitions" in str(excinfo.value)
 
 
 class TestRenderers:

@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ExperimentIOError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.io import (
     comparison_point_from_dict,
@@ -63,11 +63,43 @@ class TestErrors:
             comparison_point_from_dict({"config": {}})
 
     def test_unreadable_file(self, tmp_path):
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ExperimentIOError) as excinfo:
             load_sweep(tmp_path / "missing.json")
+        assert "missing.json" in str(excinfo.value)
 
     def test_not_a_sweep(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text(json.dumps({"something": 1}))
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ExperimentIOError) as excinfo:
             load_sweep(path)
+        assert "bad.json" in str(excinfo.value)
+
+    def test_corrupt_point_names_path(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text(
+            json.dumps({"name": "fig6c", "points": [{"x": 0.1}]})
+        )
+        with pytest.raises(ExperimentIOError) as excinfo:
+            load_sweep(path)
+        assert "corrupt.json" in str(excinfo.value)
+
+    def test_truncated_json_names_path(self, tmp_path):
+        path = tmp_path / "truncated.json"
+        path.write_text('{"name": "fig6c", "points": [')
+        with pytest.raises(ExperimentIOError) as excinfo:
+            load_sweep(path)
+        assert "truncated.json" in str(excinfo.value)
+
+    def test_atomic_save_leaves_no_temp_file(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(path, "fig6c", [(0.1, make_point(0.1))])
+        assert path.exists()
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_save_overwrites_previous_artifact(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(path, "fig6c", [(0.1, make_point(0.1))])
+        save_sweep(path, "fig6c", [(0.2, make_point(0.2))])
+        name, points = load_sweep(path)
+        assert name == "fig6c"
+        assert [x for x, _ in points] == [0.2]

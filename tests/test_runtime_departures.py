@@ -125,14 +125,32 @@ class TestRuntimeDepartures:
             )
 
     def test_policy_without_hook_rejected(self, quick_topology, streams):
+        # Coolest grew departure hooks with the fault subsystem, so a
+        # bare stub stands in for a policy that lacks them.
         from repro.core.pcr import PcrParameters, compute_pcr, db_to_linear
-        from repro.routing.coolest import CoolestPolicy
+        from repro.graphs.tree import build_collection_tree
         from repro.sim.engine import SlottedEngine
         from repro.spectrum.sensing import CarrierSenseMap
 
+        class HooklessPolicy:
+            fairness_wait = False
+
+            def __init__(self, tree):
+                self._tree = tree
+
+            def next_hop(self, node, packet):
+                return self._tree.parent[node]
+
+            def describe(self):
+                return "hookless"
+
         pcr = compute_pcr(PcrParameters(pu_radius=10.0))
         sense_map = CarrierSenseMap(quick_topology, pcr.pcr)
-        policy = CoolestPolicy(quick_topology, 0.3, route_discovery=False)
+        tree = build_collection_tree(
+            quick_topology.secondary.graph,
+            quick_topology.secondary.base_station,
+        )
+        policy = HooklessPolicy(tree)
         engine = SlottedEngine(
             topology=quick_topology,
             sense_map=sense_map,
