@@ -12,6 +12,10 @@ Commands
 ``scenario``   list or run a named scenario preset
 ``report``     regenerate the full evaluation record (slow)
 ``lint``       run reprolint (determinism & paper-invariant checks)
+``obs``        observability: ``report`` (render/verify a run manifest) and
+               ``bench`` (profiled engine baseline -> manifest JSON)
+``trace``      NDJSON traces: ``export`` (stream a run's events to disk)
+               and ``stats`` (summarize a trace/v1 file)
 
 Every command accepts ``--scale {quick,bench,paper}`` (density-preserving
 scenario sizes; ``paper`` is the full n = 2000 setting — expect a very long
@@ -246,6 +250,183 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.completed else 1
 
 
+def _collect_once(config: ExperimentConfig, label: str, trace=None):
+    """One ADDC collection on a fresh deployment (shared by obs/trace cmds).
+
+    The RNG stream layout depends only on ``config.seed`` and ``label``, so
+    two calls with the same arguments replay the identical simulation —
+    which is what the determinism smoke check exploits.
+    """
+    streams = StreamFactory(config.seed).spawn(label)
+    topology = deploy_crn(config.deployment_spec(), streams)
+    return run_addc_collection(
+        topology,
+        streams.spawn("addc"),
+        eta_p_db=config.eta_p_db,
+        eta_s_db=config.eta_s_db,
+        alpha=config.alpha,
+        blocking=config.blocking,
+        max_slots=config.max_slots,
+        trace=trace,
+        with_bounds=False,
+    )
+
+
+def _result_fingerprint(result) -> tuple:
+    """The outcome fields two identical runs must agree on exactly."""
+    return (
+        result.completed,
+        result.slots_simulated,
+        result.delivered,
+        result.delay_slots,
+        result.collisions,
+        result.total_transmissions,
+        result.packets_lost,
+    )
+
+
+def _obs_smoke(args: argparse.Namespace) -> int:
+    """CI sanity: instrumentation collects data and changes nothing."""
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro import obs
+
+    config = _config_from(args).with_overrides(repetitions=1)
+    baseline = _collect_once(config, "cli-obs-smoke")
+
+    recorder = obs.MetricsRecorder()
+    start = obs.monotonic_s()
+    with obs.use_recorder(recorder):
+        instrumented = _collect_once(config, "cli-obs-smoke")
+    wall_time_s = obs.monotonic_s() - start
+
+    if _result_fingerprint(instrumented.result) != _result_fingerprint(
+        baseline.result
+    ):
+        print(
+            "SMOKE FAIL: instrumented run diverged from baseline "
+            f"({_result_fingerprint(instrumented.result)} != "
+            f"{_result_fingerprint(baseline.result)})",
+            file=sys.stderr,
+        )
+        return 1
+    profile = recorder.profile()
+    if "engine.slot" not in profile or "engine.run" not in profile:
+        print(
+            f"SMOKE FAIL: profile is missing engine spans ({sorted(profile)})",
+            file=sys.stderr,
+        )
+        return 1
+    if recorder.counters.get("engine.runs") != 1:
+        print(
+            "SMOKE FAIL: expected engine.runs == 1, got "
+            f"{recorder.counters.get('engine.runs')}",
+            file=sys.stderr,
+        )
+        return 1
+
+    manifest = obs.build_manifest(
+        seed=config.seed,
+        config=config,
+        wall_time_s=wall_time_s,
+        recorder=recorder,
+    )
+    path = Path(tempfile.mkdtemp()) / "smoke.manifest.json"
+    obs.write_manifest(path, manifest)
+    loaded = obs.load_manifest(path)
+    if not loaded.profile or loaded.config_hash != manifest.config_hash:
+        print(
+            "SMOKE FAIL: manifest did not round-trip through " f"{path}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        print(json.dumps(loaded.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(obs.render_report(loaded))
+    print("obs smoke OK")
+    return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+
+    if args.smoke:
+        return _obs_smoke(args)
+    if args.manifest is None:
+        print(
+            "obs report needs a manifest path (or --smoke)", file=sys.stderr
+        )
+        return 2
+    manifest = obs.load_manifest(args.manifest)
+    if args.json:
+        print(json.dumps(manifest.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(obs.render_report(manifest))
+    return 0
+
+
+def _cmd_obs_bench(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    config = _config_from(args)
+    collections = args.collections
+    recorder = obs.MetricsRecorder()
+    start = obs.monotonic_s()
+    with obs.use_recorder(recorder):
+        for rep in range(collections):
+            _collect_once(config, f"obs-bench-{rep}")
+    wall_time_s = obs.monotonic_s() - start
+    manifest = obs.build_manifest(
+        seed=config.seed,
+        config=config,
+        wall_time_s=wall_time_s,
+        recorder=recorder,
+        extra={"benchmark": "obs", "collections": collections},
+    )
+    obs.write_manifest(args.out, manifest)
+    slots = recorder.counters.get("engine.slots", 0)
+    rate = slots / wall_time_s if wall_time_s > 0 else 0.0
+    print(
+        f"{collections} collection(s), {int(slots)} slots in "
+        f"{wall_time_s:.2f} s ({rate:,.0f} slots/s)"
+    )
+    print(f"baseline written to {args.out}")
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    config = _config_from(args)
+    with obs.NdjsonTraceWriter(args.out) as writer:
+        outcome = _collect_once(config, "cli-trace", trace=writer)
+    print(f"wrote {writer.events_written} events to {args.out}")
+    return 0 if outcome.result.completed else 1
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+
+    stats = obs.trace_stats(args.path)
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"schema:  {stats['schema']}")
+    print(f"events:  {stats['events']} ({stats['dropped']} dropped)")
+    print(f"slots:   {stats['first_slot']} .. {stats['last_slot']}")
+    print(f"nodes:   {stats['nodes']}")
+    for kind, count in stats["kinds"].items():
+        print(f"  {kind:>14}: {count}")
+    return 0
+
+
 def _cmd_fig4(args: argparse.Namespace) -> int:
     print(render_fig4_table(figure4_rows()))
     return 0
@@ -435,6 +616,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated sub-figures, e.g. fig6c,fig6d (default: all)",
     )
     report.set_defaults(handler=_cmd_report)
+
+    obs_parser = commands.add_parser(
+        "obs", help="observability: manifests, profiles, benchmarks"
+    )
+    obs_commands = obs_parser.add_subparsers(dest="obs_command", required=True)
+
+    obs_report = obs_commands.add_parser(
+        "report", help="render a run manifest (or --smoke self-check)"
+    )
+    obs_report.add_argument(
+        "manifest", nargs="?", default=None, help="path to a *.manifest.json"
+    )
+    obs_report.add_argument(
+        "--json", action="store_true", help="emit the manifest as JSON"
+    )
+    obs_report.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: instrumented run, determinism check, manifest round-trip",
+    )
+    _add_scale_options(obs_report)
+    obs_report.set_defaults(handler=_cmd_obs_report)
+
+    obs_bench = obs_commands.add_parser(
+        "bench", help="profiled engine baseline -> manifest JSON"
+    )
+    obs_bench.add_argument(
+        "--out", default="BENCH_obs.json", help="output manifest path"
+    )
+    obs_bench.add_argument(
+        "--collections",
+        type=int,
+        default=3,
+        help="instrumented collections to profile (default: 3)",
+    )
+    _add_scale_options(obs_bench)
+    obs_bench.set_defaults(handler=_cmd_obs_bench)
+
+    trace_parser = commands.add_parser(
+        "trace", help="NDJSON trace export and inspection (trace/v1)"
+    )
+    trace_commands = trace_parser.add_subparsers(
+        dest="trace_command", required=True
+    )
+
+    trace_export = trace_commands.add_parser(
+        "export", help="run one collection, streaming its trace to disk"
+    )
+    trace_export.add_argument(
+        "--out", required=True, help="output NDJSON path"
+    )
+    _add_scale_options(trace_export)
+    trace_export.set_defaults(handler=_cmd_trace_export)
+
+    trace_stats = trace_commands.add_parser(
+        "stats", help="summarize a trace/v1 NDJSON file"
+    )
+    trace_stats.add_argument("path", help="path to a trace NDJSON file")
+    trace_stats.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    trace_stats.set_defaults(handler=_cmd_trace_stats)
 
     lint = commands.add_parser(
         "lint",

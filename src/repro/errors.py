@@ -22,6 +22,7 @@ __all__ = [
     "InterferenceViolationError",
     "WorkloadError",
     "ExperimentIOError",
+    "ObservabilityError",
 ]
 
 
@@ -87,4 +88,12 @@ class ExperimentIOError(ReproError):
 
     The message always names the offending path, so a failed overnight
     sweep points straight at the file to inspect or delete.
+    """
+
+
+class ObservabilityError(ReproError):
+    """An observability artifact (trace, manifest) is invalid or malformed.
+
+    Like :class:`ExperimentIOError`, the message always names the offending
+    path or field.
     """

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ComparisonPoint, run_comparison_point
+from repro.obs.progress import Heartbeat
 
 __all__ = ["Fig6Sweep", "FIG6_SWEEPS", "sweep_point_configs", "run_fig6_sweep"]
 
@@ -123,13 +124,16 @@ def run_fig6_sweep(
     repetitions: Optional[int] = None,
     values: Optional[Sequence[float]] = None,
     on_incomplete: str = "skip",
+    progress: Optional[Heartbeat] = None,
 ) -> List[Tuple[float, ComparisonPoint]]:
     """Run one sub-figure end to end; returns (x-value, comparison) pairs.
 
     Incomplete repetitions are skipped by default (recorded in each
     point's ``skipped_repetitions``) so one pathological deployment does
     not abort a multi-hour sweep; pass ``on_incomplete="raise"`` to get
-    the strict single-point behaviour.
+    the strict single-point behaviour.  A :class:`~repro.obs.Heartbeat`
+    passed as ``progress`` ticks once per repetition across the whole
+    sweep (size it ``len(sweep.values) * repetitions``).
     """
     if values is not None:
         sweep = Fig6Sweep(
@@ -145,7 +149,10 @@ def run_fig6_sweep(
             (
                 x_value,
                 run_comparison_point(
-                    config, repetitions, on_incomplete=on_incomplete
+                    config,
+                    repetitions,
+                    on_incomplete=on_incomplete,
+                    progress=progress,
                 ),
             )
         )

@@ -11,12 +11,13 @@ import dataclasses
 import json
 import os
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError, ExperimentIOError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ComparisonPoint
 from repro.metrics.aggregate import RunStatistics
+from repro.obs.manifest import RunManifest, manifest_path_for, write_manifest
 
 __all__ = [
     "comparison_point_to_dict",
@@ -65,6 +66,7 @@ def save_sweep(
     path: Union[str, Path],
     name: str,
     points: Sequence[Tuple[float, ComparisonPoint]],
+    manifest: Optional[RunManifest] = None,
 ) -> None:
     """Write one figure sweep (x-values plus comparison points) to JSON.
 
@@ -72,6 +74,10 @@ def save_sweep(
     that replaces the target via :func:`os.replace`, so a crash (or a
     concurrent reader) never observes a half-written sweep — an overnight
     sweep interrupted mid-save keeps its previous good artifact.
+
+    When a :class:`~repro.obs.RunManifest` is given, it is written next to
+    the artifact (``sweep.json`` gets ``sweep.manifest.json``) *after* the
+    sweep itself, so a manifest never exists without its data.
     """
     payload = {
         "name": name,
@@ -91,6 +97,8 @@ def save_sweep(
         except OSError:
             pass
         raise ExperimentIOError(f"cannot write sweep file {target}: {exc}") from exc
+    if manifest is not None:
+        write_manifest(manifest_path_for(target), manifest)
 
 
 def load_sweep(path: Union[str, Path]) -> Tuple[str, List[Tuple[float, ComparisonPoint]]]:

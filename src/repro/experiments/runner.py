@@ -12,9 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+import repro.obs as obs
 from repro.core.collector import run_addc_collection
 from repro.errors import ConfigurationError, SimulationError
 from repro.experiments.config import ExperimentConfig
+from repro.obs.progress import Heartbeat
 from repro.metrics.aggregate import (
     RunStatistics,
     relative_delay_reduction_percent,
@@ -81,6 +83,7 @@ def run_comparison_point(
     config: ExperimentConfig,
     repetitions: Optional[int] = None,
     on_incomplete: str = "raise",
+    progress: Optional[Heartbeat] = None,
 ) -> ComparisonPoint:
     """Run ADDC and Coolest over ``repetitions`` fresh deployments.
 
@@ -91,6 +94,10 @@ def run_comparison_point(
     :attr:`ComparisonPoint.skipped_repetitions` — the right behaviour for
     long sweep drivers, where one pathological deployment should cost one
     data point's precision, not the whole overnight sweep.
+
+    ``progress`` (a :class:`~repro.obs.Heartbeat`) gets one tick per
+    completed repetition; it is purely an output device and never affects
+    the run.
     """
     if on_incomplete not in ("raise", "skip"):
         raise ConfigurationError(
@@ -103,37 +110,42 @@ def run_comparison_point(
     root = StreamFactory(config.seed)
 
     for rep in range(reps):
-        factory = root.spawn(f"rep-{rep}")
-        topology = deploy_crn(config.deployment_spec(), factory)
-        addc = run_addc_collection(
-            topology,
-            factory.spawn("addc"),
-            eta_p_db=config.eta_p_db,
-            eta_s_db=config.eta_s_db,
-            alpha=config.alpha,
-            zeta_bound=config.zeta_bound,
-            blocking=config.blocking,
-            max_slots=config.max_slots,
-            contention_window_ms=config.contention_window_ms,
-            slot_duration_ms=config.slot_duration_ms,
-            with_bounds=False,
-        )
-        coolest = run_coolest_collection(
-            topology,
-            factory.spawn("coolest"),
-            eta_p_db=config.eta_p_db,
-            eta_s_db=config.eta_s_db,
-            alpha=config.alpha,
-            zeta_bound=config.zeta_bound,
-            blocking=config.blocking,
-            max_slots=config.max_slots,
-            contention_window_ms=config.contention_window_ms,
-            slot_duration_ms=config.slot_duration_ms,
-        )
+        with obs.span("sweep.repetition"):
+            factory = root.spawn(f"rep-{rep}")
+            topology = deploy_crn(config.deployment_spec(), factory)
+            addc = run_addc_collection(
+                topology,
+                factory.spawn("addc"),
+                eta_p_db=config.eta_p_db,
+                eta_s_db=config.eta_s_db,
+                alpha=config.alpha,
+                zeta_bound=config.zeta_bound,
+                blocking=config.blocking,
+                max_slots=config.max_slots,
+                contention_window_ms=config.contention_window_ms,
+                slot_duration_ms=config.slot_duration_ms,
+                with_bounds=False,
+            )
+            coolest = run_coolest_collection(
+                topology,
+                factory.spawn("coolest"),
+                eta_p_db=config.eta_p_db,
+                eta_s_db=config.eta_s_db,
+                alpha=config.alpha,
+                zeta_bound=config.zeta_bound,
+                blocking=config.blocking,
+                max_slots=config.max_slots,
+                contention_window_ms=config.contention_window_ms,
+                slot_duration_ms=config.slot_duration_ms,
+            )
+        obs.counter_add("sweep.repetitions")
+        if progress is not None:
+            progress.tick()
         if on_incomplete == "skip" and (
             addc.result.delay_ms is None or coolest.result.delay_ms is None
         ):
             skipped += 1
+            obs.counter_add("sweep.repetitions_skipped")
             continue
         addc_delays.append(
             _require_complete(addc.result.delay_ms, "ADDC", rep)
@@ -173,22 +185,26 @@ def run_addc_only(
     delays: List[float] = []
     root = StreamFactory(config.seed)
     for rep in range(reps):
-        factory = root.spawn(f"rep-{rep}")
-        topology = deploy_crn(config.deployment_spec(), factory)
-        outcome = run_addc_collection(
-            topology,
-            factory.spawn("addc"),
-            eta_p_db=config.eta_p_db,
-            eta_s_db=config.eta_s_db,
-            alpha=config.alpha,
-            zeta_bound=zeta_bound if zeta_bound is not None else config.zeta_bound,
-            fairness_wait=fairness_wait,
-            use_cds_tree=use_cds_tree,
-            blocking=config.blocking,
-            max_slots=config.max_slots,
-            contention_window_ms=config.contention_window_ms,
-            slot_duration_ms=config.slot_duration_ms,
-            with_bounds=False,
-        )
+        with obs.span("sweep.repetition"):
+            factory = root.spawn(f"rep-{rep}")
+            topology = deploy_crn(config.deployment_spec(), factory)
+            outcome = run_addc_collection(
+                topology,
+                factory.spawn("addc"),
+                eta_p_db=config.eta_p_db,
+                eta_s_db=config.eta_s_db,
+                alpha=config.alpha,
+                zeta_bound=(
+                    zeta_bound if zeta_bound is not None else config.zeta_bound
+                ),
+                fairness_wait=fairness_wait,
+                use_cds_tree=use_cds_tree,
+                blocking=config.blocking,
+                max_slots=config.max_slots,
+                contention_window_ms=config.contention_window_ms,
+                slot_duration_ms=config.slot_duration_ms,
+                with_bounds=False,
+            )
+        obs.counter_add("sweep.repetitions")
         delays.append(_require_complete(outcome.result.delay_ms, "ADDC", rep))
     return summarize_delays(delays)

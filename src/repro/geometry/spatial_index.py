@@ -13,6 +13,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+import repro.obs as obs
 from repro.errors import GeometryError
 
 __all__ = ["GridIndex"]
@@ -78,6 +79,7 @@ class GridIndex:
         """
         if radius < 0:
             raise GeometryError(f"radius must be non-negative, got {radius}")
+        obs.counter_add("spatial.queries")
         px, py = float(point[0]), float(point[1])
         reach = int(math.ceil(radius / self._cell_size))
         center_cx = int(math.floor(px / self._cell_size))
@@ -107,10 +109,11 @@ class GridIndex:
         The point itself is excluded from its own list.  This is how the
         simulator precomputes PU-to-SU incidence and SU adjacency.
         """
-        return [
-            self.query_radius_excluding(self._positions[idx], radius, idx)
-            for idx in range(len(self))
-        ]
+        with obs.span("spatial.neighbor_lists"):
+            return [
+                self.query_radius_excluding(self._positions[idx], radius, idx)
+                for idx in range(len(self))
+            ]
 
     def cross_neighbor_lists(
         self, other_positions: np.ndarray, radius: float
@@ -121,7 +124,8 @@ class GridIndex:
         (and vice versa) without an ``(n, N)`` distance matrix.
         """
         other_positions = np.asarray(other_positions, dtype=float)
-        return [
-            self.query_radius(other_positions[idx], radius)
-            for idx in range(other_positions.shape[0])
-        ]
+        with obs.span("spatial.cross_neighbor_lists"):
+            return [
+                self.query_radius(other_positions[idx], radius)
+                for idx in range(other_positions.shape[0])
+            ]

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+import repro.obs as obs
 from repro.errors import GraphError
 from repro.graphs.bfs import bfs_layers, UNREACHED
 from repro.graphs.graph import Graph
@@ -67,6 +68,7 @@ class CdsResult:
         self._dominator_set = set(self.dominators)
 
 
+@obs.timed("graphs.build_cds")
 def build_cds(graph: Graph, root: int) -> CdsResult:
     """Construct the CDS ``D ∪ C`` of ``graph`` rooted at ``root``.
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import heapq
 from typing import List, Optional, Sequence, Tuple
 
+import repro.obs as obs
 from repro.errors import GraphError
 from repro.graphs.graph import Graph
 
@@ -20,6 +21,7 @@ __all__ = ["dijkstra_node_weighted", "dijkstra_bottleneck", "extract_path"]
 NO_PARENT = -1
 
 
+@obs.timed("graphs.dijkstra")
 def dijkstra_node_weighted(
     graph: Graph, source: int, node_weights: Sequence[float]
 ) -> Tuple[List[float], List[int]]:
@@ -71,6 +73,7 @@ def dijkstra_node_weighted(
     return distances, parents
 
 
+@obs.timed("graphs.dijkstra_bottleneck")
 def dijkstra_bottleneck(
     graph: Graph, source: int, node_weights: Sequence[float]
 ) -> Tuple[List[float], List[int]]:

@@ -7,6 +7,6 @@ pattern: subclass :class:`repro.lint.registry.Rule`, decorate with
 running the linter.
 """
 
-from repro.lint.rules import determinism, hygiene, invariants, rng
+from repro.lint.rules import determinism, hygiene, invariants, observability, rng
 
-__all__ = ["rng", "determinism", "invariants", "hygiene"]
+__all__ = ["rng", "determinism", "invariants", "hygiene", "observability"]

@@ -158,6 +158,14 @@ class AllDriftRule(Rule):
     default_severity = Severity.WARNING
     default_options = {"exempt": ["conftest.py", "setup.py"]}
 
+    @staticmethod
+    def _has_module_getattr(tree: ast.Module) -> bool:
+        """Whether the module defines PEP 562 ``__getattr__`` (lazy exports)."""
+        return any(
+            isinstance(node, ast.FunctionDef) and node.name == "__getattr__"
+            for node in tree.body
+        )
+
     def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
         basename = module.module_basename
         # Private modules and script entry points have no export surface;
@@ -192,13 +200,16 @@ class AllDriftRule(Rule):
             if isinstance(element, ast.Constant) and isinstance(element.value, str)
         ]
         bound = _top_level_bindings(module.tree)
-        for name in exported:
-            if name not in bound:
-                yield module.diagnostic(
-                    self,
-                    assign,
-                    f"__all__ exports `{name}` but the module never binds it",
-                )
+        if not self._has_module_getattr(module.tree):
+            # A PEP 562 module __getattr__ can serve any exported name at
+            # runtime, so unbound entries are legitimate lazy exports.
+            for name in exported:
+                if name not in bound:
+                    yield module.diagnostic(
+                        self,
+                        assign,
+                        f"__all__ exports `{name}` but the module never binds it",
+                    )
         if module.is_dunder_init:
             return
         exported_set = set(exported)

@@ -1,0 +1,92 @@
+"""Observability rules.
+
+The instrumentation layer funnels every clock read through
+:mod:`repro.obs.clock` so that (a) the zero-overhead contract is auditable
+in one place and (b) DET001's determinism guarantees extend to reporting
+code: a stray ``time.perf_counter()`` in an experiment driver bypasses the
+null-recorder fast path and undermines the "instrumentation changes
+nothing" invariant.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import ModuleContext, Rule, dotted_name, register_rule
+
+__all__ = ["ClockFacadeRule"]
+
+# Dotted-suffix call patterns for process-clock reads.
+_CLOCK_CALL_SUFFIXES = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+)
+# `from time import perf_counter` style bindings.
+_CLOCK_FROM_TIME = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+}
+
+
+def _ends_with(name: str, suffix: str) -> bool:
+    return name == suffix or name.endswith("." + suffix)
+
+
+@register_rule
+class ClockFacadeRule(Rule):
+    """OBS001: clock reads go through ``repro.obs.clock``, nowhere else.
+
+    Applies to the whole ``repro`` tree except the allow-listed facade
+    (``repro/obs/*`` by default).  DET001 already bans clocks in the
+    simulator hot paths; this rule closes the rest of the package so span
+    timing and wall-time reporting have exactly one audited entry point —
+    use :func:`repro.obs.clock.monotonic_s` / ``wall_clock_iso`` instead.
+    """
+
+    id = "OBS001"
+    name = "clock-facade"
+    description = (
+        "direct time.time()/time.perf_counter() reads are banned outside "
+        "repro/obs; use repro.obs.clock"
+    )
+    default_severity = Severity.ERROR
+    default_options = {"allow": ["repro/obs/*"]}
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        if module.in_paths(module.option(self, "allow")):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                for suffix in _CLOCK_CALL_SUFFIXES:
+                    if _ends_with(name, suffix):
+                        yield module.diagnostic(
+                            self,
+                            node,
+                            f"call to `{name}` bypasses the clock facade; "
+                            "use repro.obs.clock.monotonic_s()",
+                        )
+                        break
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module != "time":
+                    continue
+                for alias in node.names:
+                    if alias.name in _CLOCK_FROM_TIME:
+                        yield module.diagnostic(
+                            self,
+                            node,
+                            f"import of `time.{alias.name}` bypasses the "
+                            "clock facade; use repro.obs.clock",
+                        )

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+import repro.obs as obs
 from repro.errors import ConfigurationError
 from repro.sim.results import SimulationResult
 
@@ -108,7 +109,7 @@ def resilience_report(
     if slots > 0 and availability > 0.0:
         throughput = result.delivered / (slots * availability)
 
-    return ResilienceReport(
+    report = ResilienceReport(
         delivery_ratio=result.delivery_ratio,
         packets_lost=result.packets_lost,
         packets_orphaned=result.packets_orphaned,
@@ -122,3 +123,12 @@ def resilience_report(
         blackout_failures=result.blackout_failures,
         arrivals_deferred=result.arrivals_deferred,
     )
+    if obs.enabled():
+        obs.gauge_set("resilience.availability", report.availability)
+        obs.gauge_set("resilience.fault_events", report.fault_events)
+        obs.gauge_set("resilience.packets_orphaned", report.packets_orphaned)
+        if report.mean_repair_slots is not None:
+            obs.gauge_set("resilience.mean_repair_slots", report.mean_repair_slots)
+        if report.delivery_ratio is not None:
+            obs.gauge_set("resilience.delivery_ratio", report.delivery_ratio)
+    return report

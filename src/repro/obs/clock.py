@@ -1,0 +1,27 @@
+"""The package's single clock access point.
+
+Every wall-clock or monotonic-clock read in the repository goes through
+this module: reprolint rule OBS001 bans direct ``time.time()`` /
+``time.perf_counter()`` calls everywhere outside ``repro/obs``, so timing
+semantics (and their determinism implications) are auditable in one place.
+
+None of these functions ever touches a random stream — instrumentation
+must leave replays bit-identical (see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from datetime import datetime, timezone
+
+__all__ = ["monotonic_s", "wall_clock_iso"]
+
+
+def monotonic_s() -> float:
+    """Monotonic high-resolution timestamp in seconds (span timing)."""
+    return _time.perf_counter()
+
+
+def wall_clock_iso() -> str:
+    """The current UTC wall-clock time as an ISO-8601 string (provenance)."""
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")

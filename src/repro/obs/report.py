@@ -1,0 +1,87 @@
+"""Human-readable rendering of run manifests (``addc-repro obs report``)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.obs.manifest import RunManifest
+
+__all__ = ["render_report"]
+
+
+def _format_value(value: float) -> str:
+    """Counters/gauges: integers without a fraction, floats to 4 sig places."""
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    return str(int(value))
+
+
+def render_report(manifest: RunManifest) -> str:
+    """Pretty-print one :class:`RunManifest` as aligned plain text.
+
+    Sections: a provenance header, the metric snapshot (counters, gauges,
+    histograms) and the span profile with each span's share of the total
+    recorded time.
+    """
+    lines: List[str] = []
+    lines.append(f"run manifest ({manifest.schema})")
+    lines.append(f"  created:  {manifest.created_utc or '-'}")
+    lines.append(f"  version:  {manifest.package_version}")
+    if manifest.seed is not None:
+        lines.append(f"  seed:     {manifest.seed}")
+    if manifest.config_hash:
+        lines.append(f"  config:   {manifest.config_hash}")
+    if manifest.platform:
+        platform = manifest.platform
+        summary = " ".join(
+            str(platform[key])
+            for key in ("implementation", "python", "system", "machine")
+            if key in platform
+        )
+        lines.append(f"  platform: {summary or '-'}")
+        if "numpy" in platform:
+            lines.append(f"  numpy:    {platform['numpy']}")
+    if manifest.wall_time_s is not None:
+        lines.append(f"  wall:     {manifest.wall_time_s:.3f} s")
+
+    metrics = manifest.metrics or {}
+    counters = metrics.get("counters") or {}
+    gauges = metrics.get("gauges") or {}
+    histograms = metrics.get("histograms") or {}
+    if counters or gauges or histograms:
+        lines.append("")
+        lines.append("METRICS")
+        width = max(len(name) for name in [*counters, *gauges, *histograms])
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {_format_value(counters[name])}")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{width}}  {_format_value(gauges[name])}")
+        for name in sorted(histograms):
+            histogram = histograms[name]
+            count = histogram.get("count", 0)
+            total = histogram.get("total", 0.0)
+            mean = total / count if count else 0.0
+            lines.append(
+                f"  {name:<{width}}  count={count} mean={mean:.4g} total={total:.6g}"
+            )
+
+    profile = manifest.profile or {}
+    if profile:
+        lines.append("")
+        lines.append("PROFILE")
+        total_ms = sum(stats.get("total_ms", 0.0) for stats in profile.values())
+        width = max(len(name) for name in profile)
+        ordered = sorted(
+            profile, key=lambda name: profile[name].get("total_ms", 0.0), reverse=True
+        )
+        for name in ordered:
+            stats = profile[name]
+            span_total = stats.get("total_ms", 0.0)
+            share = (span_total / total_ms * 100.0) if total_ms else 0.0
+            lines.append(
+                f"  {name:<{width}}  calls={stats.get('count', 0):<8d}"
+                f"total={span_total:9.2f} ms  "
+                f"mean={stats.get('mean_ms', 0.0):8.4f} ms  "
+                f"share={share:5.1f}%"
+            )
+    return "\n".join(lines)

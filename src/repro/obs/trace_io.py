@@ -1,0 +1,293 @@
+"""Versioned NDJSON export/load for engine traces (schema ``trace/v1``).
+
+One JSON object per line: a header first, then one object per
+:class:`~repro.sim.trace.TraceEvent`, and (for streamed files) a closing
+footer carrying the totals.  The format is append-friendly, so long runs
+can stream events to disk as they happen — lifting the in-memory
+``max_events`` cap — and ``grep``/``jq`` work on the artifact directly.
+
+Line shapes::
+
+    {"schema": "trace/v1", "dropped": 0, "events": 124, "max_events": null}
+    {"slot": 0, "kind": "tx_start", "node": 3, "peer": 0, "packet_id": 1, "t": 0.41}
+    ...
+    {"schema": "trace/v1", "footer": true, "events": 124, "dropped": 0}
+
+Event fields with ``None`` values are omitted from the line; ``t`` is
+``time_in_slot``.  Exporting a truncated :class:`TraceLog` records its
+``dropped`` count in the header so offline analysis knows the tail is
+missing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.errors import ObservabilityError
+from repro.sim.trace import TraceEvent, TraceKind, TraceLog
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "event_to_dict",
+    "event_from_dict",
+    "export_trace",
+    "load_trace",
+    "trace_stats",
+    "NdjsonTraceWriter",
+]
+
+TRACE_SCHEMA = "trace/v1"
+
+
+def event_to_dict(event: TraceEvent) -> Dict:
+    """The NDJSON line object for one event (``None`` fields omitted)."""
+    line: Dict = {"slot": event.slot, "kind": event.kind.value, "node": event.node}
+    if event.peer is not None:
+        line["peer"] = event.peer
+    if event.packet_id is not None:
+        line["packet_id"] = event.packet_id
+    if event.time_in_slot is not None:
+        line["t"] = event.time_in_slot
+    return line
+
+
+def event_from_dict(line: Dict) -> TraceEvent:
+    """Rebuild a :class:`TraceEvent` from its NDJSON line object."""
+    try:
+        kind = TraceKind(line["kind"])
+        return TraceEvent(
+            slot=int(line["slot"]),
+            kind=kind,
+            node=int(line["node"]),
+            peer=line.get("peer"),
+            packet_id=line.get("packet_id"),
+            time_in_slot=line.get("t"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ObservabilityError(f"bad trace event record {line!r}: {exc}") from exc
+
+
+def export_trace(log: TraceLog, path: Union[str, Path]) -> None:
+    """Write a complete :class:`TraceLog` to ``path`` as ``trace/v1`` NDJSON.
+
+    The write is atomic (temp sibling + ``os.replace``), mirroring
+    :func:`repro.experiments.io.save_sweep`.  A truncated log's ``dropped``
+    count lands in the header.
+    """
+    target = Path(path)
+    temporary = target.with_name(target.name + ".tmp")
+    header = {
+        "schema": TRACE_SCHEMA,
+        "events": len(log),
+        "dropped": log.dropped,
+        "max_events": log.max_events,
+    }
+    try:
+        with temporary.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for event in log:
+                handle.write(json.dumps(event_to_dict(event), sort_keys=True) + "\n")
+        os.replace(temporary, target)
+    except OSError as exc:
+        try:
+            temporary.unlink()
+        except OSError:
+            pass
+        raise ObservabilityError(f"cannot write trace file {target}: {exc}") from exc
+
+
+def _scan(path: Union[str, Path]) -> Iterator[Tuple[Dict, Dict]]:
+    """Yield ``(header, line_object)`` pairs for every event line.
+
+    Validates the header first and the footer (when present) last; raises
+    :class:`ObservabilityError` naming the path on any malformation.
+    """
+    header: Optional[Dict] = None
+    footer: Optional[Dict] = None
+    events_seen = 0
+    try:
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for number, raw in enumerate(handle, start=1):
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    line = json.loads(raw)
+                except json.JSONDecodeError as exc:
+                    raise ObservabilityError(
+                        f"trace file {path} line {number} is not JSON: {exc}"
+                    ) from exc
+                if not isinstance(line, dict):
+                    raise ObservabilityError(
+                        f"trace file {path} line {number} is not a JSON object"
+                    )
+                if header is None:
+                    if line.get("schema") != TRACE_SCHEMA:
+                        raise ObservabilityError(
+                            f"trace file {path} has schema "
+                            f"{line.get('schema')!r}, expected {TRACE_SCHEMA!r}"
+                        )
+                    header = line
+                    continue
+                if footer is not None:
+                    raise ObservabilityError(
+                        f"trace file {path} has event lines after its footer"
+                    )
+                if line.get("schema") == TRACE_SCHEMA and line.get("footer"):
+                    footer = line
+                    continue
+                events_seen += 1
+                yield header, line
+    except OSError as exc:
+        raise ObservabilityError(f"cannot read trace file {path}: {exc}") from exc
+    if header is None:
+        raise ObservabilityError(f"trace file {path} is empty (no header line)")
+    declared = footer.get("events") if footer is not None else header.get("events")
+    if declared is not None and declared != events_seen:
+        raise ObservabilityError(
+            f"trace file {path} declares {declared} events but contains "
+            f"{events_seen}"
+        )
+
+
+def load_trace(path: Union[str, Path]) -> TraceLog:
+    """Rebuild a :class:`TraceLog` from a ``trace/v1`` NDJSON file.
+
+    The reconstructed log carries the original ``max_events`` cap and
+    ``dropped`` count, so a truncated capture round-trips faithfully.
+    """
+    header: Optional[Dict] = None
+    events = []
+    for header, line in _scan(path):
+        events.append(event_from_dict(line))
+    if header is None:
+        # Zero-event file: the exhausted scan above already validated it.
+        header = _header_of(path)
+    max_events = header.get("max_events")
+    log = TraceLog(max_events=int(max_events) if max_events is not None else None)
+    log._events.extend(events)
+    log.dropped = int(header.get("dropped", 0) or 0)
+    return log
+
+
+def _header_of(path: Union[str, Path]) -> Dict:
+    """Parse just the first line of an already-validated trace file."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for raw in handle:
+            raw = raw.strip()
+            if raw:
+                return json.loads(raw)
+    raise ObservabilityError(f"trace file {path} is empty (no header line)")
+
+
+def trace_stats(path: Union[str, Path]) -> Dict:
+    """Single-pass summary of a trace file (no event objects built).
+
+    Returns a JSON-serializable dict: schema, event/drop counts, the slot
+    span, per-kind counts, and the number of distinct nodes touched.
+    """
+    kinds: Dict[str, int] = {}
+    nodes = set()
+    first_slot: Optional[int] = None
+    last_slot: Optional[int] = None
+    events = 0
+    header: Dict = {}
+    for header, line in _scan(path):
+        events += 1
+        kind = str(line.get("kind"))
+        kinds[kind] = kinds.get(kind, 0) + 1
+        nodes.add(line.get("node"))
+        peer = line.get("peer")
+        if peer is not None:
+            nodes.add(peer)
+        slot = int(line.get("slot", 0))
+        if first_slot is None or slot < first_slot:
+            first_slot = slot
+        if last_slot is None or slot > last_slot:
+            last_slot = slot
+    if not header:
+        header = _header_of(path)
+    return {
+        "schema": TRACE_SCHEMA,
+        "events": events,
+        "dropped": int(header.get("dropped", 0) or 0),
+        "first_slot": first_slot,
+        "last_slot": last_slot,
+        "kinds": {kind: kinds[kind] for kind in sorted(kinds)},
+        "nodes": len(nodes),
+    }
+
+
+class NdjsonTraceWriter:
+    """A streaming trace sink: engine-compatible, unbounded, on disk.
+
+    Duck-types :class:`TraceLog`'s recording surface (``record``,
+    ``dropped``), so it can be passed directly as the engine's ``trace=``
+    argument; every event goes straight to the NDJSON file instead of
+    memory, lifting the ``max_events`` cap for long runs.  Use as a
+    context manager (or call :meth:`close`) so the footer with the final
+    totals is written.
+
+    >>> import tempfile, os
+    >>> from repro.sim.trace import TraceEvent, TraceKind
+    >>> path = os.path.join(tempfile.mkdtemp(), "trace.ndjson")
+    >>> with NdjsonTraceWriter(path) as writer:
+    ...     writer.record(TraceEvent(slot=0, kind=TraceKind.TX_START, node=1))
+    >>> len(load_trace(path))
+    1
+    """
+
+    #: Streaming writers never drop events (kept for TraceLog parity).
+    dropped = 0
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.events_written = 0
+        self._closed = False
+        try:
+            self._handle = self.path.open("w", encoding="utf-8")
+            header = {"schema": TRACE_SCHEMA, "streamed": True}
+            self._handle.write(json.dumps(header, sort_keys=True) + "\n")
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot open trace file {self.path} for streaming: {exc}"
+            ) from exc
+
+    def record(self, event: TraceEvent) -> None:
+        """Stream one event to disk."""
+        if self._closed:
+            raise ObservabilityError(
+                f"trace writer for {self.path} is closed; cannot record"
+            )
+        self._handle.write(json.dumps(event_to_dict(event), sort_keys=True) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Write the footer (final totals) and close the file; idempotent."""
+        if self._closed:
+            return
+        footer = {
+            "schema": TRACE_SCHEMA,
+            "footer": True,
+            "events": self.events_written,
+            "dropped": 0,
+        }
+        try:
+            self._handle.write(json.dumps(footer, sort_keys=True) + "\n")
+            self._handle.close()
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot finalize trace file {self.path}: {exc}"
+            ) from exc
+        finally:
+            self._closed = True
+
+    def __enter__(self) -> "NdjsonTraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -56,6 +56,9 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+# Module import (not `from repro import obs`) keeps partial-initialization
+# import orders safe; the facade is a no-op until a recorder is installed.
+import repro.obs as obs
 from repro.errors import ConfigurationError, SimulationError
 from repro.faults.plan import FaultEvent, FaultPlan
 from repro.network.topology import CrnTopology
@@ -836,7 +839,14 @@ class SlottedEngine:
             raise SimulationError("engine instances are single-use")
         self._started = True
         self._initialize_pu_states()
+        with obs.span("engine.run"):
+            result = self._run_loop()
+        if obs.enabled():
+            self._publish_metrics(result)
+        return result
 
+    def _run_loop(self) -> SimulationResult:
+        """The slot loop proper (split out of :meth:`run` for profiling)."""
         while (
             self._result.delivered + self._result.packets_lost
             < self._result.num_packets
@@ -845,18 +855,39 @@ class SlottedEngine:
                 self._result.completed = False
                 self._result.slots_simulated = self._slot
                 return self._result
-            if self._has_faults:
-                self._process_faults()
-            self._inject_arrivals()
-            self._advance_pu_states()
-            self._contend_and_transmit()
-            if self.slot_hook is not None:
-                self.slot_hook(self)
+            with obs.span("engine.slot"):
+                if self._has_faults:
+                    self._process_faults()
+                self._inject_arrivals()
+                self._advance_pu_states()
+                self._contend_and_transmit()
+                if self.slot_hook is not None:
+                    self.slot_hook(self)
             self._slot += 1
 
         self._result.completed = True
         self._result.slots_simulated = self._slot
         return self._result
+
+    def _publish_metrics(self, result: SimulationResult) -> None:
+        """Publish one run's headline outcomes to the installed recorder.
+
+        Read-only over ``result`` and never touches an RNG stream, so the
+        simulation is bit-identical with or without a recorder.
+        """
+        obs.counter_add("engine.runs")
+        obs.counter_add("engine.slots", result.slots_simulated)
+        obs.counter_add("engine.tx_attempts", result.total_transmissions)
+        obs.counter_add("engine.collisions", result.collisions)
+        obs.counter_add("engine.deliveries", result.delivered)
+        obs.counter_add("engine.packets_lost", result.packets_lost)
+        obs.counter_add("engine.handoffs", result.handoffs)
+        obs.counter_add("engine.pu_violations", result.pu_violations)
+        obs.counter_add("engine.frozen_slots", result.frozen_slot_count)
+        obs.counter_add("engine.fault_events", result.fault_event_count)
+        obs.gauge_set("engine.max_backlog", result.max_backlog)
+        for record in result.deliveries:
+            obs.observe("engine.packet_delay_slots", record.delay_slots)
 
     # ------------------------------------------------------------------ #
     # PU activity                                                         #
@@ -937,6 +968,15 @@ class SlottedEngine:
         value = self.contention_window_ms * (1.0 - float(self._backoff_rng.random()))
         self._backoff[node] = value
         self._drawn[node] = value
+        if self.trace is not None:
+            self.trace.record(
+                TraceEvent(
+                    slot=self._slot,
+                    kind=TraceKind.BACKOFF_DRAW,
+                    node=node,
+                    time_in_slot=value,
+                )
+            )
         if self._num_channels > 1:
             self._node_channel[node] = self._pick_channel(node)
 
@@ -969,15 +1009,6 @@ class SlottedEngine:
             best_score = max(score(c) for c in pool)
             pool = [c for c in pool if score(c) == best_score]
         return pool[int(self._backoff_rng.integers(0, len(pool)))]
-        if self.trace is not None:
-            self.trace.record(
-                TraceEvent(
-                    slot=self._slot,
-                    kind=TraceKind.BACKOFF_DRAW,
-                    node=node,
-                    time_in_slot=value,
-                )
-            )
 
     def _select_transmitters(self) -> List[Tuple[float, int, int, int]]:
         """Resolve intra-slot contention.

@@ -47,20 +47,32 @@ class TraceEvent:
 class TraceLog:
     """Append-only event log with an optional size cap.
 
-    With ``max_events`` set, the log keeps the *earliest* events and simply
-    drops later ones (recording whether truncation happened); behavioural
-    tests care about prefixes of the schedule.
+    With ``max_events`` set, the log keeps the *earliest* events and drops
+    later ones, counting every drop in :attr:`dropped`; behavioural tests
+    care about prefixes of the schedule.  For uncapped long-run capture,
+    stream to disk with :class:`repro.obs.NdjsonTraceWriter` instead.
     """
 
     def __init__(self, max_events: Optional[int] = None) -> None:
         self._events: List[TraceEvent] = []
         self._max_events = max_events
-        self.truncated = False
+        #: Events dropped past the ``max_events`` cap.
+        self.dropped = 0
+
+    @property
+    def max_events(self) -> Optional[int]:
+        """The configured size cap (``None`` = unbounded)."""
+        return self._max_events
+
+    @property
+    def truncated(self) -> bool:
+        """Whether any event was dropped past the cap."""
+        return self.dropped > 0
 
     def record(self, event: TraceEvent) -> None:
-        """Append one event (dropped silently past the cap)."""
+        """Append one event (counted in :attr:`dropped` past the cap)."""
         if self._max_events is not None and len(self._events) >= self._max_events:
-            self.truncated = True
+            self.dropped += 1
             return
         self._events.append(event)
 
@@ -70,10 +82,27 @@ class TraceLog:
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self._events)
 
+    def __repr__(self) -> str:
+        cap = "unbounded" if self._max_events is None else self._max_events
+        return (
+            f"TraceLog(events={len(self._events)}, max_events={cap}, "
+            f"dropped={self.dropped})"
+        )
+
     def of_kind(self, kind: TraceKind) -> List[TraceEvent]:
         """All recorded events of one kind, in order."""
         return [event for event in self._events if event.kind is kind]
 
     def for_node(self, node: int) -> List[TraceEvent]:
-        """All recorded events touching one node, in order."""
-        return [event for event in self._events if event.node == node]
+        """All recorded events touching one node, in order.
+
+        "Touching" covers both roles: events the node emitted
+        (``event.node``) and events where it is the counterparty
+        (``event.peer`` — e.g. the receiver of a ``TX_START`` or the
+        transmitter behind a ``DELIVERY``).
+        """
+        return [
+            event
+            for event in self._events
+            if event.node == node or event.peer == node
+        ]

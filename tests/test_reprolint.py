@@ -106,6 +106,14 @@ RULE_FIXTURES = {
         "__all__ = ['gone']\n\n\ndef present() -> int:\n    return 1\n",
         "__all__ = ['present']\n\n\ndef present() -> int:\n    return 1\n",
     ),
+    "OBS001": (
+        "repro/experiments/progress_report.py",
+        "import time\n\nstart = time.perf_counter()\n",
+        (
+            "from repro.obs.clock import monotonic_s\n\n"
+            "start = monotonic_s()\n\n__all__ = []\n"
+        ),
+    ),
 }
 
 
@@ -150,6 +158,32 @@ class TestRuleFixtures:
         assert "DET001" in rule_ids(lint_source(source, path="repro/sim/x.py"))
         assert "DET001" not in rule_ids(
             lint_source(source, path="repro/experiments/report.py")
+        )
+
+    def test_obs001_allows_the_clock_facade(self):
+        source = "import time\n\n\ndef monotonic_s() -> float:\n    return time.perf_counter()\n\n\n__all__ = ['monotonic_s']\n"
+        assert "OBS001" in rule_ids(
+            lint_source(source, path="repro/experiments/x.py")
+        )
+        assert "OBS001" not in rule_ids(
+            lint_source(source, path="repro/obs/clock.py")
+        )
+
+    def test_obs001_flags_from_time_imports(self):
+        assert "OBS001" in rule_ids(
+            lint_source(
+                "from time import perf_counter\n", path="repro/viz/timing.py"
+            )
+        )
+
+    def test_api003_tolerates_pep562_lazy_exports(self):
+        source = (
+            "__all__ = ['lazy']\n\n\n"
+            "def __getattr__(name):\n"
+            "    raise AttributeError(name)\n"
+        )
+        assert "API003" not in rule_ids(
+            lint_source(source, path="repro/metrics/summary.py")
         )
 
     def test_det002_flags_order_sensitive_wrappers(self):

@@ -95,3 +95,28 @@ class TestTraceLog:
         log.record(self.event(kind=TraceKind.FREEZE, node=2))
         assert len(log.of_kind(TraceKind.FREEZE)) == 1
         assert len(log.for_node(1)) == 1
+
+    def test_for_node_matches_both_sides_of_a_tx(self):
+        # Regression: a TX event touches transmitter AND receiver; the
+        # receiver's view used to come back empty.
+        log = TraceLog()
+        tx = TraceEvent(slot=3, kind=TraceKind.TX_START, node=1, peer=2)
+        log.record(tx)
+        assert log.for_node(1) == [tx]  # transmitter side
+        assert log.for_node(2) == [tx]  # receiver (peer) side
+        assert log.for_node(3) == []
+
+    def test_dropped_counter_and_repr(self):
+        log = TraceLog(max_events=2)
+        assert log.dropped == 0
+        assert not log.truncated
+        for slot in range(5):
+            log.record(self.event(slot))
+        assert log.dropped == 3
+        assert log.truncated
+        assert repr(log) == "TraceLog(events=2, max_events=2, dropped=3)"
+
+    def test_unbounded_repr(self):
+        log = TraceLog()
+        log.record(self.event(0))
+        assert repr(log) == "TraceLog(events=1, max_events=unbounded, dropped=0)"
