@@ -38,11 +38,18 @@ def run_fig6_benchmark(
     base_config: ExperimentConfig,
     increasing: bool = True,
     min_mean_reduction_percent: float = 50.0,
+    workers: int = 1,
 ) -> List[Tuple[float, ComparisonPoint]]:
-    """Run one sub-figure sweep, print it, and assert its shape."""
+    """Run one sub-figure sweep, print it, and assert its shape.
+
+    ``workers`` > 1 fans the sweep out over a process pool; the asserted
+    series are bit-identical either way, so this only trades wall-clock.
+    """
     sweep = FIG6_SWEEPS[name]
     points = benchmark.pedantic(
-        lambda: run_fig6_sweep(sweep, base_config), rounds=1, iterations=1
+        lambda: run_fig6_sweep(sweep, base_config, workers=workers),
+        rounds=1,
+        iterations=1,
     )
     print()
     print(render_fig6_table(sweep.name, sweep.description, points))

@@ -14,6 +14,8 @@ Commands
 ``lint``       run reprolint (determinism & paper-invariant checks)
 ``obs``        observability: ``report`` (render/verify a run manifest) and
                ``bench`` (profiled engine baseline -> manifest JSON)
+``perf``       performance: ``bench`` (serial vs parallel, scalar vs
+               vectorized -> BENCH_perf.json; equality-checked)
 ``trace``      NDJSON traces: ``export`` (stream a run's events to disk)
                and ``stats`` (summarize a trace/v1 file)
 
@@ -173,7 +175,7 @@ def _cmd_collect(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     config = _config_from(args)
-    point = run_comparison_point(config)
+    point = run_comparison_point(config, workers=args.workers)
     print(
         f"ADDC    : {point.addc_delay_ms.mean:12.1f} ms "
         f"± {point.addc_delay_ms.std:.1f}"
@@ -399,6 +401,19 @@ def _cmd_obs_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import PerfBenchError, run_perf_bench
+
+    config = _config_from(args)
+    try:
+        return run_perf_bench(
+            config, workers=args.workers, out=args.out, smoke=args.smoke
+        )
+    except PerfBenchError as error:
+        print(f"PERF FAIL: {error}", file=sys.stderr)
+        return 1
+
+
 def _cmd_trace_export(args: argparse.Namespace) -> int:
     from repro import obs
 
@@ -436,13 +451,31 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
     name = f"fig6{args.subfigure}"
     sweep = FIG6_SWEEPS[name]
     config = _config_from(args)
-    points = run_fig6_sweep(sweep, config)
-    print(render_fig6_table(sweep.name, sweep.description, points))
-    if args.save:
-        from repro.experiments.io import save_sweep
+    if not args.save:
+        points = run_fig6_sweep(sweep, config, workers=args.workers)
+        print(render_fig6_table(sweep.name, sweep.description, points))
+        return 0
 
-        save_sweep(args.save, name, points)
-        print(f"saved to {args.save}")
+    from repro import obs
+    from repro.experiments.io import save_sweep
+
+    # Saved sweeps get a provenance manifest recording the worker count
+    # (the artifact itself is worker-count-independent by construction).
+    recorder = obs.MetricsRecorder()
+    start = obs.monotonic_s()
+    with obs.use_recorder(recorder):
+        points = run_fig6_sweep(sweep, config, workers=args.workers)
+    wall_time_s = obs.monotonic_s() - start
+    print(render_fig6_table(sweep.name, sweep.description, points))
+    manifest = obs.build_manifest(
+        seed=config.seed,
+        config=config,
+        wall_time_s=wall_time_s,
+        recorder=recorder,
+        extra={"sweep": name, "workers": args.workers},
+    )
+    save_sweep(args.save, name, points, manifest=manifest)
+    print(f"saved to {args.save}")
     return 0
 
 
@@ -546,6 +579,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     compare = commands.add_parser("compare", help="ADDC vs Coolest")
     _add_scale_options(compare)
+    compare.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the repetitions (1 = serial; "
+        "results are identical for any value)",
+    )
     compare.set_defaults(handler=_cmd_compare)
 
     chaos = commands.add_parser(
@@ -594,6 +634,13 @@ def build_parser() -> argparse.ArgumentParser:
     fig6.add_argument("subfigure", choices=list("abcdef"))
     fig6.add_argument(
         "--save", default=None, help="write the sweep to a JSON file"
+    )
+    fig6.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for (point x repetition) fan-out "
+        "(1 = serial; results are identical for any value)",
     )
     _add_scale_options(fig6)
     fig6.set_defaults(handler=_cmd_fig6)
@@ -653,6 +700,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scale_options(obs_bench)
     obs_bench.set_defaults(handler=_cmd_obs_bench)
+
+    perf_parser = commands.add_parser(
+        "perf", help="performance: parallel/vectorized benchmarks"
+    )
+    perf_commands = perf_parser.add_subparsers(dest="perf_command", required=True)
+
+    perf_bench = perf_commands.add_parser(
+        "bench",
+        help="serial vs parallel + scalar vs vectorized -> BENCH_perf.json",
+    )
+    perf_bench.add_argument(
+        "--out", default="BENCH_perf.json", help="output manifest path"
+    )
+    perf_bench.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker processes for the parallel half (default: 4)",
+    )
+    perf_bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI mode: tiny workload, same equality assertions",
+    )
+    _add_scale_options(perf_bench)
+    perf_bench.set_defaults(handler=_cmd_perf_bench)
 
     trace_parser = commands.add_parser(
         "trace", help="NDJSON trace export and inspection (trace/v1)"

@@ -34,6 +34,9 @@ class CollectionOutcome:
     pcr: PcrResult
     sense_map: CarrierSenseMap
     bounds: Optional[TheoreticalBounds] = None
+    #: The engine that produced ``result``; exposes post-run RNG stream
+    #: positions (``engine.rng_positions()``) for determinism checks.
+    engine: Optional[SlottedEngine] = None
 
 
 def run_addc_collection(
@@ -161,5 +164,10 @@ def run_addc_collection(
             root_degree=max(tree.root_degree(), 1),
         )
     return CollectionOutcome(
-        result=result, tree=tree, pcr=pcr, sense_map=sense_map, bounds=bounds
+        result=result,
+        tree=tree,
+        pcr=pcr,
+        sense_map=sense_map,
+        bounds=bounds,
+        engine=engine,
     )

@@ -30,9 +30,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import repro.obs as obs
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import ComparisonPoint, run_comparison_point
+from repro.experiments.runner import (
+    ComparisonPoint,
+    assemble_comparison_point,
+    run_comparison_point,
+)
 from repro.obs.progress import Heartbeat
 
 __all__ = ["Fig6Sweep", "FIG6_SWEEPS", "sweep_point_configs", "run_fig6_sweep"]
@@ -118,6 +123,58 @@ def sweep_point_configs(
     return points
 
 
+def _run_fig6_sweep_parallel(
+    points: List[Tuple[float, ExperimentConfig]],
+    repetitions: Optional[int],
+    on_incomplete: str,
+    progress: Optional[Heartbeat],
+    workers: int,
+) -> List[Tuple[float, ComparisonPoint]]:
+    """Fan every (sweep point × repetition) through one process pool.
+
+    One pool for the whole sub-figure keeps the workers saturated across
+    point boundaries; results are still assembled strictly in (point,
+    repetition) submission order, so the output is bit-identical to the
+    serial path.
+    """
+    from repro.perf.executor import ParallelSweepExecutor, SweepWorkItem
+
+    collect = obs.enabled()
+    reps_of = [
+        repetitions if repetitions is not None else config.repetitions
+        for _, config in points
+    ]
+    items = [
+        SweepWorkItem(
+            point_index=index,
+            repetition=rep,
+            config=config,
+            collect_metrics=collect,
+        )
+        for index, (_, config) in enumerate(points)
+        for rep in range(reps_of[index])
+    ]
+    outcomes = iter(ParallelSweepExecutor(workers).run_items(items))
+    results: List[Tuple[float, ComparisonPoint]] = []
+    for index, (x_value, config) in enumerate(points):
+        measurements = []
+        for _ in range(reps_of[index]):
+            outcome = next(outcomes)
+            if outcome.metrics is not None:
+                obs.merge_snapshot(outcome.metrics, outcome.profile)
+            obs.counter_add("sweep.repetitions")
+            if progress is not None:
+                progress.tick()
+            measurements.append(outcome.measurement)
+        results.append(
+            (
+                x_value,
+                assemble_comparison_point(config, measurements, on_incomplete),
+            )
+        )
+    return results
+
+
 def run_fig6_sweep(
     sweep: Fig6Sweep,
     base: ExperimentConfig,
@@ -125,6 +182,7 @@ def run_fig6_sweep(
     values: Optional[Sequence[float]] = None,
     on_incomplete: str = "skip",
     progress: Optional[Heartbeat] = None,
+    workers: int = 1,
 ) -> List[Tuple[float, ComparisonPoint]]:
     """Run one sub-figure end to end; returns (x-value, comparison) pairs.
 
@@ -134,6 +192,10 @@ def run_fig6_sweep(
     the strict single-point behaviour.  A :class:`~repro.obs.Heartbeat`
     passed as ``progress`` ticks once per repetition across the whole
     sweep (size it ``len(sweep.values) * repetitions``).
+
+    ``workers`` > 1 runs every (point × repetition) pair through one
+    shared :class:`~repro.perf.executor.ParallelSweepExecutor` pool;
+    results are bit-identical to the serial default for any worker count.
     """
     if values is not None:
         sweep = Fig6Sweep(
@@ -143,8 +205,13 @@ def run_fig6_sweep(
             values=tuple(values),
             description=sweep.description,
         )
+    points = sweep_point_configs(sweep, base)
+    if workers > 1:
+        return _run_fig6_sweep_parallel(
+            points, repetitions, on_incomplete, progress, workers
+        )
     results: List[Tuple[float, ComparisonPoint]] = []
-    for x_value, config in sweep_point_configs(sweep, base):
+    for x_value, config in points:
         results.append(
             (
                 x_value,

@@ -10,7 +10,7 @@ comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 import repro.obs as obs
 from repro.core.collector import run_addc_collection
@@ -26,7 +26,14 @@ from repro.network.deployment import deploy_crn
 from repro.rng import StreamFactory
 from repro.routing.coolest import run_coolest_collection
 
-__all__ = ["ComparisonPoint", "run_comparison_point", "run_addc_only"]
+__all__ = [
+    "ComparisonPoint",
+    "RepetitionMeasurement",
+    "run_comparison_repetition",
+    "assemble_comparison_point",
+    "run_comparison_point",
+    "run_addc_only",
+]
 
 
 @dataclass
@@ -41,6 +48,12 @@ class ComparisonPoint:
     #: Repetitions dropped by ``on_incomplete="skip"`` (either algorithm
     #: hit max_slots); the averages cover the surviving repetitions only.
     skipped_repetitions: int = 0
+    #: Post-run RNG stream position digests per repetition (never
+    #: serialized by ``save_sweep``): one ``{"addc": {...}, "coolest":
+    #: {...}}`` entry per repetition, including skipped ones.  Lets the
+    #: determinism tests assert the parallel executor consumed every
+    #: stream exactly as the serial path did.
+    rng_positions: List[Dict[str, Dict[str, str]]] = field(default_factory=list)
 
     @property
     def reduction_percent(self) -> float:
@@ -79,11 +92,170 @@ def _require_complete(delay_ms: Optional[float], label: str, rep: int) -> float:
     return delay_ms
 
 
+@dataclass
+class RepetitionMeasurement:
+    """One repetition's results, in a picklable parallel-safe form."""
+
+    repetition: int
+    addc_delay_ms: Optional[float]
+    coolest_delay_ms: Optional[float]
+    #: Post-run RNG stream position digests per algorithm
+    #: (``{"addc": {...}, "coolest": {...}}``).
+    rng_positions: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+
+def run_comparison_repetition(
+    config: ExperimentConfig, repetition: int
+) -> RepetitionMeasurement:
+    """Run one repetition of the ADDC-vs-Coolest comparison.
+
+    Top-level by design: parallel sweep workers import and call this
+    under the ``spawn`` start method, re-deriving the repetition's whole
+    RNG lineage (``StreamFactory(seed).spawn(f"rep-{i}")``) from nothing
+    but the picklable ``(config, repetition)`` pair — which is what makes
+    parallel results byte-identical to serial order.
+    """
+    root = StreamFactory(config.seed)
+    with obs.span("sweep.repetition"):
+        factory = root.spawn(f"rep-{repetition}")
+        topology = deploy_crn(config.deployment_spec(), factory)
+        addc = run_addc_collection(
+            topology,
+            factory.spawn("addc"),
+            eta_p_db=config.eta_p_db,
+            eta_s_db=config.eta_s_db,
+            alpha=config.alpha,
+            zeta_bound=config.zeta_bound,
+            blocking=config.blocking,
+            max_slots=config.max_slots,
+            contention_window_ms=config.contention_window_ms,
+            slot_duration_ms=config.slot_duration_ms,
+            with_bounds=False,
+        )
+        coolest = run_coolest_collection(
+            topology,
+            factory.spawn("coolest"),
+            eta_p_db=config.eta_p_db,
+            eta_s_db=config.eta_s_db,
+            alpha=config.alpha,
+            zeta_bound=config.zeta_bound,
+            blocking=config.blocking,
+            max_slots=config.max_slots,
+            contention_window_ms=config.contention_window_ms,
+            slot_duration_ms=config.slot_duration_ms,
+        )
+    positions = {}
+    if addc.engine is not None:
+        positions["addc"] = addc.engine.rng_positions()
+    if coolest.engine is not None:
+        positions["coolest"] = coolest.engine.rng_positions()
+    return RepetitionMeasurement(
+        repetition=repetition,
+        addc_delay_ms=addc.result.delay_ms,
+        coolest_delay_ms=coolest.result.delay_ms,
+        rng_positions=positions,
+    )
+
+
+def assemble_comparison_point(
+    config: ExperimentConfig,
+    measurements: Iterable[RepetitionMeasurement],
+    on_incomplete: str = "raise",
+) -> ComparisonPoint:
+    """Fold repetition measurements into one :class:`ComparisonPoint`.
+
+    Accepts any iterable and consumes it lazily, so a serial caller can
+    pass a generator and keep ``on_incomplete="raise"``'s early-abort
+    behaviour, while the parallel path passes the gathered (repetition-
+    ordered) list.  The accounting here is the single source of truth for
+    skip/raise semantics — serial and parallel cannot drift.
+    """
+    if on_incomplete not in ("raise", "skip"):
+        raise ConfigurationError(
+            f"on_incomplete must be 'raise' or 'skip', got {on_incomplete!r}"
+        )
+    addc_delays: List[float] = []
+    coolest_delays: List[float] = []
+    rng_positions: List[Dict[str, Dict[str, str]]] = []
+    skipped = 0
+    total = 0
+    for measurement in measurements:
+        total += 1
+        rng_positions.append(measurement.rng_positions)
+        if on_incomplete == "skip" and (
+            measurement.addc_delay_ms is None
+            or measurement.coolest_delay_ms is None
+        ):
+            skipped += 1
+            obs.counter_add("sweep.repetitions_skipped")
+            continue
+        addc_delays.append(
+            _require_complete(
+                measurement.addc_delay_ms, "ADDC", measurement.repetition
+            )
+        )
+        coolest_delays.append(
+            _require_complete(
+                measurement.coolest_delay_ms, "Coolest", measurement.repetition
+            )
+        )
+    if not addc_delays:
+        raise SimulationError(
+            f"all {total} repetitions hit max_slots before completing; "
+            "raise max_slots or shrink the scenario"
+        )
+    return ComparisonPoint(
+        config=config,
+        addc_delay_ms=summarize_delays(addc_delays),
+        coolest_delay_ms=summarize_delays(coolest_delays),
+        addc_delays=addc_delays,
+        coolest_delays=coolest_delays,
+        skipped_repetitions=skipped,
+        rng_positions=rng_positions,
+    )
+
+
+def _measure_serial(
+    config: ExperimentConfig, reps: int, progress: Optional[Heartbeat]
+) -> Iterator[RepetitionMeasurement]:
+    for rep in range(reps):
+        measurement = run_comparison_repetition(config, rep)
+        obs.counter_add("sweep.repetitions")
+        if progress is not None:
+            progress.tick()
+        yield measurement
+
+
+def _measure_parallel(
+    config: ExperimentConfig,
+    reps: int,
+    workers: int,
+    progress: Optional[Heartbeat],
+) -> Iterator[RepetitionMeasurement]:
+    from repro.perf.executor import ParallelSweepExecutor, SweepWorkItem
+
+    collect = obs.enabled()
+    items = [
+        SweepWorkItem(
+            point_index=0, repetition=rep, config=config, collect_metrics=collect
+        )
+        for rep in range(reps)
+    ]
+    for outcome in ParallelSweepExecutor(workers).run_items(items):
+        if outcome.metrics is not None:
+            obs.merge_snapshot(outcome.metrics, outcome.profile)
+        obs.counter_add("sweep.repetitions")
+        if progress is not None:
+            progress.tick()
+        yield outcome.measurement
+
+
 def run_comparison_point(
     config: ExperimentConfig,
     repetitions: Optional[int] = None,
     on_incomplete: str = "raise",
     progress: Optional[Heartbeat] = None,
+    workers: int = 1,
 ) -> ComparisonPoint:
     """Run ADDC and Coolest over ``repetitions`` fresh deployments.
 
@@ -98,75 +270,19 @@ def run_comparison_point(
     ``progress`` (a :class:`~repro.obs.Heartbeat`) gets one tick per
     completed repetition; it is purely an output device and never affects
     the run.
+
+    ``workers`` > 1 fans the repetitions out over a
+    :class:`~repro.perf.executor.ParallelSweepExecutor` process pool;
+    each worker re-derives its RNG streams from ``(seed, repetition)``,
+    so the result is bit-identical to the serial default (``workers=1``)
+    for any worker count and completion order.
     """
-    if on_incomplete not in ("raise", "skip"):
-        raise ConfigurationError(
-            f"on_incomplete must be 'raise' or 'skip', got {on_incomplete!r}"
-        )
     reps = repetitions if repetitions is not None else config.repetitions
-    addc_delays: List[float] = []
-    coolest_delays: List[float] = []
-    skipped = 0
-    root = StreamFactory(config.seed)
-
-    for rep in range(reps):
-        with obs.span("sweep.repetition"):
-            factory = root.spawn(f"rep-{rep}")
-            topology = deploy_crn(config.deployment_spec(), factory)
-            addc = run_addc_collection(
-                topology,
-                factory.spawn("addc"),
-                eta_p_db=config.eta_p_db,
-                eta_s_db=config.eta_s_db,
-                alpha=config.alpha,
-                zeta_bound=config.zeta_bound,
-                blocking=config.blocking,
-                max_slots=config.max_slots,
-                contention_window_ms=config.contention_window_ms,
-                slot_duration_ms=config.slot_duration_ms,
-                with_bounds=False,
-            )
-            coolest = run_coolest_collection(
-                topology,
-                factory.spawn("coolest"),
-                eta_p_db=config.eta_p_db,
-                eta_s_db=config.eta_s_db,
-                alpha=config.alpha,
-                zeta_bound=config.zeta_bound,
-                blocking=config.blocking,
-                max_slots=config.max_slots,
-                contention_window_ms=config.contention_window_ms,
-                slot_duration_ms=config.slot_duration_ms,
-            )
-        obs.counter_add("sweep.repetitions")
-        if progress is not None:
-            progress.tick()
-        if on_incomplete == "skip" and (
-            addc.result.delay_ms is None or coolest.result.delay_ms is None
-        ):
-            skipped += 1
-            obs.counter_add("sweep.repetitions_skipped")
-            continue
-        addc_delays.append(
-            _require_complete(addc.result.delay_ms, "ADDC", rep)
-        )
-        coolest_delays.append(
-            _require_complete(coolest.result.delay_ms, "Coolest", rep)
-        )
-
-    if not addc_delays:
-        raise SimulationError(
-            f"all {reps} repetitions hit max_slots before completing; "
-            "raise max_slots or shrink the scenario"
-        )
-    return ComparisonPoint(
-        config=config,
-        addc_delay_ms=summarize_delays(addc_delays),
-        coolest_delay_ms=summarize_delays(coolest_delays),
-        addc_delays=addc_delays,
-        coolest_delays=coolest_delays,
-        skipped_repetitions=skipped,
-    )
+    if workers > 1:
+        measurements = _measure_parallel(config, reps, workers, progress)
+    else:
+        measurements = _measure_serial(config, reps, progress)
+    return assemble_comparison_point(config, measurements, on_incomplete)
 
 
 def run_addc_only(

@@ -1,15 +1,30 @@
-"""Uniform-grid spatial index for fixed point sets.
+"""Uniform-grid spatial index for fixed point sets, CSR-style storage.
 
 The simulator repeatedly asks "which SUs lie within the PCR of this
-transmitter".  Positions never move after deployment, so a simple uniform
-grid bucketing with cell size equal to the dominant query radius gives
-O(points-in-range) queries with tiny constants and no dependencies.
+transmitter".  Positions never move after deployment, so the index sorts
+the points once by packed cell key and answers every query with two
+binary searches per covered cell column — O(points-in-range) with numpy
+constants and no per-point Python loop.
+
+Storage layout (built once in ``__init__``):
+
+* each point's cell ``(cx, cy)`` is packed into one ``uint64`` key that
+  is monotone in ``(cx, cy)`` lexicographic order;
+* a stable argsort of the keys gives ``_order`` (point indices grouped by
+  cell, ascending index within a cell) and ``_sorted_keys`` alongside it.
+
+Because the key order is ``(cx, cy)``-lexicographic, all cells of one
+``cx`` column with ``cy`` in ``[lo, hi]`` form a *contiguous* key range:
+a query over a ``(2r+1)^2`` cell window needs only ``2r+1`` searchsorted
+pairs, and results come out in exactly the historical scan order (cells
+by ascending ``(cx, cy)``, insertion order within a cell) — pinned by the
+golden-regression tests.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+from typing import List, Optional
 
 import numpy as np
 
@@ -17,6 +32,11 @@ import repro.obs as obs
 from repro.errors import GeometryError
 
 __all__ = ["GridIndex"]
+
+#: Cell coordinates must fit the packed key: |cell| < 2**31.
+_COORD_LIMIT = 2 ** 31
+
+_EMPTY = np.zeros(0, dtype=np.int64)
 
 
 class GridIndex:
@@ -26,6 +46,7 @@ class GridIndex:
     ----------
     positions:
         Array of shape ``(n, 2)``; kept by reference and assumed immutable.
+        Must be finite (NaN/inf positions would bucket silently wrong).
     cell_size:
         Edge length of the square grid cells.  Choose it close to the most
         common query radius; correctness does not depend on the choice.
@@ -48,9 +69,37 @@ class GridIndex:
             raise GeometryError(f"cell_size must be positive, got {cell_size}")
         self._positions = positions
         self._cell_size = float(cell_size)
-        self._cells: Dict[Tuple[int, int], List[int]] = {}
-        for idx in range(positions.shape[0]):
-            self._cells.setdefault(self._cell_of(positions[idx]), []).append(idx)
+        if positions.shape[0] == 0:
+            self._order = _EMPTY
+            self._sorted_keys = np.zeros(0, dtype=np.uint64)
+            self._min_cx = self._max_cx = 0
+            self._min_cy = self._max_cy = -1  # empty y-range: no candidates
+            return
+        if not np.isfinite(positions).all():
+            raise GeometryError("positions must be finite")
+        cells = np.floor(positions / self._cell_size)
+        if np.abs(cells).max() >= _COORD_LIMIT:
+            raise GeometryError(
+                f"cell coordinates exceed the packed-key range (|cell| < "
+                f"{_COORD_LIMIT}); use a larger cell_size"
+            )
+        cells = cells.astype(np.int64)
+        keys = self._pack(cells[:, 0], cells[:, 1])
+        # Stable sort: within one cell, points keep ascending index order
+        # (the historical per-bucket insertion order).
+        self._order = np.argsort(keys, kind="stable").astype(np.int64)
+        self._sorted_keys = keys[self._order]
+        self._min_cx = int(cells[:, 0].min())
+        self._max_cx = int(cells[:, 0].max())
+        self._min_cy = int(cells[:, 1].min())
+        self._max_cy = int(cells[:, 1].max())
+
+    @staticmethod
+    def _pack(cx, cy) -> np.ndarray:
+        """Pack cell coordinates into ``(cx, cy)``-lexicographic uint64 keys."""
+        cx = np.asarray(cx, dtype=np.int64) + _COORD_LIMIT
+        cy = np.asarray(cy, dtype=np.int64) + _COORD_LIMIT
+        return (cx.astype(np.uint64) << np.uint64(32)) | cy.astype(np.uint64)
 
     @property
     def positions(self) -> np.ndarray:
@@ -65,43 +114,172 @@ class GridIndex:
     def __len__(self) -> int:
         return self._positions.shape[0]
 
-    def _cell_of(self, point: np.ndarray) -> Tuple[int, int]:
+    def _cell_of(self, point):
+        px, py = float(point[0]), float(point[1])
+        if not (math.isfinite(px) and math.isfinite(py)):
+            raise GeometryError(f"query point must be finite, got ({px}, {py})")
         return (
-            int(math.floor(float(point[0]) / self._cell_size)),
-            int(math.floor(float(point[1]) / self._cell_size)),
+            int(math.floor(px / self._cell_size)),
+            int(math.floor(py / self._cell_size)),
         )
+
+    def _check_radius(self, radius: float) -> None:
+        if radius < 0:
+            raise GeometryError(f"radius must be non-negative, got {radius}")
+        if not math.isfinite(radius):
+            raise GeometryError(f"radius must be finite, got {radius}")
+
+    def _query_one(
+        self, point, radius: float, exclude: Optional[int]
+    ) -> np.ndarray:
+        """One radius query; candidates filtered (and excluded) inline."""
+        px, py = float(point[0]), float(point[1])
+        ccx, ccy = self._cell_of((px, py))
+        reach = int(math.ceil(radius / self._cell_size))
+        x_lo = max(ccx - reach, self._min_cx)
+        x_hi = min(ccx + reach, self._max_cx)
+        y_lo = max(ccy - reach, self._min_cy)
+        y_hi = min(ccy + reach, self._max_cy)
+        if self._order.size == 0 or x_lo > x_hi or y_lo > y_hi:
+            return _EMPTY
+        keys = self._sorted_keys
+        pieces: List[np.ndarray] = []
+        for cx in range(x_lo, x_hi + 1):
+            base = (cx + _COORD_LIMIT) << 32
+            lo = int(np.searchsorted(keys, base + (y_lo + _COORD_LIMIT)))
+            hi = int(
+                np.searchsorted(keys, base + (y_hi + _COORD_LIMIT), side="right")
+            )
+            if hi > lo:
+                pieces.append(self._order[lo:hi])
+        if not pieces:
+            return _EMPTY
+        cand = pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
+        dx = self._positions[cand, 0] - px
+        dy = self._positions[cand, 1] - py
+        keep = dx * dx + dy * dy <= radius * radius
+        if exclude is not None:
+            keep &= cand != exclude
+        return cand[keep]
 
     def query_radius(self, point, radius: float) -> List[int]:
         """Indices of all points within ``radius`` of ``point`` (inclusive).
 
         Complexity is proportional to the number of candidate points in the
-        covered cells, not to the total point count.
+        covered cells, not to the total point count.  Raises
+        :class:`~repro.errors.GeometryError` on a non-finite query point or
+        radius (NaN would otherwise bucket silently wrong).
         """
-        if radius < 0:
-            raise GeometryError(f"radius must be non-negative, got {radius}")
+        self._check_radius(radius)
         obs.counter_add("spatial.queries")
-        px, py = float(point[0]), float(point[1])
-        reach = int(math.ceil(radius / self._cell_size))
-        center_cx = int(math.floor(px / self._cell_size))
-        center_cy = int(math.floor(py / self._cell_size))
-        radius_sq = radius * radius
-        positions = self._positions
-        found: List[int] = []
-        for cx in range(center_cx - reach, center_cx + reach + 1):
-            for cy in range(center_cy - reach, center_cy + reach + 1):
-                bucket = self._cells.get((cx, cy))
-                if not bucket:
-                    continue
-                for idx in bucket:
-                    dx = positions[idx, 0] - px
-                    dy = positions[idx, 1] - py
-                    if dx * dx + dy * dy <= radius_sq:
-                        found.append(idx)
-        return found
+        return self._query_one(point, radius, None).tolist()
 
     def query_radius_excluding(self, point, radius: float, exclude: int) -> List[int]:
-        """Like :meth:`query_radius` but omitting one index (typically self)."""
-        return [idx for idx in self.query_radius(point, radius) if idx != exclude]
+        """Like :meth:`query_radius` but omitting one index (typically self).
+
+        The exclusion is applied inline during the candidate scan — no
+        second pass over the result.
+        """
+        self._check_radius(radius)
+        obs.counter_add("spatial.queries")
+        return self._query_one(point, radius, int(exclude)).tolist()
+
+    def query_radius_many(
+        self, points, radius: float, exclude=None
+    ) -> List[List[int]]:
+        """Batched :meth:`query_radius` over an ``(m, 2)`` query array.
+
+        One vectorized pass answers all ``m`` queries: per-query candidate
+        slices are located with two ``searchsorted`` calls per covered cell
+        column, flattened, distance-filtered elementwise, and split back
+        into per-query lists.  Each list is exactly what ``query_radius``
+        returns for that row (same indices, same order).
+
+        ``exclude`` (optional) is one index per query row to omit from that
+        row's result — :meth:`neighbor_lists` passes ``arange(n)`` to drop
+        each point from its own neighbourhood.
+        """
+        self._check_radius(radius)
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise GeometryError(
+                f"query points must have shape (m, 2), got {pts.shape}"
+            )
+        m = pts.shape[0]
+        if m == 0:
+            return []
+        obs.counter_add("spatial.queries", m)
+        if not np.isfinite(pts).all():
+            raise GeometryError("query points must be finite")
+        if exclude is not None:
+            exclude = np.asarray(exclude, dtype=np.int64)
+            if exclude.shape != (m,):
+                raise GeometryError(
+                    f"exclude must have shape ({m},), got {exclude.shape}"
+                )
+        if self._order.size == 0:
+            return [[] for _ in range(m)]
+
+        cell = self._cell_size
+        reach = int(math.ceil(radius / cell))
+        # Clip the float cell coordinates into a window just past the
+        # indexed extent before the int64 cast: distant (but finite)
+        # queries stay representable and resolve to empty ranges below.
+        fx = np.clip(
+            np.floor(pts[:, 0] / cell),
+            self._min_cx - reach - 1.0,
+            self._max_cx + reach + 1.0,
+        )
+        fy = np.clip(
+            np.floor(pts[:, 1] / cell),
+            self._min_cy - reach - 1.0,
+            self._max_cy + reach + 1.0,
+        )
+        ccx = fx.astype(np.int64)
+        ccy = fy.astype(np.int64)
+        x_lo = np.maximum(ccx - reach, self._min_cx)
+        x_hi = np.minimum(ccx + reach, self._max_cx)
+        y_lo = np.maximum(ccy - reach, self._min_cy)
+        y_hi = np.minimum(ccy + reach, self._max_cy)
+        row_valid = (x_lo <= x_hi) & (y_lo <= y_hi)
+
+        # (m, 2*reach+1) grid of candidate cell columns, row-major so the
+        # flattened order is query-major with cx ascending — the same scan
+        # order the scalar query uses.
+        noff = 2 * reach + 1
+        cx = ccx[:, None] + np.arange(-reach, reach + 1)[None, :]
+        valid = row_valid[:, None] & (cx >= x_lo[:, None]) & (cx <= x_hi[:, None])
+        safe_cx = np.where(valid, cx, 0)
+        base = (safe_cx + _COORD_LIMIT).astype(np.uint64) << np.uint64(32)
+        ylo_k = np.where(valid, (y_lo + _COORD_LIMIT)[:, None], 0).astype(np.uint64)
+        yhi_k = np.where(valid, (y_hi + _COORD_LIMIT)[:, None], 0).astype(np.uint64)
+        keys = self._sorted_keys
+        los = np.searchsorted(keys, (base | ylo_k).ravel(), side="left")
+        his = np.searchsorted(keys, (base | yhi_k).ravel(), side="right")
+        his = np.where(valid.ravel(), his, los)
+
+        lens = his - los
+        total = int(lens.sum())
+        if total == 0:
+            return [[] for _ in range(m)]
+        # Expand every [lo, hi) slice of the CSR order array in one shot.
+        starts = np.repeat(los, lens)
+        offsets = np.arange(total) - np.repeat(np.cumsum(lens) - lens, lens)
+        cand = self._order[starts + offsets]
+        rows = np.repeat(np.arange(m).repeat(noff), lens)
+
+        dx = self._positions[cand, 0] - pts[rows, 0]
+        dy = self._positions[cand, 1] - pts[rows, 1]
+        keep = dx * dx + dy * dy <= radius * radius
+        if exclude is not None:
+            keep &= cand != exclude[rows]
+        found = cand[keep]
+        found_rows = rows[keep]
+        counts = np.bincount(found_rows, minlength=m)
+        return [
+            segment.tolist()
+            for segment in np.split(found, np.cumsum(counts[:-1]))
+        ]
 
     def neighbor_lists(self, radius: float) -> List[List[int]]:
         """For every indexed point, the indices within ``radius`` of it.
@@ -110,10 +288,9 @@ class GridIndex:
         simulator precomputes PU-to-SU incidence and SU adjacency.
         """
         with obs.span("spatial.neighbor_lists"):
-            return [
-                self.query_radius_excluding(self._positions[idx], radius, idx)
-                for idx in range(len(self))
-            ]
+            return self.query_radius_many(
+                self._positions, radius, exclude=np.arange(len(self))
+            )
 
     def cross_neighbor_lists(
         self, other_positions: np.ndarray, radius: float
@@ -125,7 +302,4 @@ class GridIndex:
         """
         other_positions = np.asarray(other_positions, dtype=float)
         with obs.span("spatial.cross_neighbor_lists"):
-            return [
-                self.query_radius(other_positions[idx], radius)
-                for idx in range(other_positions.shape[0])
-            ]
+            return self.query_radius_many(other_positions, radius)

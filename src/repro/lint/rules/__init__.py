@@ -7,6 +7,13 @@ pattern: subclass :class:`repro.lint.registry.Rule`, decorate with
 running the linter.
 """
 
-from repro.lint.rules import determinism, hygiene, invariants, observability, rng
+from repro.lint.rules import (
+    determinism,
+    hygiene,
+    invariants,
+    observability,
+    perf,
+    rng,
+)
 
-__all__ = ["rng", "determinism", "invariants", "hygiene", "observability"]
+__all__ = ["rng", "determinism", "invariants", "hygiene", "observability", "perf"]

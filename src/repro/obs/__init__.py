@@ -60,6 +60,7 @@ __all__ = [
     "observe",
     "snapshot",
     "profile",
+    "merge_snapshot",
     "span",
     "timed",
     # Re-exported submodule APIs (imported at the bottom of this module).
@@ -140,6 +141,15 @@ def snapshot() -> Dict:
 def profile() -> Dict:
     """The installed recorder's span statistics (empty when null)."""
     return _recorder.profile()
+
+
+def merge_snapshot(snapshot: Dict, profile: Optional[Dict] = None) -> None:
+    """Fold a worker's snapshot/profile into the installed recorder.
+
+    A no-op under the null recorder; see
+    :meth:`MetricsRecorder.merge_snapshot` for the merge semantics.
+    """
+    _recorder.merge_snapshot(snapshot, profile)
 
 
 class _NullSpan:

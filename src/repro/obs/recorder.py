@@ -152,6 +152,11 @@ class NullRecorder:
         """An empty profile."""
         return {}
 
+    def merge_snapshot(
+        self, snapshot: Dict, profile: Optional[Dict] = None
+    ) -> None:
+        """Discard a snapshot merge."""
+
 
 class MetricsRecorder(NullRecorder):
     """In-memory metrics registry collecting counters, gauges, histograms
@@ -209,6 +214,49 @@ class MetricsRecorder(NullRecorder):
     def profile(self) -> Dict:
         """All span statistics as one JSON-serializable, name-sorted dict."""
         return {name: self.spans[name].to_dict() for name in sorted(self.spans)}
+
+    def merge_snapshot(
+        self, snapshot: Dict, profile: Optional[Dict] = None
+    ) -> None:
+        """Fold another recorder's :meth:`snapshot` (and optional
+        :meth:`profile`) into this registry.
+
+        Counters add, gauges are last-write-wins in call order, and
+        histograms fold bucket-by-bucket (bounds must match an existing
+        histogram of the same name, else :class:`ConfigurationError`).
+        Parallel sweep workers ship snapshots back to the parent, which
+        merges them **in repetition order** so the combined registry is
+        independent of completion order.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter_add(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge_set(name, value)
+        for name, data in snapshot.get("histograms", {}).items():
+            bounds = tuple(float(bound) for bound in data["bounds"])
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = Histogram(bounds)
+                self.histograms[name] = histogram
+            elif histogram.bounds != bounds:
+                raise ConfigurationError(
+                    f"cannot merge histogram {name!r}: bucket bounds differ "
+                    f"({histogram.bounds} vs {bounds})"
+                )
+            for index, count in enumerate(data["bucket_counts"]):
+                histogram.bucket_counts[index] += count
+            histogram.count += data["count"]
+            histogram.total += data["total"]
+        for name, data in (profile or {}).items():
+            stats = self.spans.get(name)
+            if stats is None:
+                stats = SpanStats()
+                self.spans[name] = stats
+            stats.count += data["count"]
+            stats.total_s += data["total_ms"] / 1e3
+            if data["count"]:
+                stats.min_s = min(stats.min_s, data["min_ms"] / 1e3)
+                stats.max_s = max(stats.max_s, data["max_ms"] / 1e3)
 
     def reset(self) -> None:
         """Drop every recorded value (fresh registry, same identity)."""

@@ -1,0 +1,34 @@
+"""``repro.perf`` — parallel sweep execution and performance benchmarks.
+
+Two halves, both pinned bit-identical to the serial/scalar code paths:
+
+* :mod:`repro.perf.executor` — a ``spawn``-based process pool fanning out
+  (sweep point × repetition) work items.  Workers re-derive their named
+  RNG streams from the picklable ``(config, repetition)`` pair, so the
+  gathered results are byte-identical to serial order for any worker
+  count and completion order.
+* :mod:`repro.perf.reference` — the original scalar (dict-of-buckets)
+  ``GridIndex`` kept as an executable specification; the property tests
+  and ``addc-repro perf bench`` check the vectorized CSR index against
+  it exactly.
+
+``addc-repro perf bench`` (:mod:`repro.perf.bench`) measures serial vs
+parallel and scalar vs vectorized on the same machine in the same run,
+via the :mod:`repro.obs` clock facade, and writes ``BENCH_perf.json``.
+"""
+
+from repro.perf.executor import (
+    ParallelSweepExecutor,
+    RepetitionOutcome,
+    SweepWorkItem,
+    execute_work_item,
+)
+from repro.perf.reference import ScalarGridIndex
+
+__all__ = [
+    "ParallelSweepExecutor",
+    "RepetitionOutcome",
+    "SweepWorkItem",
+    "execute_work_item",
+    "ScalarGridIndex",
+]

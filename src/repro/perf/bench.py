@@ -1,0 +1,204 @@
+"""``addc-repro perf bench`` — serial vs parallel, scalar vs vectorized.
+
+Everything is measured via the :mod:`repro.obs` clock facade on the same
+machine in the same run, and every timed comparison is also an equality
+check: the parallel executor must reproduce the serial measurements
+byte-for-byte (delays, RNG stream positions, merged metric counters),
+and the vectorized CSR :class:`~repro.geometry.GridIndex` must return
+exactly what the scalar reference returns.  A benchmark that drifts is a
+bug, not a data point.
+
+The output (``BENCH_perf.json``) is a ``manifest/v1`` run manifest whose
+``extra`` block carries the benchmark numbers, including ``cpu_count`` —
+parallel speedups are only meaningful relative to the cores the machine
+actually had (see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+import numpy as np
+
+import repro.obs as obs
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    RepetitionMeasurement,
+    run_comparison_repetition,
+)
+from repro.geometry import GridIndex
+from repro.perf.executor import ParallelSweepExecutor, SweepWorkItem
+from repro.perf.reference import ScalarGridIndex
+from repro.rng import StreamFactory
+
+__all__ = ["run_perf_bench", "PerfBenchError"]
+
+
+class PerfBenchError(AssertionError):
+    """An equality invariant failed during the benchmark."""
+
+
+def _measurement_key(measurement: RepetitionMeasurement) -> tuple:
+    return (
+        measurement.repetition,
+        measurement.addc_delay_ms,
+        measurement.coolest_delay_ms,
+        tuple(sorted(
+            (algo, tuple(sorted(positions.items())))
+            for algo, positions in measurement.rng_positions.items()
+        )),
+    )
+
+
+def _bench_sweep(config: ExperimentConfig, reps: int, workers: int) -> Dict:
+    """Time the comparison repetitions serially and through the pool.
+
+    Returns the timings plus the serial measurements; raises
+    :class:`PerfBenchError` unless the parallel run is bit-identical
+    (measurements, RNG positions, and merged metric snapshots).
+    """
+    serial_recorder = obs.MetricsRecorder()
+    start = obs.monotonic_s()
+    with obs.use_recorder(serial_recorder):
+        serial: List[RepetitionMeasurement] = [
+            run_comparison_repetition(config, rep) for rep in range(reps)
+        ]
+    serial_s = obs.monotonic_s() - start
+
+    items = [
+        SweepWorkItem(
+            point_index=0, repetition=rep, config=config, collect_metrics=True
+        )
+        for rep in range(reps)
+    ]
+    executor = ParallelSweepExecutor(workers)
+    parallel_recorder = obs.MetricsRecorder()
+    start = obs.monotonic_s()
+    with obs.use_recorder(parallel_recorder):
+        outcomes = executor.run_items(items)
+        for outcome in outcomes:
+            obs.merge_snapshot(outcome.metrics, outcome.profile)
+    parallel_s = obs.monotonic_s() - start
+
+    parallel = [outcome.measurement for outcome in outcomes]
+    if list(map(_measurement_key, parallel)) != list(
+        map(_measurement_key, serial)
+    ):
+        raise PerfBenchError(
+            f"parallel (workers={workers}) measurements diverged from serial"
+        )
+    if parallel_recorder.snapshot() != serial_recorder.snapshot():
+        raise PerfBenchError(
+            "merged parallel metric snapshot diverged from the serial one"
+        )
+    return {
+        "repetitions": reps,
+        "workers": workers,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "parallel_speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+        "serial_recorder": serial_recorder,
+        "measurements": serial,
+    }
+
+
+def _bench_spatial(config: ExperimentConfig, loops: int) -> Dict:
+    """Time scalar vs vectorized neighbor scans on one deployment-like set.
+
+    Uses the same point counts, region, and radii as ``config`` so the
+    numbers reflect what the simulator actually asks of the index.
+    """
+    side = float(np.sqrt(config.area))
+    rng = StreamFactory(config.seed).spawn("perf-bench").stream("spatial")
+    su_positions = rng.random((config.num_sus, 2)) * side
+    pu_positions = rng.random((max(config.num_pus, 1), 2)) * side
+    radius = config.su_radius
+
+    start = obs.monotonic_s()
+    for _ in range(loops):
+        scalar = ScalarGridIndex(su_positions, radius)
+        scalar_neighbors = scalar.neighbor_lists(radius)
+        scalar_cross = scalar.cross_neighbor_lists(pu_positions, radius)
+    scalar_s = obs.monotonic_s() - start
+
+    start = obs.monotonic_s()
+    for _ in range(loops):
+        vectorized = GridIndex(su_positions, radius)
+        vectorized_neighbors = vectorized.neighbor_lists(radius)
+        vectorized_cross = vectorized.cross_neighbor_lists(pu_positions, radius)
+    vectorized_s = obs.monotonic_s() - start
+
+    if vectorized_neighbors != scalar_neighbors:
+        raise PerfBenchError("vectorized neighbor_lists diverged from scalar")
+    if vectorized_cross != scalar_cross:
+        raise PerfBenchError(
+            "vectorized cross_neighbor_lists diverged from scalar"
+        )
+    return {
+        "points": int(config.num_sus),
+        "cross_points": int(max(config.num_pus, 1)),
+        "loops": loops,
+        "scalar_s": scalar_s,
+        "vectorized_s": vectorized_s,
+        "speedup": scalar_s / vectorized_s if vectorized_s > 0 else 0.0,
+    }
+
+
+def run_perf_bench(
+    config: ExperimentConfig,
+    workers: int = 4,
+    out: str = "BENCH_perf.json",
+    smoke: bool = False,
+) -> int:
+    """Run the performance benchmark; returns a process exit code.
+
+    ``smoke`` shrinks the workload to CI size (two repetitions, two
+    workers, one spatial loop) — the equality invariants are asserted
+    either way, so the smoke run is a full correctness gate for both the
+    parallel executor and the vectorized kernels.
+    """
+    if smoke:
+        config = config.with_overrides(repetitions=2)
+        workers = min(workers, 2)
+        spatial_loops = 1
+    else:
+        spatial_loops = 5
+    reps = config.repetitions
+
+    total_start = obs.monotonic_s()
+    sweep = _bench_sweep(config, reps, workers)
+    spatial = _bench_spatial(config, spatial_loops)
+    wall_time_s = obs.monotonic_s() - total_start
+
+    recorder = sweep.pop("serial_recorder")
+    sweep.pop("measurements")
+    extra = {
+        "benchmark": "perf",
+        "cpu_count": os.cpu_count(),
+        "sweep": sweep,
+        "spatial": spatial,
+    }
+    manifest = obs.build_manifest(
+        seed=config.seed,
+        config=config,
+        wall_time_s=wall_time_s,
+        recorder=recorder,
+        extra=extra,
+    )
+    obs.write_manifest(out, manifest)
+
+    print(
+        f"sweep   : {reps} repetition(s) serial {sweep['serial_s']:.2f} s, "
+        f"{workers} worker(s) {sweep['parallel_s']:.2f} s "
+        f"({sweep['parallel_speedup']:.2f}x, {os.cpu_count()} cpu)"
+    )
+    print(
+        f"spatial : scalar {spatial['scalar_s']:.3f} s, vectorized "
+        f"{spatial['vectorized_s']:.3f} s ({spatial['speedup']:.2f}x, "
+        f"{spatial['points']} points x {spatial['loops']} loop(s))"
+    )
+    print(f"parallel == serial and vectorized == scalar; written to {out}")
+    if smoke:
+        print("perf smoke OK")
+    return 0

@@ -1,0 +1,126 @@
+"""Process-parallel sweep execution with bit-identity guarantees.
+
+The sweep drivers repeat every scenario over independent deployments
+("each group of simulations is repeated for 10 times and the results are
+the average values"), and repetitions share no state: each one derives
+its whole RNG lineage from ``StreamFactory(config.seed).spawn(f"rep-{i}")``.
+That makes (sweep point × repetition) the natural unit of parallelism —
+a worker process can re-derive the exact same streams from nothing but
+the picklable :class:`SweepWorkItem`, so fanning out changes wall-clock
+and nothing else.
+
+Determinism contract
+--------------------
+* Workers are started with the ``spawn`` method (fresh interpreters; no
+  fork-time RNG or import-state inheritance).
+* Work item payloads are plain picklable data; the worker entry point
+  :func:`execute_work_item` is a **top-level module function** (enforced
+  by reprolint rule PERF001) so it pickles under ``spawn``.
+* Results are gathered in **submission order**, never completion order,
+  and metric snapshots are merged in that same order — the parent-side
+  registry is reproducible even though worker finish times are not.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import repro.obs as obs
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    RepetitionMeasurement,
+    run_comparison_repetition,
+)
+
+__all__ = [
+    "SweepWorkItem",
+    "RepetitionOutcome",
+    "execute_work_item",
+    "ParallelSweepExecutor",
+]
+
+
+@dataclass(frozen=True)
+class SweepWorkItem:
+    """One (sweep point × repetition) unit of work, fully picklable."""
+
+    point_index: int
+    repetition: int
+    config: ExperimentConfig
+    #: When true the worker installs a fresh :class:`~repro.obs.
+    #: MetricsRecorder` and ships its snapshot/profile back for the
+    #: parent to merge (deterministically, in submission order).
+    collect_metrics: bool = False
+
+
+@dataclass
+class RepetitionOutcome:
+    """What a worker sends back for one :class:`SweepWorkItem`."""
+
+    point_index: int
+    repetition: int
+    measurement: RepetitionMeasurement
+    metrics: Optional[Dict] = None
+    profile: Optional[Dict] = None
+
+
+def execute_work_item(item: SweepWorkItem) -> RepetitionOutcome:
+    """Run one work item (the worker entry point).
+
+    Top-level by design so it is picklable under the ``spawn`` start
+    method; reprolint rule PERF001 keeps it (and any future worker
+    functions) that way.  Also runs inline in the parent when
+    ``workers=1`` — the serial and parallel paths execute the same code.
+    """
+    if item.collect_metrics:
+        recorder = obs.MetricsRecorder()
+        with obs.use_recorder(recorder):
+            measurement = run_comparison_repetition(item.config, item.repetition)
+        return RepetitionOutcome(
+            point_index=item.point_index,
+            repetition=item.repetition,
+            measurement=measurement,
+            metrics=recorder.snapshot(),
+            profile=recorder.profile(),
+        )
+    measurement = run_comparison_repetition(item.config, item.repetition)
+    return RepetitionOutcome(
+        point_index=item.point_index,
+        repetition=item.repetition,
+        measurement=measurement,
+    )
+
+
+class ParallelSweepExecutor:
+    """Fan :class:`SweepWorkItem`\\ s over a ``spawn`` process pool.
+
+    ``workers=1`` executes inline (no pool, no pickling) so the executor
+    can be the single execution path for both modes.  Results always come
+    back in submission order.
+    """
+
+    def __init__(self, workers: int, start_method: str = "spawn") -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.start_method = start_method
+
+    def run_items(
+        self, items: Sequence[SweepWorkItem]
+    ) -> List[RepetitionOutcome]:
+        """Execute every item; returns outcomes in submission order."""
+        items = list(items)
+        if self.workers == 1 or len(items) <= 1:
+            return [execute_work_item(item) for item in items]
+        context = multiprocessing.get_context(self.start_method)
+        with ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=context
+        ) as pool:
+            futures = [pool.submit(execute_work_item, item) for item in items]
+            # Gather strictly in submission order: completion order must
+            # not be observable anywhere downstream.
+            return [future.result() for future in futures]

@@ -279,6 +279,9 @@ class CoolestOutcome:
     policy: CoolestPolicy
     pcr: PcrResult
     sense_map: CarrierSenseMap
+    #: The engine that produced ``result``; exposes post-run RNG stream
+    #: positions (``engine.rng_positions()``) for determinism checks.
+    engine: Optional["SlottedEngine"] = None
 
 
 def run_coolest_collection(
@@ -361,4 +364,6 @@ def run_coolest_collection(
     workload = policy.build_workload(topology.secondary.num_sus)
     engine.load_packets(workload, expected_deliveries=topology.secondary.num_sus)
     result = engine.run()
-    return CoolestOutcome(result=result, policy=policy, pcr=pcr, sense_map=sense_map)
+    return CoolestOutcome(
+        result=result, policy=policy, pcr=pcr, sense_map=sense_map, engine=engine
+    )

@@ -375,17 +375,21 @@ class SlottedEngine:
         self._backoff_rng = streams.stream("backoff")
 
         num_nodes = topology.secondary.num_nodes
+        self._num_nodes = num_nodes
         self._positions = topology.secondary.positions
         self._pu_positions = topology.primary.positions
         self._pu_power = topology.primary.power
         self._su_power = topology.secondary.power
         self._base_station = topology.secondary.base_station
         self._queues: List[Deque[Packet]] = [deque() for _ in range(num_nodes)]
-        self._backoff: List[float] = [0.0] * num_nodes
-        self._drawn: List[float] = [0.0] * num_nodes
-        self._extra_wait: List[float] = [0.0] * num_nodes
+        # Contention state as flat numpy arrays: the per-slot readiness
+        # scan gathers/filters them vectorized; scalar reads/writes in the
+        # sequential resolution loop behave exactly like the old lists.
+        self._backoff = np.zeros(num_nodes)
+        self._drawn = np.zeros(num_nodes)
+        self._extra_wait = np.zeros(num_nodes)
         self._collision_streak: List[int] = [0] * num_nodes
-        self._hold_until_slot: List[int] = [0] * num_nodes
+        self._hold_until_slot = np.zeros(num_nodes, dtype=np.int64)
         # Future packet arrivals (continuous-collection workloads), as a
         # heap ordered by birth slot.
         self._pending_arrivals: List[Tuple[int, int, Packet]] = []
@@ -396,8 +400,18 @@ class SlottedEngine:
         # Energy accounting: the slot each node first became active.
         self._first_active_slot: Dict[int, int] = {}
         self._active: set = set()
-        self._pu_busy: List[int] = [0] * num_nodes
+        # Boolean mirror of ``_active`` kept in lockstep at every add /
+        # discard so the per-slot readiness scan is one mask op instead
+        # of a set materialization.
+        self._active_mask = np.zeros(num_nodes, dtype=bool)
+        self._node_index = np.arange(num_nodes, dtype=np.int64)
+        self._pu_busy = np.zeros(num_nodes, dtype=np.uint8)
         self._pu_states = np.zeros(topology.primary.num_pus, dtype=bool)
+        # Indices of currently active PUs, refreshed on every state change
+        # (stays empty under homogeneous blocking, where _pu_states never
+        # toggles).  Cached so the per-slot paths never rescan the states.
+        self._active_pus = np.zeros(0, dtype=np.int64)
+        self._active_pu_list: List[int] = []
         # Dense PU -> secondary-node hearing incidence; one uint8 matrix
         # product per slot replaces per-toggle Python loops.
         self._pu_incidence = np.zeros(
@@ -427,7 +441,7 @@ class SlottedEngine:
         self.channel_plan = channel_plan
         self.channel_strategy = channel_strategy
         self._num_channels = 1 if channel_plan is None else channel_plan.num_channels
-        self._node_channel: List[int] = [0] * num_nodes
+        self._node_channel = np.zeros(num_nodes, dtype=np.int64)
         if channel_plan is not None:
             if channel_plan.num_pus != topology.primary.num_pus:
                 raise ConfigurationError(
@@ -453,12 +467,12 @@ class SlottedEngine:
             self._channel_successes = [
                 [0] * self._num_channels for _ in range(num_nodes)
             ]
-        # Per-channel blocked counts; column c is the busy count of every
-        # node on channel c.  Single-channel mode aliases column 0 to
-        # self._pu_busy.
-        self._busy_columns: List[List[int]] = [
-            [0] * num_nodes for _ in range(self._num_channels)
-        ]
+        # Per-channel blocked counts: row c is the busy count of every
+        # node on channel c.  Single-channel mode uses self._pu_busy
+        # directly and leaves this array untouched.
+        self._busy_columns = np.zeros(
+            (self._num_channels, num_nodes), dtype=np.int64
+        )
         self._slot = 0
         self._started = False
 
@@ -563,6 +577,7 @@ class SlottedEngine:
         self._result.packets_lost += lost
         self._queues[node].clear()
         self._active.discard(node)
+        self._active_mask[node] = False
         self._ongoing.pop(node, None)
         self._down.discard(node)
         self._stranded.discard(node)
@@ -585,6 +600,7 @@ class SlottedEngine:
                 self._result.active_slot_spans.get(node, 0) + span
             )
             self._active.discard(node)
+            self._active_mask[node] = False
             self._extra_wait[node] = 0.0
         self._ongoing.pop(node, None)
         if self.trace is not None:
@@ -787,6 +803,7 @@ class SlottedEngine:
                     self._result.active_slot_spans.get(sender, 0) + span
                 )
                 self._active.discard(sender)
+                self._active_mask[sender] = False
                 self._extra_wait[sender] = 0.0
 
     def _process_faults(self) -> None:
@@ -920,29 +937,26 @@ class SlottedEngine:
         # 1 - p_o.  PU interference is folded into the blocking, so
         # _pu_states stays all-inactive.
         if self._num_channels == 1:
-            blocked = self._pu_rng.random(len(self._pu_busy)) >= self.homogeneous_p_o
-            self._pu_busy = blocked.astype(np.uint8).tolist()
+            blocked = self._pu_rng.random(self._num_nodes) >= self.homogeneous_p_o
+            self._pu_busy = blocked.astype(np.uint8)
             return
-        draws = self._pu_rng.random((len(self._pu_busy), self._num_channels))
-        blocked = (draws >= self.homogeneous_p_o).astype(np.uint8)
-        self._busy_columns = [
-            blocked[:, c].tolist() for c in range(self._num_channels)
-        ]
+        draws = self._pu_rng.random((self._num_nodes, self._num_channels))
+        self._busy_columns = (draws >= self.homogeneous_p_o).astype(np.int64).T
 
     def _recompute_pu_busy(self) -> None:
+        self._active_pus = np.nonzero(self._pu_states)[0]
+        self._active_pu_list = [int(i) for i in self._active_pus]
         if self.topology.primary.num_pus == 0:
             return
         if self._num_channels == 1:
-            counts = self._pu_incidence @ self._pu_states.astype(np.uint8)
-            self._pu_busy = counts.tolist()
+            self._pu_busy = self._pu_incidence @ self._pu_states.astype(np.uint8)
             return
         states = self._pu_states
         for channel in range(self._num_channels):
             ids = self._pu_ids_by_channel[channel]
-            counts = self._incidence_by_channel[channel] @ states[ids].astype(
-                np.uint8
-            )
-            self._busy_columns[channel] = counts.tolist()
+            self._busy_columns[channel] = self._incidence_by_channel[
+                channel
+            ] @ states[ids].astype(np.uint8)
 
     def _blocked_on(self, node: int, channel: int) -> bool:
         """Whether PU activity blocks ``node`` on ``channel`` this slot."""
@@ -959,6 +973,7 @@ class SlottedEngine:
         if node in self._active:
             return
         self._active.add(node)
+        self._active_mask[node] = True
         if node not in self._first_active_slot:
             self._first_active_slot[node] = self._slot
         self._draw_backoff(node)
@@ -1016,15 +1031,11 @@ class SlottedEngine:
         Returns ``(expiry, node, receiver, channel)`` tuples; the channel
         is always 0 in the single-channel model.
         """
-        ready: List[Tuple[float, int]] = []
         extra_wait = self._extra_wait
         backoff = self._backoff
         node_channel = self._node_channel
-        frozen_by_pu = 0
-        hold_until = self._hold_until_slot
-        current_slot = self._slot
         if self._imperfect_sensing:
-            sensing_draws = self._sensing_rng.random(len(self._pu_busy))
+            sensing_draws = self._sensing_rng.random(self._num_nodes)
         if self.detector is not None:
             # Energy detection: P(sensed busy) = 1 - P(miss every active
             # in-range PU) * P(no false alarm), vectorized per slot.
@@ -1033,35 +1044,70 @@ class SlottedEngine:
                 1.0 - self.detector.false_alarm_probability
             )
         ongoing = self._ongoing
-        for node in self._active:
-            if ongoing and node in ongoing:
-                continue  # mid-transmission (multi-slot packet)
-            if hold_until[node] > current_slot:
-                continue  # collision-recovery hold-off (footnote 2)
+        # Readiness scan, vectorized over full per-node arrays.  Every
+        # step is a mask (order-independent), so no container iteration
+        # order can leak into results; the stable sort below pins the
+        # ordering to (expiry, node), exactly the old sorted-tuple order.
+        if self._active:
+            eligible = self._active_mask & (self._hold_until_slot <= self._slot)
+            if ongoing:
+                # Mid-transmission nodes (multi-slot packets) sit out.
+                eligible[
+                    np.fromiter(ongoing.keys(), dtype=np.int64, count=len(ongoing))
+                ] = False
             if self.detector is not None:
-                sensed_busy = bool(sensing_draws[node] < p_sensed_busy[node])
+                sensed = sensing_draws < p_sensed_busy
             else:
-                sensed_busy = self._blocked_on(node, node_channel[node])
+                if self._num_channels == 1:
+                    busy = self._pu_busy > 0
+                else:
+                    busy = (
+                        self._busy_columns[node_channel, self._node_index] > 0
+                    )
                 if self._imperfect_sensing:
-                    if sensed_busy:
-                        if sensing_draws[node] < self.p_missed_detection:
-                            sensed_busy = False
-                    elif sensing_draws[node] < self.p_false_alarm:
-                        sensed_busy = True
-            # Sensing faults pin the detector output, consuming no draws.
-            if node in self._stuck_busy:
-                sensed_busy = True
-            elif node in self._stuck_idle:
-                sensed_busy = False
-            if not sensed_busy:
-                ready.append((extra_wait[node] + backoff[node], node))
-            else:
-                frozen_by_pu += 1
+                    sensed = np.where(
+                        busy,
+                        sensing_draws >= self.p_missed_detection,
+                        sensing_draws < self.p_false_alarm,
+                    )
+                else:
+                    sensed = busy
+            # Sensing faults pin the detector output, consuming no draws;
+            # a node under both faults senses busy (stuck-busy wins).
+            if self._stuck_idle:
+                sensed = sensed.copy()
+                sensed[
+                    np.fromiter(
+                        self._stuck_idle,
+                        dtype=np.int64,
+                        count=len(self._stuck_idle),
+                    )
+                ] = False
+            if self._stuck_busy:
+                sensed = sensed.copy()
+                sensed[
+                    np.fromiter(
+                        self._stuck_busy,
+                        dtype=np.int64,
+                        count=len(self._stuck_busy),
+                    )
+                ] = True
+            ready_nodes = np.nonzero(eligible & ~sensed)[0]
+            frozen_by_pu = int(np.count_nonzero(eligible)) - ready_nodes.size
+        else:
+            ready_nodes = np.zeros(0, dtype=np.int64)
+            frozen_by_pu = 0
         self._result.frozen_slot_count += frozen_by_pu
-        self._result.opportunity_slot_count += len(ready)
-        if ready:
+        self._result.opportunity_slot_count += int(ready_nodes.size)
+        if ready_nodes.size:
             self._result.contention_slot_count += 1
-        ready.sort()
+        expiries = extra_wait[ready_nodes] + backoff[ready_nodes]
+        # ready_nodes is ascending, so a stable sort on expiry alone keeps
+        # equal expiries in ascending-node order: the (expiry, node) key.
+        order = np.argsort(expiries, kind="stable")
+        ready: List[Tuple[float, int]] = list(
+            zip(expiries[order].tolist(), ready_nodes[order].tolist())
+        )
 
         neighbors = self.sense_map.su_neighbors
         # One contention domain per channel: a transmission only freezes
@@ -1077,7 +1123,7 @@ class SlottedEngine:
                 channel_blocks[neighbor] = 0.0
         transmitters: List[Tuple[float, int, int, int]] = []
         for expiry, node in ready:
-            channel = node_channel[node]
+            channel = int(node_channel[node])
             block_time = blocked_at[channel].get(node)
             if block_time is not None and block_time <= expiry:
                 # Frozen mid-countdown (lines 6-7): keep the remainder.
@@ -1137,10 +1183,17 @@ class SlottedEngine:
         count = len(concurrent)
         if not completing:
             return []
+        if count == 1 and len(completing) == 1 and self._active_pus.size == 0:
+            # A lone transmitter with no active PU: the capture rule holds
+            # trivially and the interference sum is exactly zero, so the
+            # SIR is +inf regardless of signal strength — success either
+            # way.  This is the overwhelmingly common slot shape (and the
+            # only shape under homogeneous blocking, where _pu_states
+            # never toggles).
+            return [True]
         tx_nodes = [node for _, node, _, _ in concurrent]
         rx_nodes = [receiver for _, _, receiver, _ in concurrent]
         channels = [channel for _, _, _, channel in concurrent]
-        index_of = {node: index for index, node in enumerate(tx_nodes)}
         tx_pos = self._positions[tx_nodes]
         rx_pos = self._positions[rx_nodes]
 
@@ -1160,16 +1213,22 @@ class SlottedEngine:
                     signal[index] *= factor
 
         # Capture rule: among links sharing a receiver, only the strongest
-        # signal can be decoded.
-        strongest: Dict[int, int] = {}
-        for index, receiver in enumerate(rx_nodes):
-            best = strongest.get(receiver)
-            if best is None or signal[index] > signal[best]:
-                strongest[receiver] = index
-        ok = [strongest[rx_nodes[index]] == index for index in range(count)]
+        # signal can be decoded.  Group by receiver and take each group's
+        # running max; the winner is the *first* index achieving that max,
+        # matching the historical strictly-greater replacement scan.
+        receiver_groups, group_of = np.unique(rx_nodes, return_inverse=True)
+        best = np.full(receiver_groups.size, -np.inf)
+        np.maximum.at(best, group_of, signal)
+        achieves_max = np.nonzero(signal == best[group_of])[0]
+        first_winner = np.full(receiver_groups.size, count, dtype=np.int64)
+        np.minimum.at(first_winner, group_of[achieves_max], achieves_max)
+        ok = first_winner[group_of] == np.arange(count)
 
         if not self.sir_check:
-            return [ok[index_of[node]] for _, node, _, _ in completing]
+            if completing is concurrent:
+                return ok.tolist()
+            index_of = {node: index for index, node in enumerate(tx_nodes)}
+            return [bool(ok[index_of[node]]) for _, node, _, _ in completing]
 
         # Interference at each receiver: all other *same-channel* SU
         # transmitters ...
@@ -1186,7 +1245,7 @@ class SlottedEngine:
         interference = su_interference.sum(axis=1)
 
         # ... plus every active *same-channel* PU.
-        active = np.nonzero(self._pu_states)[0]
+        active = self._active_pus
         if active.size:
             pu_pos = self._pu_positions[active]
             pu_deltas = rx_pos[:, None, :] - pu_pos[None, :, :]
@@ -1204,10 +1263,11 @@ class SlottedEngine:
 
         with np.errstate(divide="ignore"):
             sir = np.where(interference > 0.0, signal / interference, np.inf)
-        return [
-            ok[index_of[node]] and bool(sir[index_of[node]] >= self.eta_s)
-            for _, node, _, _ in completing
-        ]
+        success = ok & (sir >= self.eta_s)
+        if completing is concurrent:
+            return success.tolist()
+        index_of = {node: index for index, node in enumerate(tx_nodes)}
+        return [bool(success[index_of[node]]) for _, node, _, _ in completing]
 
     def _handoff_check(self) -> None:
         """Abort in-flight transmissions whose channel a PU has reclaimed.
@@ -1254,7 +1314,7 @@ class SlottedEngine:
             (node, receiver) for _, node, receiver, _ in concurrent
         ]
         self.last_slot_su_channels = [channel for _, _, _, channel in concurrent]
-        self.last_slot_active_pus = [int(i) for i in np.nonzero(self._pu_states)[0]]
+        self.last_slot_active_pus = list(self._active_pu_list)
         if concurrent:
             count = len(concurrent)
             histogram = self._result.concurrent_tx_histogram
@@ -1262,8 +1322,8 @@ class SlottedEngine:
 
         # Slot end: deliveries, fairness waits, backoff redraws.
         extra_wait = self._extra_wait
-        for node in self._active:
-            extra_wait[node] = 0.0
+        if self._active:
+            extra_wait[self._active_mask] = 0.0
 
         newly_active: List[int] = []
         finished_nodes: List[int] = []
@@ -1423,6 +1483,7 @@ class SlottedEngine:
                 self._result.active_slot_spans.get(node, 0) + span
             )
             self._active.discard(node)
+            self._active_mask[node] = False
             extra_wait[node] = 0.0
         for node in newly_active:
             self._activate(node)
@@ -1435,6 +1496,32 @@ class SlottedEngine:
     def slot(self) -> int:
         """The next slot index to be simulated."""
         return self._slot
+
+    def rng_positions(self) -> Dict[str, str]:
+        """Stable fingerprints of the engine's RNG stream states.
+
+        One BLAKE2b digest per consumed stream over the serialized
+        bit-generator state.  Two runs that drew the same values in the
+        same order end with equal fingerprints, so the parallel-executor
+        determinism tests can assert "same draws" without shipping whole
+        generator states around.
+        """
+        import hashlib
+        import json
+
+        fingerprints: Dict[str, str] = {}
+        for name, rng in (
+            ("pu-activity", self._pu_rng),
+            ("backoff", self._backoff_rng),
+            ("sensing-errors", self._sensing_rng),
+        ):
+            state = json.dumps(
+                rng.bit_generator.state, sort_keys=True, default=int
+            )
+            fingerprints[name] = hashlib.blake2b(
+                state.encode("utf-8"), digest_size=8
+            ).hexdigest()
+        return fingerprints
 
     def queue_length(self, node: int) -> int:
         """Current queue length at a node (for tests and live inspection)."""

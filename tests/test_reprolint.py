@@ -114,6 +114,29 @@ RULE_FIXTURES = {
             "start = monotonic_s()\n\n__all__ = []\n"
         ),
     ),
+    "PERF001": (
+        "repro/perf/fanout.py",
+        (
+            "from concurrent.futures import ProcessPoolExecutor\n\n\n"
+            "def fan_out(items):\n"
+            "    def work(item):\n"
+            "        return item * 2\n\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [f.result() for f in "
+            "[pool.submit(work, i) for i in items]]\n\n\n"
+            "__all__ = ['fan_out']\n"
+        ),
+        (
+            "from concurrent.futures import ProcessPoolExecutor\n\n\n"
+            "def work(item):\n"
+            "    return item * 2\n\n\n"
+            "def fan_out(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [f.result() for f in "
+            "[pool.submit(work, i) for i in items]]\n\n\n"
+            "__all__ = ['work', 'fan_out']\n"
+        ),
+    ),
 }
 
 
