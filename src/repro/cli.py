@@ -18,6 +18,8 @@ Commands
                vectorized -> BENCH_perf.json; equality-checked)
 ``trace``      NDJSON traces: ``export`` (stream a run's events to disk)
                and ``stats`` (summarize a trace/v1 file)
+``checkpoint`` crash-safe journals: ``inspect`` (summarize), ``verify``
+               (validate), ``smoke`` (run/kill/resume byte-identity check)
 
 Every command accepts ``--scale {quick,bench,paper}`` (density-preserving
 scenario sizes; ``paper`` is the full n = 2000 setting — expect a very long
@@ -68,6 +70,68 @@ def _add_scale_options(parser: argparse.ArgumentParser) -> None:
         help="PU blocking model (paper's analysis regime: homogeneous)",
     )
     parser.add_argument("--p-t", type=float, default=None, help="override p_t")
+
+
+def _add_harness_options(parser: argparse.ArgumentParser) -> None:
+    """The crash-safe harness flags shared by ``compare`` and ``fig6``."""
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="journal every completed repetition to this checkpoint/v1 "
+        "file (durable across kills; see docs/ROBUSTNESS.md)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay a compatible existing --checkpoint journal and run "
+        "only the missing items (results are byte-identical to an "
+        "uninterrupted run)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-repetition deadline; a worker exceeding it is "
+        "terminated and the item retried (pool mode only)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per item before quarantine (default: 2; backoff "
+        "is deterministic exponential)",
+    )
+    parser.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="accept a sweep with quarantined items (saved artifacts are "
+        "marked status: partial)",
+    )
+
+
+def _harness_active(args: argparse.Namespace) -> bool:
+    return (
+        args.checkpoint is not None
+        or args.timeout is not None
+        or args.max_retries is not None
+    )
+
+
+def _retry_policy_from(args: argparse.Namespace):
+    """A RetryPolicy from CLI flags, or None for the library default."""
+    if args.timeout is None and args.max_retries is None:
+        return None
+    from repro.harness import RetryPolicy
+
+    kwargs = {}
+    if args.timeout is not None:
+        kwargs["timeout_s"] = args.timeout
+    if args.max_retries is not None:
+        kwargs["max_attempts"] = args.max_retries + 1
+    return RetryPolicy(**kwargs)
 
 
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
@@ -174,8 +238,24 @@ def _cmd_collect(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.errors import PartialSweepError, ReproError
+
     config = _config_from(args)
-    point = run_comparison_point(config, workers=args.workers)
+    try:
+        point = run_comparison_point(
+            config,
+            workers=args.workers,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            policy=_retry_policy_from(args),
+            allow_partial=args.allow_partial,
+        )
+    except PartialSweepError as error:
+        print(f"PARTIAL: {error}", file=sys.stderr)
+        return 1
+    except ReproError as error:
+        print(f"ERROR [{error.code}]: {error}", file=sys.stderr)
+        return 1
     print(
         f"ADDC    : {point.addc_delay_ms.mean:12.1f} ms "
         f"± {point.addc_delay_ms.std:.1f}"
@@ -451,31 +531,199 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
     name = f"fig6{args.subfigure}"
     sweep = FIG6_SWEEPS[name]
     config = _config_from(args)
-    if not args.save:
+    use_harness = _harness_active(args)
+    if not args.save and not use_harness:
         points = run_fig6_sweep(sweep, config, workers=args.workers)
         print(render_fig6_table(sweep.name, sweep.description, points))
         return 0
 
     from repro import obs
+    from repro.errors import ReproError
     from repro.experiments.io import save_sweep
 
     # Saved sweeps get a provenance manifest recording the worker count
     # (the artifact itself is worker-count-independent by construction).
     recorder = obs.MetricsRecorder()
     start = obs.monotonic_s()
-    with obs.use_recorder(recorder):
-        points = run_fig6_sweep(sweep, config, workers=args.workers)
+    extra = {"sweep": name, "workers": args.workers}
+    status = "complete"
+    failures = []
+    try:
+        with obs.use_recorder(recorder):
+            if use_harness:
+                from repro.experiments.fig6 import sweep_point_configs
+                from repro.harness import run_checkpointed_sweep
+
+                result = run_checkpointed_sweep(
+                    name,
+                    sweep_point_configs(sweep, config),
+                    checkpoint_path=args.checkpoint,
+                    resume=args.resume,
+                    workers=args.workers,
+                    policy=_retry_policy_from(args),
+                )
+                points = result.points
+                status = result.status
+                failures = [record.to_dict() for record in result.failures]
+                extra["harness"] = result.harness_summary()
+            else:
+                points = run_fig6_sweep(sweep, config, workers=args.workers)
+    except ReproError as error:
+        print(f"ERROR [{error.code}]: {error}", file=sys.stderr)
+        return 1
     wall_time_s = obs.monotonic_s() - start
     print(render_fig6_table(sweep.name, sweep.description, points))
-    manifest = obs.build_manifest(
-        seed=config.seed,
-        config=config,
-        wall_time_s=wall_time_s,
-        recorder=recorder,
-        extra={"sweep": name, "workers": args.workers},
+    if status != "complete":
+        for record in failures:
+            print(
+                f"quarantined: point {record['point']} rep {record['rep']} "
+                f"({record['kind']} after {record['attempts']} attempts)",
+                file=sys.stderr,
+            )
+        if not args.allow_partial:
+            print(
+                f"PARTIAL: sweep {name} lost items; re-run with --resume to "
+                "retry them, or pass --allow-partial to save the survivors",
+                file=sys.stderr,
+            )
+            return 1
+    if args.save:
+        manifest = obs.build_manifest(
+            seed=config.seed,
+            config=config,
+            wall_time_s=wall_time_s,
+            recorder=recorder,
+            extra=extra,
+        )
+        save_sweep(
+            args.save,
+            name,
+            points,
+            manifest=manifest,
+            status=status,
+            failures=failures,
+        )
+        print(f"saved to {args.save}")
+    return 0
+
+
+def _cmd_checkpoint_inspect(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import CheckpointError
+    from repro.harness import inspect_checkpoint
+
+    try:
+        summary = inspect_checkpoint(args.path)
+    except CheckpointError as error:
+        print(f"ERROR [{error.code}]: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_checkpoint_verify(args: argparse.Namespace) -> int:
+    from repro.harness import verify_checkpoint
+
+    problems = verify_checkpoint(args.path, config_hash=args.config_hash)
+    if not problems:
+        print(f"{args.path}: OK")
+        return 0
+    for problem in problems:
+        print(f"{args.path}: {problem}", file=sys.stderr)
+    return 1
+
+
+def _cmd_checkpoint_smoke(args: argparse.Namespace) -> int:
+    """CI resume smoke: run, tear the journal mid-record, resume, compare.
+
+    Simulates the exact on-disk state a ``SIGKILL`` leaves behind — a
+    journal cut mid-line — then asserts the resumed sweep's saved artifact
+    is byte-identical to the uninterrupted run's.  (The real signal-driven
+    kill tests live in ``tests/test_harness.py``; this check is the fast,
+    deterministic CI variant.)
+    """
+    import dataclasses as _dataclasses
+    import tempfile
+    from pathlib import Path
+
+    from repro import obs
+    from repro.experiments.fig6 import sweep_point_configs
+    from repro.experiments.io import save_sweep
+    from repro.harness import run_checkpointed_sweep, verify_checkpoint
+
+    config = _SCALES["quick"]().with_overrides(
+        area=30.0 * 30.0,
+        num_pus=4,
+        num_sus=20,
+        repetitions=2,
+        max_slots=200_000,
+        seed=20120612,
     )
-    save_sweep(args.save, name, points, manifest=manifest)
-    print(f"saved to {args.save}")
+    sweep = _dataclasses.replace(
+        FIG6_SWEEPS["fig6c"], values=FIG6_SWEEPS["fig6c"].values[:2]
+    )
+    points = sweep_point_configs(sweep, config)
+    with tempfile.TemporaryDirectory() as tmp:
+        base = Path(tmp)
+        full_journal = base / "full.checkpoint.ndjson"
+        kill_journal = base / "kill.checkpoint.ndjson"
+        full = run_checkpointed_sweep(
+            "smoke", points, checkpoint_path=full_journal, workers=args.workers
+        )
+        save_sweep(base / "full.json", "smoke", full.points)
+        run_checkpointed_sweep(
+            "smoke", points, checkpoint_path=kill_journal, workers=args.workers
+        )
+        # Tear the journal the way SIGKILL does: keep the header plus one
+        # whole record, then cut the next record mid-line.
+        lines = kill_journal.read_bytes().split(b"\n")
+        if len(lines) < 4:
+            print("SMOKE FAIL: journal too short to tear", file=sys.stderr)
+            return 1
+        kill_journal.write_bytes(
+            b"\n".join(lines[:2]) + b"\n" + lines[2][: len(lines[2]) // 2]
+        )
+        recorder = obs.MetricsRecorder()
+        with obs.use_recorder(recorder):
+            resumed = run_checkpointed_sweep(
+                "smoke",
+                points,
+                checkpoint_path=kill_journal,
+                resume=True,
+                workers=args.workers,
+            )
+        save_sweep(base / "resumed.json", "smoke", resumed.points)
+        if resumed.cached_items != 1:
+            print(
+                "SMOKE FAIL: expected 1 cached item after the tear, got "
+                f"{resumed.cached_items}",
+                file=sys.stderr,
+            )
+            return 1
+        if recorder.counters.get("harness.checkpoint.torn_tail") != 1:
+            print(
+                "SMOKE FAIL: torn tail was not detected "
+                f"({recorder.counters})",
+                file=sys.stderr,
+            )
+            return 1
+        full_bytes = (base / "full.json").read_bytes()
+        resumed_bytes = (base / "resumed.json").read_bytes()
+        if full_bytes != resumed_bytes:
+            print(
+                "SMOKE FAIL: resumed artifact differs from uninterrupted run",
+                file=sys.stderr,
+            )
+            return 1
+        problems = verify_checkpoint(kill_journal)
+        if problems:
+            print(
+                f"SMOKE FAIL: resumed journal fails verify: {problems}",
+                file=sys.stderr,
+            )
+            return 1
+    print("checkpoint smoke OK")
     return 0
 
 
@@ -586,6 +834,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the repetitions (1 = serial; "
         "results are identical for any value)",
     )
+    _add_harness_options(compare)
     compare.set_defaults(handler=_cmd_compare)
 
     chaos = commands.add_parser(
@@ -643,6 +892,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(1 = serial; results are identical for any value)",
     )
     _add_scale_options(fig6)
+    _add_harness_options(fig6)
     fig6.set_defaults(handler=_cmd_fig6)
 
     scenario = commands.add_parser(
@@ -751,6 +1001,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the summary as JSON"
     )
     trace_stats.set_defaults(handler=_cmd_trace_stats)
+
+    checkpoint_parser = commands.add_parser(
+        "checkpoint",
+        help="crash-safe checkpoint journals (checkpoint/v1)",
+    )
+    checkpoint_commands = checkpoint_parser.add_subparsers(
+        dest="checkpoint_command", required=True
+    )
+
+    checkpoint_inspect = checkpoint_commands.add_parser(
+        "inspect", help="summarize a journal as JSON"
+    )
+    checkpoint_inspect.add_argument("path", help="path to a checkpoint journal")
+    checkpoint_inspect.set_defaults(handler=_cmd_checkpoint_inspect)
+
+    checkpoint_verify = checkpoint_commands.add_parser(
+        "verify", help="validate a journal (schema, records, counts)"
+    )
+    checkpoint_verify.add_argument("path", help="path to a checkpoint journal")
+    checkpoint_verify.add_argument(
+        "--config-hash",
+        default=None,
+        help="also require this sweep fingerprint",
+    )
+    checkpoint_verify.set_defaults(handler=_cmd_checkpoint_verify)
+
+    checkpoint_smoke = checkpoint_commands.add_parser(
+        "smoke",
+        help="CI mode: run a tiny sweep, tear the journal, resume, "
+        "assert byte-identical artifacts",
+    )
+    checkpoint_smoke.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes for the smoke sweep (default: 2)",
+    )
+    checkpoint_smoke.set_defaults(handler=_cmd_checkpoint_smoke)
 
     lint = commands.add_parser(
         "lint",

@@ -7,9 +7,20 @@ callers can catch library failures without masking unrelated bugs::
         run_collection(config)
     except ReproError as exc:
         ...
+
+Machine-readable taxonomy
+-------------------------
+Every class carries a stable ``code`` string (``ReproError.code``), and
+:meth:`ReproError.as_record` / :func:`error_record` render any exception
+as a plain ``{"code", "type", "message"}`` dict.  The crash-safe harness
+(:mod:`repro.harness`) stores these records in checkpoint journals and
+run manifests, so a sweep's failure history stays greppable after the
+process that produced it is gone.
 """
 
 from __future__ import annotations
+
+from typing import Dict
 
 __all__ = [
     "ReproError",
@@ -22,12 +33,29 @@ __all__ = [
     "InterferenceViolationError",
     "WorkloadError",
     "ExperimentIOError",
+    "PartialSweepError",
     "ObservabilityError",
+    "HarnessError",
+    "CheckpointError",
+    "WorkerTimeoutError",
+    "WorkerCrashError",
+    "error_record",
 ]
 
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` package."""
+
+    #: Stable machine-readable error code; subclasses override.
+    code: str = "repro"
+
+    def as_record(self) -> Dict[str, str]:
+        """This error as a plain ``{"code", "type", "message"}`` dict."""
+        return {
+            "code": self.code,
+            "type": type(self).__name__,
+            "message": str(self),
+        }
 
 
 class ConfigurationError(ReproError):
@@ -37,13 +65,19 @@ class ConfigurationError(ReproError):
     combinations never reach the simulator.
     """
 
+    code = "config"
+
 
 class GeometryError(ReproError):
     """A geometric argument is invalid (negative radius, empty region, ...)."""
 
+    code = "geometry"
+
 
 class GraphError(ReproError):
     """A graph operation received an invalid graph or node."""
+
+    code = "graph"
 
 
 class DisconnectedNetworkError(GraphError):
@@ -53,6 +87,8 @@ class DisconnectedNetworkError(GraphError):
     this assumption after the configured number of attempts raise this error
     rather than silently producing an unreachable data-collection task.
     """
+
+    code = "graph-disconnected"
 
 
 class PcrDomainError(ReproError):
@@ -65,9 +101,13 @@ class PcrDomainError(ReproError):
     in that regime this error is raised; the ``tight`` bound never raises.
     """
 
+    code = "pcr-domain"
+
 
 class SimulationError(ReproError):
     """The simulator reached an inconsistent state (an internal invariant broke)."""
+
+    code = "simulation"
 
 
 class InterferenceViolationError(SimulationError):
@@ -78,9 +118,13 @@ class InterferenceViolationError(SimulationError):
     ranges.
     """
 
+    code = "interference"
+
 
 class WorkloadError(ReproError):
     """A workload description is invalid or inconsistent with the topology."""
+
+    code = "workload"
 
 
 class ExperimentIOError(ReproError):
@@ -90,6 +134,22 @@ class ExperimentIOError(ReproError):
     sweep points straight at the file to inspect or delete.
     """
 
+    code = "experiment-io"
+
+
+class PartialSweepError(ExperimentIOError):
+    """A sweep artifact is marked ``status: partial`` (quarantined items).
+
+    The crash-safe harness saves a sweep even when some (point, repetition)
+    items were quarantined after exhausting their retry budget; the
+    artifact then carries ``"status": "partial"`` plus the failed-item
+    list.  :func:`repro.experiments.io.load_sweep` refuses such artifacts
+    unless called with ``allow_partial=True``, so partial data is never
+    mistaken for a complete evaluation.
+    """
+
+    code = "partial-sweep"
+
 
 class ObservabilityError(ReproError):
     """An observability artifact (trace, manifest) is invalid or malformed.
@@ -97,3 +157,63 @@ class ObservabilityError(ReproError):
     Like :class:`ExperimentIOError`, the message always names the offending
     path or field.
     """
+
+    code = "observability"
+
+
+class HarnessError(ReproError):
+    """The crash-safe experiment harness hit an unrecoverable condition.
+
+    Base class of the harness taxonomy (:mod:`repro.harness`): checkpoint
+    problems, worker deadline violations, and worker crashes all derive
+    from it, each with a distinct machine-readable :attr:`code`.
+    """
+
+    code = "harness"
+
+
+class CheckpointError(HarnessError):
+    """A checkpoint journal is unusable: corrupt, mismatched, or clobbered.
+
+    Raised on mid-file corruption (a torn *tail* is repaired instead, see
+    docs/ROBUSTNESS.md), on a ``config_hash`` that does not match the sweep
+    being resumed, and on an attempt to start a fresh sweep over an
+    existing journal without ``resume=True``.  The message always names
+    the offending path.
+    """
+
+    code = "checkpoint"
+
+
+class WorkerTimeoutError(HarnessError):
+    """A supervised work item exceeded its per-item deadline."""
+
+    code = "worker-timeout"
+
+
+class WorkerCrashError(HarnessError):
+    """A supervised worker process died abruptly (e.g. OOM-killed).
+
+    Attributed to a specific work item by the supervisor's isolation
+    probe: after a pool break, in-flight items re-run one at a time so a
+    repeat crash names its culprit exactly.
+    """
+
+    code = "worker-crash"
+
+
+def error_record(exc: BaseException) -> Dict[str, str]:
+    """Render any exception as a ``{"code", "type", "message"}`` dict.
+
+    :class:`ReproError` instances report their own :attr:`~ReproError.code`;
+    foreign exceptions get code ``"external"``.  Used by the harness's
+    :class:`~repro.harness.FailureRecord` so quarantined items serialize
+    uniformly no matter what their worker raised.
+    """
+    if isinstance(exc, ReproError):
+        return exc.as_record()
+    return {
+        "code": "external",
+        "type": type(exc).__name__,
+        "message": str(exc),
+    }

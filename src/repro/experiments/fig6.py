@@ -183,6 +183,10 @@ def run_fig6_sweep(
     on_incomplete: str = "skip",
     progress: Optional[Heartbeat] = None,
     workers: int = 1,
+    checkpoint_path=None,
+    resume: bool = False,
+    policy=None,
+    allow_partial: bool = False,
 ) -> List[Tuple[float, ComparisonPoint]]:
     """Run one sub-figure end to end; returns (x-value, comparison) pairs.
 
@@ -196,6 +200,16 @@ def run_fig6_sweep(
     ``workers`` > 1 runs every (point × repetition) pair through one
     shared :class:`~repro.perf.executor.ParallelSweepExecutor` pool;
     results are bit-identical to the serial default for any worker count.
+
+    ``checkpoint_path`` / ``resume`` / ``policy`` route the sweep through
+    the crash-safe harness (:func:`repro.harness.run_checkpointed_sweep`)
+    — durable per-repetition journalling, supervised workers, and
+    bit-identical resume after a kill (docs/ROBUSTNESS.md).  A partial
+    outcome (quarantined items) raises
+    :class:`~repro.errors.PartialSweepError` unless ``allow_partial=True``,
+    in which case the surviving points are returned.  Callers needing the
+    full resilience record (status, failures, stats) should use
+    :func:`repro.harness.run_checkpointed_sweep` directly, as the CLI does.
     """
     if values is not None:
         sweep = Fig6Sweep(
@@ -206,6 +220,29 @@ def run_fig6_sweep(
             description=sweep.description,
         )
     points = sweep_point_configs(sweep, base)
+    if checkpoint_path is not None or policy is not None:
+        from repro.errors import PartialSweepError
+        from repro.harness import run_checkpointed_sweep
+
+        result = run_checkpointed_sweep(
+            sweep.name,
+            points,
+            repetitions=repetitions,
+            on_incomplete=on_incomplete,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+            workers=workers,
+            policy=policy,
+            progress=progress,
+        )
+        if result.status != "complete" and not allow_partial:
+            failed = "; ".join(record.describe() for record in result.failures)
+            raise PartialSweepError(
+                f"sweep {sweep.name} is partial (quarantined items: "
+                f"{failed or 'dropped points ' + str(result.dropped_points)}); "
+                "pass allow_partial=True to accept the surviving points"
+            )
+        return result.points
     if workers > 1:
         return _run_fig6_sweep_parallel(
             points, repetitions, on_incomplete, progress, workers

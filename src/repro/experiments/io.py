@@ -13,7 +13,7 @@ import os
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import ConfigurationError, ExperimentIOError
+from repro.errors import ConfigurationError, ExperimentIOError, PartialSweepError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ComparisonPoint
 from repro.metrics.aggregate import RunStatistics
@@ -67,6 +67,8 @@ def save_sweep(
     name: str,
     points: Sequence[Tuple[float, ComparisonPoint]],
     manifest: Optional[RunManifest] = None,
+    status: str = "complete",
+    failures: Optional[Sequence[Dict]] = None,
 ) -> None:
     """Write one figure sweep (x-values plus comparison points) to JSON.
 
@@ -78,7 +80,17 @@ def save_sweep(
     When a :class:`~repro.obs.RunManifest` is given, it is written next to
     the artifact (``sweep.json`` gets ``sweep.manifest.json``) *after* the
     sweep itself, so a manifest never exists without its data.
+
+    ``status="partial"`` marks a sweep the crash-safe harness degraded
+    gracefully (quarantined items, see docs/ROBUSTNESS.md); ``failures``
+    then carries the machine-readable failed-item records.  A complete
+    sweep writes the exact historical payload — no new keys — so
+    harness-run artifacts stay byte-identical to plain-run ones.
     """
+    if status not in ("complete", "partial"):
+        raise ConfigurationError(
+            f"status must be 'complete' or 'partial', got {status!r}"
+        )
     payload = {
         "name": name,
         "points": [
@@ -86,6 +98,9 @@ def save_sweep(
             for x, point in points
         ],
     }
+    if status != "complete":
+        payload["status"] = status
+        payload["failures"] = [dict(record) for record in (failures or [])]
     target = Path(path)
     temporary = target.with_name(target.name + ".tmp")
     try:
@@ -101,7 +116,9 @@ def save_sweep(
         write_manifest(manifest_path_for(target), manifest)
 
 
-def load_sweep(path: Union[str, Path]) -> Tuple[str, List[Tuple[float, ComparisonPoint]]]:
+def load_sweep(
+    path: Union[str, Path], allow_partial: bool = False
+) -> Tuple[str, List[Tuple[float, ComparisonPoint]]]:
     """Read a sweep written by :func:`save_sweep`.
 
     Raises
@@ -109,6 +126,11 @@ def load_sweep(path: Union[str, Path]) -> Tuple[str, List[Tuple[float, Compariso
     ExperimentIOError
         If the file is missing, unreadable, not JSON, or JSON of the
         wrong shape — always naming the offending path.
+    PartialSweepError
+        If the artifact is marked ``status: partial`` (the crash-safe
+        harness quarantined some items) and ``allow_partial`` is False —
+        partial data must be opted into, never mistaken for a complete
+        evaluation.  The message lists the failed items.
     """
     try:
         payload = json.loads(Path(path).read_text())
@@ -118,6 +140,19 @@ def load_sweep(path: Union[str, Path]) -> Tuple[str, List[Tuple[float, Compariso
         raise ExperimentIOError(
             f"{path} is not a sweep file (expected a JSON object with "
             "'name' and 'points')"
+        )
+    status = payload.get("status", "complete")
+    if status != "complete" and not allow_partial:
+        failed = payload.get("failures") or []
+        detail = "; ".join(
+            f"point {record.get('point')} rep {record.get('rep')} "
+            f"({record.get('kind', 'error')})"
+            for record in failed
+        )
+        raise PartialSweepError(
+            f"sweep file {path} is marked status={status!r}"
+            + (f" — failed items: {detail}" if detail else "")
+            + "; pass allow_partial=True (or --allow-partial) to load it anyway"
         )
     try:
         points = [

@@ -256,6 +256,10 @@ def run_comparison_point(
     on_incomplete: str = "raise",
     progress: Optional[Heartbeat] = None,
     workers: int = 1,
+    checkpoint_path=None,
+    resume: bool = False,
+    policy=None,
+    allow_partial: bool = False,
 ) -> ComparisonPoint:
     """Run ADDC and Coolest over ``repetitions`` fresh deployments.
 
@@ -276,8 +280,45 @@ def run_comparison_point(
     each worker re-derives its RNG streams from ``(seed, repetition)``,
     so the result is bit-identical to the serial default (``workers=1``)
     for any worker count and completion order.
+
+    ``checkpoint_path`` / ``resume`` / ``policy`` route the run through
+    the crash-safe harness (:func:`repro.harness.run_checkpointed_sweep`):
+    every repetition is journalled durably, workers are supervised with
+    the given :class:`~repro.harness.RetryPolicy`, and a killed run
+    resumes bit-identically.  If repetitions were quarantined the point
+    is assembled from the survivors only when ``allow_partial=True``;
+    otherwise a :class:`~repro.errors.PartialSweepError` is raised.
     """
     reps = repetitions if repetitions is not None else config.repetitions
+    if checkpoint_path is not None or policy is not None:
+        from repro.errors import PartialSweepError
+        from repro.harness import run_checkpointed_sweep
+
+        result = run_checkpointed_sweep(
+            "comparison",
+            [(0.0, config)],
+            repetitions=reps,
+            on_incomplete=on_incomplete,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+            workers=workers,
+            policy=policy,
+            progress=progress,
+        )
+        if result.status != "complete" and not allow_partial:
+            failed = "; ".join(
+                record.describe() for record in result.failures
+            )
+            raise PartialSweepError(
+                "comparison point is partial (quarantined repetitions: "
+                f"{failed}); pass allow_partial=True to accept it"
+            )
+        if not result.points:
+            raise SimulationError(
+                "every repetition of the comparison point was quarantined; "
+                "see the checkpoint journal's failure records"
+            )
+        return result.points[0][1]
     if workers > 1:
         measurements = _measure_parallel(config, reps, workers, progress)
     else:

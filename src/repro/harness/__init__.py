@@ -1,0 +1,65 @@
+"""``repro.harness`` — the crash-safe experiment harness.
+
+Three layers (see docs/ROBUSTNESS.md):
+
+* :mod:`repro.harness.checkpoint` — append-only ``checkpoint/v1``
+  journals: every completed ``(point, repetition)`` is fsynced to disk
+  before it is acknowledged, a torn tail is repaired on load, and replay
+  is bit-exact.
+* :mod:`repro.harness.supervisor` — supervised worker pools: per-item
+  deadlines, bounded retries with deterministic exponential backoff,
+  ``BrokenProcessPool`` recovery with exact crash attribution, and
+  quarantine of poison items into structured :class:`FailureRecord`\\ s.
+* :mod:`repro.harness.sweep` — :func:`run_checkpointed_sweep`, gluing
+  both under the standard sweep drivers so a killed-and-resumed sweep is
+  byte-identical to an uninterrupted one.
+
+The harness consumes no RNG streams and adds nothing to artifacts of a
+clean run: determinism and crash-safety are independent guarantees.
+"""
+
+from __future__ import annotations
+
+from repro.harness.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointEntry,
+    CheckpointState,
+    CheckpointWriter,
+    inspect_checkpoint,
+    load_checkpoint,
+    measurement_from_dict,
+    measurement_to_dict,
+    verify_checkpoint,
+)
+from repro.harness.supervisor import (
+    FailureRecord,
+    ItemTracker,
+    RetryPolicy,
+    SupervisedRun,
+    WorkerSupervisor,
+)
+from repro.harness.sweep import (
+    SweepRunResult,
+    run_checkpointed_sweep,
+    sweep_fingerprint,
+)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointEntry",
+    "CheckpointState",
+    "CheckpointWriter",
+    "inspect_checkpoint",
+    "load_checkpoint",
+    "measurement_from_dict",
+    "measurement_to_dict",
+    "verify_checkpoint",
+    "FailureRecord",
+    "ItemTracker",
+    "RetryPolicy",
+    "SupervisedRun",
+    "WorkerSupervisor",
+    "SweepRunResult",
+    "run_checkpointed_sweep",
+    "sweep_fingerprint",
+]

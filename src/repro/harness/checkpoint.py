@@ -1,0 +1,439 @@
+"""Append-only checkpoint journals (schema ``checkpoint/v1``).
+
+A journal is an NDJSON file living next to the ``save_sweep`` artifact it
+protects.  Line one is a header naming the schema, the sweep, and a
+BLAKE2b fingerprint of the exact sweep definition (name, point configs,
+repetition counts — via :func:`repro.obs.manifest.config_fingerprint`);
+every following line records one completed ``(point, repetition)``
+:class:`~repro.experiments.runner.RepetitionMeasurement` (plus the
+worker's metric snapshot, when one was collected) or one quarantined-item
+:class:`~repro.harness.supervisor.FailureRecord`.
+
+Crash-safety contract
+---------------------
+* Appends are one ``write()`` of a full ``\\n``-terminated line, flushed
+  and fsynced before the append returns — a record either exists whole
+  or not at all, except for the final line a ``SIGKILL`` may tear.
+* The loader validates every line; a torn *tail* (the last line fails to
+  parse or lacks its newline) is truncated away — with ``repair=True``
+  the file itself is truncated to the last valid record so subsequent
+  appends start clean — and counted on ``harness.checkpoint.torn_tail``.
+  Corruption anywhere *before* the tail is not a torn write and raises
+  :class:`~repro.errors.CheckpointError`.
+* Replaying a journal is bit-exact: measurements round-trip through JSON
+  by ``repr`` (Python's float round-trip guarantee), so a resumed sweep
+  re-assembles byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import repro.obs as obs
+from repro._version import __version__
+from repro.errors import CheckpointError
+from repro.experiments.runner import RepetitionMeasurement
+from repro.obs.clock import wall_clock_iso
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "measurement_to_dict",
+    "measurement_from_dict",
+    "CheckpointEntry",
+    "CheckpointState",
+    "CheckpointWriter",
+    "load_checkpoint",
+    "inspect_checkpoint",
+    "verify_checkpoint",
+]
+
+CHECKPOINT_SCHEMA = "checkpoint/v1"
+
+
+def measurement_to_dict(measurement: RepetitionMeasurement) -> Dict:
+    """A JSON round-trippable record of one repetition measurement."""
+    return dataclasses.asdict(measurement)
+
+
+def measurement_from_dict(record: Dict) -> RepetitionMeasurement:
+    """Rebuild a :class:`RepetitionMeasurement` from its JSON record."""
+    try:
+        return RepetitionMeasurement(
+            repetition=int(record["repetition"]),
+            addc_delay_ms=(
+                None
+                if record["addc_delay_ms"] is None
+                else float(record["addc_delay_ms"])
+            ),
+            coolest_delay_ms=(
+                None
+                if record["coolest_delay_ms"] is None
+                else float(record["coolest_delay_ms"])
+            ),
+            rng_positions=record.get("rng_positions") or {},
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"bad measurement record: {exc}") from exc
+
+
+@dataclass
+class CheckpointEntry:
+    """One journalled ``(point, repetition)`` completion."""
+
+    point_index: int
+    repetition: int
+    measurement: RepetitionMeasurement
+    #: Worker-side metric snapshot/profile (``None`` when the run was not
+    #: instrumented) — replayed on resume so merged registries match an
+    #: uninterrupted run exactly.
+    metrics: Optional[Dict] = None
+    profile: Optional[Dict] = None
+
+
+@dataclass
+class CheckpointState:
+    """Everything a validating load recovers from one journal."""
+
+    path: Path
+    header: Dict
+    entries: Dict[Tuple[int, int], CheckpointEntry] = field(default_factory=dict)
+    #: Quarantine records from previous runs (audit only: resuming always
+    #: re-attempts items that have no measurement, quarantined or not).
+    failures: List[Dict] = field(default_factory=list)
+    torn_tail: bool = False
+    #: Byte offset of the end of the last valid record.
+    valid_bytes: int = 0
+
+    @property
+    def config_hash(self) -> Optional[str]:
+        return self.header.get("config_hash")
+
+
+def _parse_line(path: Union[str, Path], number: int, line: str) -> Dict:
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint journal {path} is corrupt at line {number}: {exc}"
+        ) from exc
+    if not isinstance(record, dict):
+        raise CheckpointError(
+            f"checkpoint journal {path} is corrupt at line {number}: "
+            "expected a JSON object"
+        )
+    return record
+
+
+def load_checkpoint(
+    path: Union[str, Path], repair: bool = False
+) -> CheckpointState:
+    """Read and validate a ``checkpoint/v1`` journal.
+
+    A torn final line (the one write a SIGKILL can interrupt) is dropped
+    — and, with ``repair=True``, physically truncated from the file so the
+    next append starts on a clean boundary.  Any malformed line *before*
+    the tail means real corruption and raises
+    :class:`~repro.errors.CheckpointError` naming the path and line.
+    """
+    target = Path(path)
+    try:
+        raw = target.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint journal {target}: {exc}"
+        ) from exc
+    if not raw:
+        raise CheckpointError(f"checkpoint journal {target} is empty")
+
+    state = CheckpointState(path=target, header={})
+    offset = 0
+    number = 0
+    for chunk in raw.split(b"\n"):
+        is_last = offset + len(chunk) >= len(raw)
+        if not chunk and not is_last:
+            offset += len(chunk) + 1
+            continue
+        if not chunk:
+            break
+        number += 1
+        torn = False
+        record: Optional[Dict] = None
+        try:
+            record = _parse_line(target, number, chunk.decode("utf-8"))
+        except (CheckpointError, UnicodeDecodeError):
+            if is_last:
+                torn = True  # the one line a kill may have interrupted
+            else:
+                raise
+        if not torn and is_last and record is not None:
+            # Parsed but missing its terminating newline: the flush was
+            # cut mid-write; treat as torn so the append boundary is clean.
+            torn = True
+        if torn:
+            state.torn_tail = True
+            obs.counter_add("harness.checkpoint.torn_tail")
+            break
+        assert record is not None
+        if number == 1:
+            if record.get("schema") != CHECKPOINT_SCHEMA:
+                raise CheckpointError(
+                    f"{target} is not a checkpoint journal "
+                    f"(expected schema {CHECKPOINT_SCHEMA!r}, got "
+                    f"{record.get('schema')!r})"
+                )
+            state.header = record
+        else:
+            _absorb_record(state, target, number, record)
+        offset += len(chunk) + 1
+        state.valid_bytes = min(offset, len(raw))
+    if number == 0 or not state.header:
+        raise CheckpointError(
+            f"checkpoint journal {target} has no valid header line"
+        )
+    if state.torn_tail and repair:
+        with open(target, "r+b") as handle:
+            handle.truncate(state.valid_bytes)
+    return state
+
+
+def _absorb_record(
+    state: CheckpointState, path: Path, number: int, record: Dict
+) -> None:
+    kind = record.get("kind")
+    if kind == "repetition":
+        try:
+            key = (int(record["point"]), int(record["rep"]))
+            entry = CheckpointEntry(
+                point_index=key[0],
+                repetition=key[1],
+                measurement=measurement_from_dict(record["measurement"]),
+                metrics=record.get("metrics"),
+                profile=record.get("profile"),
+            )
+        except (KeyError, TypeError, ValueError, CheckpointError) as exc:
+            raise CheckpointError(
+                f"checkpoint journal {path} is corrupt at line {number}: {exc}"
+            ) from exc
+        # Duplicates can only carry identical payloads (measurements are
+        # deterministic functions of (config, repetition)); first wins.
+        state.entries.setdefault(key, entry)
+    elif kind == "failure":
+        failure = record.get("record")
+        if not isinstance(failure, dict):
+            raise CheckpointError(
+                f"checkpoint journal {path} is corrupt at line {number}: "
+                "failure record is not an object"
+            )
+        state.failures.append(failure)
+    else:
+        raise CheckpointError(
+            f"checkpoint journal {path} is corrupt at line {number}: "
+            f"unknown record kind {kind!r}"
+        )
+
+
+class CheckpointWriter:
+    """Append-only writer for one ``checkpoint/v1`` journal.
+
+    Every append is a single full-line write, flushed and fsynced before
+    returning, so the journal never loses an acknowledged record to a
+    later crash.  Use :meth:`create` for a fresh journal (writes the
+    header) or :meth:`append_to` to continue one that
+    :func:`load_checkpoint` validated (and repaired) first.
+    """
+
+    def __init__(self, path: Union[str, Path], handle: io.BufferedWriter) -> None:
+        self.path = Path(path)
+        self._handle: Optional[io.BufferedWriter] = handle
+        self.records_written = 0
+
+    # ------------------------------------------------------------------ #
+    # Constructors                                                        #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def create(
+        cls,
+        path: Union[str, Path],
+        name: str,
+        config_hash: str,
+        total_items: int,
+        extra: Optional[Dict] = None,
+    ) -> "CheckpointWriter":
+        """Start a fresh journal at ``path`` (refuses to clobber one)."""
+        target = Path(path)
+        if target.exists():
+            raise CheckpointError(
+                f"checkpoint journal {target} already exists; resume it or "
+                "delete it before starting a fresh sweep"
+            )
+        try:
+            handle = open(target, "xb")
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot create checkpoint journal {target}: {exc}"
+            ) from exc
+        writer = cls(target, handle)
+        header = {
+            "schema": CHECKPOINT_SCHEMA,
+            "name": name,
+            "config_hash": config_hash,
+            "total_items": int(total_items),
+            "package_version": __version__,
+            "created_utc": wall_clock_iso(),
+        }
+        if extra:
+            header.update(extra)
+        writer._append(header)
+        return writer
+
+    @classmethod
+    def append_to(cls, state: CheckpointState) -> "CheckpointWriter":
+        """Continue the journal a :func:`load_checkpoint` call validated."""
+        try:
+            handle = open(state.path, "r+b")
+            handle.truncate(state.valid_bytes)
+            handle.seek(0, os.SEEK_END)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot reopen checkpoint journal {state.path}: {exc}"
+            ) from exc
+        return cls(state.path, handle)
+
+    # ------------------------------------------------------------------ #
+    # Appends                                                             #
+    # ------------------------------------------------------------------ #
+
+    def _append(self, record: Dict) -> None:
+        if self._handle is None:
+            raise CheckpointError(
+                f"checkpoint journal {self.path} is closed"
+            )
+        line = json.dumps(record, sort_keys=True) + "\n"
+        try:
+            self._handle.write(line.encode("utf-8"))
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot append to checkpoint journal {self.path}: {exc}"
+            ) from exc
+        self.records_written += 1
+
+    def append_measurement(
+        self,
+        point_index: int,
+        repetition: int,
+        measurement: RepetitionMeasurement,
+        metrics: Optional[Dict] = None,
+        profile: Optional[Dict] = None,
+    ) -> None:
+        """Journal one completed ``(point, repetition)`` durably."""
+        self._append(
+            {
+                "kind": "repetition",
+                "point": int(point_index),
+                "rep": int(repetition),
+                "measurement": measurement_to_dict(measurement),
+                "metrics": metrics,
+                "profile": profile,
+            }
+        )
+        obs.counter_add("harness.checkpoint.records")
+
+    def append_failure(self, record: Dict) -> None:
+        """Journal one quarantined-item failure record (audit trail)."""
+        self._append({"kind": "failure", "record": record})
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Flush and close the journal (idempotent)."""
+        if self._handle is not None:
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            except OSError:
+                # Closing must never mask the exception that got us here;
+                # the acknowledged records were already fsynced.
+                pass  # best-effort final flush; records were already fsynced
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def inspect_checkpoint(path: Union[str, Path]) -> Dict:
+    """A JSON-ready summary of one journal (``checkpoint inspect``)."""
+    state = load_checkpoint(path, repair=False)
+    per_point: Dict[int, int] = {}
+    for point_index, _ in sorted(state.entries):
+        per_point[point_index] = per_point.get(point_index, 0) + 1
+    return {
+        "path": str(state.path),
+        "schema": state.header.get("schema"),
+        "name": state.header.get("name"),
+        "config_hash": state.header.get("config_hash"),
+        "created_utc": state.header.get("created_utc"),
+        "package_version": state.header.get("package_version"),
+        "total_items": state.header.get("total_items"),
+        "completed_items": len(state.entries),
+        "records_per_point": {
+            str(point): count for point, count in sorted(per_point.items())
+        },
+        "failures": list(state.failures),
+        "torn_tail": state.torn_tail,
+    }
+
+
+def verify_checkpoint(
+    path: Union[str, Path], config_hash: Optional[str] = None
+) -> List[str]:
+    """Validate a journal read-only; returns human-readable problems.
+
+    Checks the schema header, every record's shape, duplicate
+    ``(point, repetition)`` keys, the item count against the header's
+    ``total_items``, and (when given) the expected ``config_hash``.  A
+    torn tail is reported but — unlike mid-file corruption — is not an
+    error: resume repairs it.
+    """
+    problems: List[str] = []
+    try:
+        state = load_checkpoint(path, repair=False)
+    except CheckpointError as exc:
+        return [str(exc)]
+    if state.torn_tail:
+        problems.append(
+            "torn tail: final line is incomplete (resume will truncate it)"
+        )
+    total = state.header.get("total_items")
+    if isinstance(total, int) and len(state.entries) > total:
+        problems.append(
+            f"journal holds {len(state.entries)} completed items but the "
+            f"header promises only {total}"
+        )
+    if config_hash is not None and state.config_hash != config_hash:
+        problems.append(
+            f"config_hash mismatch: journal has {state.config_hash!r}, "
+            f"expected {config_hash!r}"
+        )
+    for (point, rep), entry in sorted(state.entries.items()):
+        if entry.measurement.repetition != rep:
+            problems.append(
+                f"record ({point}, {rep}) carries a measurement for "
+                f"repetition {entry.measurement.repetition}"
+            )
+    return problems

@@ -1,0 +1,310 @@
+"""Checkpointed, supervised sweep execution (the harness front door).
+
+:func:`run_checkpointed_sweep` is the crash-safe counterpart of the plain
+sweep drivers: it fans ``(point, repetition)`` work items through a
+:class:`~repro.harness.supervisor.WorkerSupervisor` and journals every
+completed repetition into a ``checkpoint/v1`` file, so a sweep killed at
+any instant — ``SIGKILL`` included — resumes from its last durable record
+and finishes **byte-identical** to an uninterrupted run.
+
+How byte-identity survives a crash
+----------------------------------
+* Each repetition is a pure function of ``(config, repetition)`` (the RNG
+  lineage re-derives from ``StreamFactory(seed).spawn(f"rep-{i}")``), so
+  a journalled measurement equals the one a fresh run would compute.
+* Measurements round-trip through the journal via ``repr`` floats
+  (Python's float round-trip guarantee), so replayed values are bit-equal.
+* Points are assembled with the same
+  :func:`~repro.experiments.runner.assemble_comparison_point` fold, over
+  measurements in repetition order, whether they came from the journal or
+  a worker — identical float addition order, identical statistics.
+* Worker metric snapshots are journalled too and merged in **submission
+  order** during assembly, so an instrumented resumed run reproduces the
+  uninterrupted run's registry (modulo the ``harness.*`` counters, which
+  deliberately tell the resilience story; see docs/ROBUSTNESS.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import repro.obs as obs
+from repro.errors import CheckpointError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    ComparisonPoint,
+    assemble_comparison_point,
+)
+from repro.harness.checkpoint import (
+    CheckpointEntry,
+    CheckpointState,
+    CheckpointWriter,
+    load_checkpoint,
+)
+from repro.harness.supervisor import (
+    FailureRecord,
+    RetryPolicy,
+    WorkerSupervisor,
+)
+from repro.obs.manifest import config_fingerprint
+from repro.obs.progress import Heartbeat
+
+__all__ = ["SweepRunResult", "sweep_fingerprint", "run_checkpointed_sweep"]
+
+
+def sweep_fingerprint(
+    name: str,
+    points: Sequence[Tuple[float, ExperimentConfig]],
+    repetitions_per_point: Sequence[int],
+) -> str:
+    """BLAKE2b fingerprint of the exact sweep a journal protects.
+
+    Covers the sweep name, every point's x-value and full configuration,
+    and the repetition counts — and deliberately **not** the worker count
+    or retry policy: those change wall-clock behaviour, never results, so
+    a sweep may be resumed with different parallelism than it started.
+    """
+    return config_fingerprint(
+        {
+            "name": name,
+            "points": [
+                {
+                    "x": float(x),
+                    "config": dataclasses.asdict(config),
+                    "repetitions": int(reps),
+                }
+                for (x, config), reps in zip(points, repetitions_per_point)
+            ],
+        }
+    )
+
+
+@dataclass
+class SweepRunResult:
+    """What a checkpointed sweep hands back.
+
+    ``points`` holds the assembled ``(x, ComparisonPoint)`` pairs in sweep
+    order, omitting points that ended with **zero** usable repetitions
+    (those appear in ``dropped_points``).  ``status`` is ``"complete"``
+    when every scheduled item produced a measurement, else ``"partial"``.
+    """
+
+    name: str
+    points: List[Tuple[float, ComparisonPoint]]
+    status: str = "complete"
+    failures: List[FailureRecord] = field(default_factory=list)
+    #: Indices (into the sweep's point list) that lost *all* repetitions.
+    dropped_points: List[int] = field(default_factory=list)
+    #: Supervisor resilience stats (retries, pool_rebuilds, ...).
+    stats: Dict[str, int] = field(default_factory=dict)
+    #: Items replayed from the journal instead of re-run.
+    cached_items: int = 0
+    resumed: bool = False
+    checkpoint_path: Optional[Path] = None
+    config_hash: Optional[str] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.status == "complete"
+
+    def harness_summary(self) -> Dict:
+        """The ``extra["harness"]`` block for the run manifest.
+
+        Excluded (together with the ``harness.*`` counters) from the
+        bit-identity comparison between resumed and uninterrupted runs:
+        it is the audit trail of *how* the result was obtained, not part
+        of the result.
+        """
+        return {
+            "status": self.status,
+            "stats": dict(self.stats),
+            "failures": [record.to_dict() for record in self.failures],
+            "dropped_points": list(self.dropped_points),
+            "cached_items": self.cached_items,
+            "resumed": self.resumed,
+            "checkpoint": (
+                str(self.checkpoint_path)
+                if self.checkpoint_path is not None
+                else None
+            ),
+            "config_hash": self.config_hash,
+        }
+
+
+def _open_journal(
+    checkpoint_path: Path,
+    name: str,
+    fingerprint: str,
+    total_items: int,
+    resume: bool,
+) -> Tuple[Optional[CheckpointState], CheckpointWriter]:
+    """Create or resume the journal; returns ``(prior_state, writer)``."""
+    if resume and checkpoint_path.exists():
+        state = load_checkpoint(checkpoint_path, repair=True)
+        if state.config_hash != fingerprint:
+            raise CheckpointError(
+                f"checkpoint journal {checkpoint_path} was written for a "
+                f"different sweep (config_hash {state.config_hash!r}, this "
+                f"sweep is {fingerprint!r}); delete it or point --checkpoint "
+                "elsewhere"
+            )
+        obs.counter_add("harness.checkpoint.hits", len(state.entries))
+        return state, CheckpointWriter.append_to(state)
+    # Fresh journal: an existing file without resume=True is refused by
+    # CheckpointWriter.create (clobbering a journal loses durable work).
+    writer = CheckpointWriter.create(
+        checkpoint_path, name, fingerprint, total_items
+    )
+    return None, writer
+
+
+def run_checkpointed_sweep(
+    name: str,
+    points: Sequence[Tuple[float, ExperimentConfig]],
+    repetitions: Optional[int] = None,
+    on_incomplete: str = "skip",
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    workers: int = 1,
+    policy: Optional[RetryPolicy] = None,
+    progress: Optional[Heartbeat] = None,
+) -> SweepRunResult:
+    """Run a sweep under supervision, journalling every repetition.
+
+    Parameters mirror :func:`~repro.experiments.fig6.run_fig6_sweep` plus
+    the harness knobs: ``checkpoint_path`` names the ``checkpoint/v1``
+    journal (``None`` supervises without durability); ``resume=True``
+    replays a compatible existing journal — config-fingerprint checked —
+    and re-runs only the missing items; ``policy`` sets deadlines, retry
+    budgets and backoff (:class:`~repro.harness.supervisor.RetryPolicy`).
+
+    A ``KeyboardInterrupt`` mid-sweep cancels the pending work, flushes
+    the journal, and re-raises — completed repetitions stay durable, so
+    the same call with ``resume=True`` picks up where Ctrl-C struck.
+    Items that exhaust their retry budget are quarantined, the surviving
+    repetitions are assembled anyway, and the result is flagged
+    ``status: "partial"`` rather than aborting the sweep.
+    """
+    from repro.perf.executor import SweepWorkItem, execute_work_item
+
+    points = list(points)
+    reps_of = [
+        repetitions if repetitions is not None else config.repetitions
+        for _, config in points
+    ]
+    collect = obs.enabled()
+    items = [
+        SweepWorkItem(
+            point_index=index,
+            repetition=rep,
+            config=config,
+            collect_metrics=collect,
+        )
+        for index, (_, config) in enumerate(points)
+        for rep in range(reps_of[index])
+    ]
+    fingerprint = sweep_fingerprint(name, points, reps_of)
+
+    cached: Dict[Tuple[int, int], CheckpointEntry] = {}
+    writer: Optional[CheckpointWriter] = None
+    resumed = False
+    if checkpoint_path is not None:
+        state, writer = _open_journal(
+            Path(checkpoint_path), name, fingerprint, len(items), resume
+        )
+        if state is not None:
+            cached = dict(state.entries)
+            resumed = True
+        else:
+            obs.counter_add("harness.checkpoint.misses")
+
+    todo = [
+        item
+        for item in items
+        if (item.point_index, item.repetition) not in cached
+    ]
+
+    def journal_result(index: int, outcome) -> None:
+        if writer is not None:
+            writer.append_measurement(
+                outcome.point_index,
+                outcome.repetition,
+                outcome.measurement,
+                metrics=outcome.metrics,
+                profile=outcome.profile,
+            )
+
+    supervisor = WorkerSupervisor(workers=workers, policy=policy)
+    try:
+        run = supervisor.run(execute_work_item, todo, on_result=journal_result)
+        if writer is not None:
+            for record in run.failures:
+                writer.append_failure(record.to_dict())
+    finally:
+        # KeyboardInterrupt lands here too: acknowledged records are
+        # already fsynced, this just releases the handle cleanly.
+        if writer is not None:
+            writer.close()
+
+    fresh: Dict[Tuple[int, int], object] = {}
+    for item, outcome in zip(todo, run.outcomes):
+        if outcome is not None:
+            fresh[(item.point_index, item.repetition)] = outcome
+
+    # ---- assemble, strictly in submission order ----------------------- #
+    results: List[Tuple[float, ComparisonPoint]] = []
+    dropped: List[int] = []
+    for index, (x_value, config) in enumerate(points):
+        measurements = []
+        for rep in range(reps_of[index]):
+            key = (index, rep)
+            if key in cached:
+                entry = cached[key]
+                measurement, metrics, profile = (
+                    entry.measurement,
+                    entry.metrics,
+                    entry.profile,
+                )
+            elif key in fresh:
+                outcome = fresh[key]
+                measurement, metrics, profile = (
+                    outcome.measurement,
+                    outcome.metrics,
+                    outcome.profile,
+                )
+            else:
+                continue  # quarantined: recorded in run.failures
+            if metrics is not None:
+                obs.merge_snapshot(metrics, profile)
+            obs.counter_add("sweep.repetitions")
+            if progress is not None:
+                progress.tick()
+            measurements.append(measurement)
+        if not measurements:
+            dropped.append(index)
+            continue
+        results.append(
+            (
+                x_value,
+                assemble_comparison_point(config, measurements, on_incomplete),
+            )
+        )
+
+    status = "complete" if not run.failures and not dropped else "partial"
+    return SweepRunResult(
+        name=name,
+        points=results,
+        status=status,
+        failures=list(run.failures),
+        dropped_points=dropped,
+        stats=dict(run.stats),
+        cached_items=len(cached),
+        resumed=resumed,
+        checkpoint_path=(
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        ),
+        config_hash=fingerprint,
+    )

@@ -14,6 +14,15 @@ from repro.lint.rules import (
     observability,
     perf,
     rng,
+    robustness,
 )
 
-__all__ = ["rng", "determinism", "invariants", "hygiene", "observability", "perf"]
+__all__ = [
+    "rng",
+    "determinism",
+    "invariants",
+    "hygiene",
+    "observability",
+    "perf",
+    "robustness",
+]

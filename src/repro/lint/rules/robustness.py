@@ -1,0 +1,95 @@
+"""Robustness rules: no silently-swallowed broad exceptions.
+
+The crash-safe harness (:mod:`repro.harness`) only works because failures
+are *loud*: a worker exception becomes a retry, a quarantine record, and a
+journal entry.  A ``try/except Exception: pass`` anywhere upstream
+converts those failures into silent bad data — the sweep "succeeds" with
+measurements missing or wrong, and nothing in the artifact says so.
+ROB001 bans the pattern statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import ModuleContext, Rule, register_rule
+
+__all__ = ["SilentBroadExceptRule"]
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _broad_catch(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler catches everything (bare, Exception-wide, ...)."""
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in types:
+        if isinstance(node, ast.Name) and node.id in _BROAD_NAMES:
+            return True
+        # builtins.Exception spelled as an attribute access.
+        if isinstance(node, ast.Attribute) and node.attr in _BROAD_NAMES:
+            return True
+    return False
+
+
+def _is_silent(statement: ast.stmt) -> bool:
+    if isinstance(statement, (ast.Pass, ast.Continue)):
+        return True
+    # A docstring-style bare constant (including `...`) does nothing.
+    return isinstance(statement, ast.Expr) and isinstance(
+        statement.value, ast.Constant
+    )
+
+
+@register_rule
+class SilentBroadExceptRule(Rule):
+    """ROB001: no silently-swallowed broad exception handlers.
+
+    Flags ``except:``, ``except Exception:`` and ``except BaseException:``
+    handlers (including tuples containing them) whose body does nothing —
+    only ``pass``, ``...``, or ``continue``.  Such a handler eats
+    ``SimulationError`` invariant violations and worker failures without a
+    trace; the harness's whole failure taxonomy depends on exceptions
+    propagating to a supervisor that records them.  Narrow handlers
+    (``except OSError: pass`` around best-effort cleanup) are fine; a
+    deliberate broad swallow needs a ``# reprolint: disable=ROB001``
+    justification on the swallowing statement.
+    """
+
+    id = "ROB001"
+    name = "silent-broad-except"
+    description = (
+        "broad exception handler with a do-nothing body; handle, log, or "
+        "re-raise — silent swallows turn failures into bad data"
+    )
+    default_severity = Severity.ERROR
+    default_options: dict = {}
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _broad_catch(node):
+                continue
+            if not all(_is_silent(statement) for statement in node.body):
+                continue
+            caught = (
+                "except:"
+                if node.type is None
+                else f"except {ast.unparse(node.type)}:"
+            )
+            # Anchor on the swallowing statement so a justification
+            # comment sits next to the `pass` it excuses.
+            yield module.diagnostic(
+                self,
+                node.body[0],
+                f"`{caught}` with a do-nothing body silently swallows "
+                "failures; narrow the type, record the error, or re-raise",
+            )

@@ -34,7 +34,7 @@ import functools
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Sequence
 
-from repro.obs.clock import monotonic_s, wall_clock_iso
+from repro.obs.clock import monotonic_s, sleep_s, wall_clock_iso
 from repro.obs.recorder import (
     DEFAULT_BUCKETS,
     Histogram,
@@ -50,6 +50,7 @@ __all__ = [
     "NullRecorder",
     "SpanStats",
     "monotonic_s",
+    "sleep_s",
     "wall_clock_iso",
     "get_recorder",
     "set_recorder",

@@ -14,12 +14,24 @@ from __future__ import annotations
 import time as _time
 from datetime import datetime, timezone
 
-__all__ = ["monotonic_s", "wall_clock_iso"]
+__all__ = ["monotonic_s", "sleep_s", "wall_clock_iso"]
 
 
 def monotonic_s() -> float:
     """Monotonic high-resolution timestamp in seconds (span timing)."""
     return _time.perf_counter()
+
+
+def sleep_s(seconds: float) -> None:
+    """Block the calling thread for ``seconds`` (retry backoff waits).
+
+    Routed through the clock facade for the same reason as the reads:
+    every place the harness can stall is auditable here, and tests inject
+    a fake sleep alongside a fake clock to run backoff schedules
+    instantly.
+    """
+    if seconds > 0:
+        _time.sleep(seconds)
 
 
 def wall_clock_iso() -> str:

@@ -20,8 +20,10 @@ def render_report(manifest: RunManifest) -> str:
     """Pretty-print one :class:`RunManifest` as aligned plain text.
 
     Sections: a provenance header, the metric snapshot (counters, gauges,
-    histograms) and the span profile with each span's share of the total
-    recorded time.
+    histograms), the span profile with each span's share of the total
+    recorded time, and — when the manifest carries an ``extra["harness"]``
+    block from the crash-safe harness — a RESILIENCE section with the
+    run's retry/rebuild/quarantine history and failed-item records.
     """
     lines: List[str] = []
     lines.append(f"run manifest ({manifest.schema})")
@@ -84,4 +86,40 @@ def render_report(manifest: RunManifest) -> str:
                 f"mean={stats.get('mean_ms', 0.0):8.4f} ms  "
                 f"share={share:5.1f}%"
             )
+
+    harness = (manifest.extra or {}).get("harness")
+    if isinstance(harness, dict):
+        lines.append("")
+        lines.append("RESILIENCE")
+        lines.append(f"  status:   {harness.get('status', '-')}")
+        if harness.get("resumed"):
+            lines.append(
+                f"  resumed:  yes ({harness.get('cached_items', 0)} items "
+                "replayed from the checkpoint journal)"
+            )
+        if harness.get("checkpoint"):
+            lines.append(f"  journal:  {harness['checkpoint']}")
+        stats = harness.get("stats") or {}
+        for key in (
+            "retries",
+            "pool_rebuilds",
+            "timeouts",
+            "worker_errors",
+            "worker_crashes",
+            "inline_rescues",
+            "quarantined",
+        ):
+            if key in stats:
+                lines.append(f"  {key + ':':<{16}}{_format_value(stats[key])}")
+        failures = harness.get("failures") or []
+        for record in failures:
+            lines.append(
+                f"  failed:   point {record.get('point')} rep "
+                f"{record.get('rep')} — {record.get('kind', 'error')} after "
+                f"{record.get('attempts', '?')} attempt(s): "
+                f"{(record.get('error') or {}).get('message', '')}"
+            )
+        dropped = harness.get("dropped_points") or []
+        if dropped:
+            lines.append(f"  dropped points: {dropped}")
     return "\n".join(lines)

@@ -137,6 +137,27 @@ RULE_FIXTURES = {
             "__all__ = ['work', 'fan_out']\n"
         ),
     ),
+    "ROB001": (
+        "repro/harness/cleanup.py",
+        (
+            "def release(handles):\n"
+            "    for handle in handles:\n"
+            "        try:\n"
+            "            handle.close()\n"
+            "        except Exception:\n"
+            "            pass\n\n\n"
+            "__all__ = ['release']\n"
+        ),
+        (
+            "def release(handles):\n"
+            "    for handle in handles:\n"
+            "        try:\n"
+            "            handle.close()\n"
+            "        except OSError:\n"
+            "            pass\n\n\n"
+            "__all__ = ['release']\n"
+        ),
+    ),
 }
 
 
@@ -254,6 +275,34 @@ class TestRuleFixtures:
         diagnostics = lint_source("def broken(:\n", path="repro/x.py")
         assert [d.rule_id for d in diagnostics] == ["PARSE"]
         assert diagnostics[0].severity is Severity.ERROR
+
+    def test_rob001_flags_bare_except_with_pass(self):
+        source = "try:\n    x = 1\nexcept:\n    pass\n\n__all__ = []\n"
+        assert "ROB001" in rule_ids(lint_source(source, path="repro/x.py"))
+
+    def test_rob001_flags_base_exception_in_tuple(self):
+        source = (
+            "try:\n    x = 1\n"
+            "except (ValueError, BaseException):\n    ...\n\n__all__ = []\n"
+        )
+        assert "ROB001" in rule_ids(lint_source(source, path="repro/x.py"))
+
+    def test_rob001_allows_broad_handler_that_acts(self):
+        source = (
+            "try:\n    x = 1\n"
+            "except Exception as exc:\n    raise RuntimeError(str(exc))\n\n"
+            "__all__ = []\n"
+        )
+        assert "ROB001" not in rule_ids(lint_source(source, path="repro/x.py"))
+
+    def test_rob001_suppressible_on_the_pass_line(self):
+        source = (
+            "try:\n    x = 1\n"
+            "except Exception:\n"
+            "    pass  # reprolint: disable=ROB001 -- last-ditch cleanup\n\n"
+            "__all__ = []\n"
+        )
+        assert "ROB001" not in rule_ids(lint_source(source, path="repro/x.py"))
 
 
 class TestSuppressions:
