@@ -1,0 +1,127 @@
+"""Lint engine bench — cold vs warm incremental runs over ``src/``.
+
+Measures what docs/LINTING.md promises: a cold run parses and analyzes
+every file, a warm run over the unchanged tree re-analyzes **none** —
+facts come back from the BLAKE2b-fingerprinted cache and only the cheap
+project tier re-runs.  The warm/cold ratio is the price of the
+whole-program tiers on an incremental edit loop.
+
+Run as a script to (re)generate the committed snapshot::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py --out BENCH_lint.json
+
+or as pytest, which asserts the cache contract before trusting timings::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_lint.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.lint import LintConfig
+from repro.lint.runner import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PYPROJECT = REPO_ROOT / "pyproject.toml"
+
+__all__ = ["run_bench", "main"]
+
+
+def run_bench(jobs: int = 1) -> dict:
+    """Cold and warm lint of ``src/`` against a throwaway cache.
+
+    Paths (and therefore module names and baseline matching) are
+    cwd-relative, so the measurement runs from the repo root regardless
+    of the caller's directory.
+    """
+    cwd = os.getcwd()
+    os.chdir(REPO_ROOT)
+    try:
+        config = LintConfig.from_pyproject(PYPROJECT)
+        baseline = REPO_ROOT / "lint-baseline.json"
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = Path(tmp) / "cache.json"
+            t0 = time.perf_counter()
+            cold = lint_paths(
+                [Path("src")],
+                config,
+                jobs=jobs,
+                cache_path=cache,
+                baseline_path=baseline,
+            )
+            cold_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            warm = lint_paths(
+                [Path("src")],
+                config,
+                jobs=jobs,
+                cache_path=cache,
+                baseline_path=baseline,
+            )
+            warm_s = time.perf_counter() - t0
+    finally:
+        os.chdir(cwd)
+
+    files = cold.files_checked
+    hit_rate = warm.cache_hits / files if files else 0.0
+    return {
+        "benchmark": "lint",
+        "jobs": jobs,
+        "files": files,
+        "findings": len(cold.diagnostics),
+        "cold": {
+            "wall_s": cold_s,
+            "files_analyzed": cold.files_analyzed,
+            "files_per_s": files / cold_s if cold_s else 0.0,
+        },
+        "warm": {
+            "wall_s": warm_s,
+            "files_analyzed": warm.files_analyzed,
+            "cache_hits": warm.cache_hits,
+            "cache_hit_rate": hit_rate,
+        },
+        "warm_speedup": cold_s / warm_s if warm_s else 0.0,
+    }
+
+
+def test_incremental_cache_pays_for_itself():
+    result = run_bench()
+    # The contract first: a warm run over an unchanged tree re-analyzes
+    # nothing and serves every file from cache.
+    assert result["warm"]["files_analyzed"] == 0
+    assert result["warm"]["cache_hit_rate"] == 1.0
+    assert result["cold"]["files_analyzed"] == result["files"]
+    # Only then the point of it: warm must beat cold.
+    assert result["warm"]["wall_s"] < result["cold"]["wall_s"]
+    print(
+        f"\ncold {result['cold']['wall_s']:.2f} s "
+        f"({result['cold']['files_per_s']:.0f} files/s), "
+        f"warm {result['warm']['wall_s']:.2f} s "
+        f"({result['warm_speedup']:.1f}x, "
+        f"{result['warm']['cache_hit_rate']:.0%} cache hits)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, help="write the JSON snapshot here")
+    parser.add_argument("--jobs", type=int, default=1)
+    args = parser.parse_args(argv)
+    result = run_bench(jobs=args.jobs)
+    result["created_utc"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    payload = json.dumps(result, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        Path(args.out).write_text(payload, encoding="utf-8")
+    print(payload, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

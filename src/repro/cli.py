@@ -741,6 +741,9 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     if args.repetitions is not None:
         config = config.with_overrides(repetitions=args.repetitions)
     print(f"scenario: {scenario.name} — {scenario.summary}")
+    # Derived from the validated scenario id, which the run manifest
+    # records; each scenario gets a distinct lineage.
+    # reprolint: disable=RNG011
     streams = StreamFactory(config.seed).spawn(f"scenario-{scenario.name}")
     topology = deploy_crn(
         config.deployment_spec(), streams, activity=scenario.make_activity()

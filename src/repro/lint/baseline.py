@@ -1,0 +1,146 @@
+"""Committed finding baseline with a ratchet policy.
+
+A baseline lets the full v2 rule set gate CI from day one without first
+fixing (or suppressing) every pre-existing finding: known findings are
+recorded in a committed JSON file and filtered from the report, while
+anything *not* in the baseline fails the run as usual.  The policy is a
+ratchet — the file may only shrink:
+
+* a **new** finding is never auto-added; fix it, suppress it with a
+  justification, or deliberately re-run ``--update-baseline`` in the
+  same PR that introduces it (reviewers see the diff);
+* a **fixed** finding leaves a stale entry behind; the runner reports
+  stale entries so ``--update-baseline`` can drop them and lock in the
+  improvement.
+
+Entries are matched on ``(rule, path, message)`` — deliberately *not* on
+line numbers, so unrelated edits above a known finding do not break the
+build (the whole-program rules keep their messages line-free for the
+same reason).  Each entry can carry a free-text ``justification``;
+``--update-baseline`` preserves justifications of entries it keeps.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+
+__all__ = ["BASELINE_VERSION", "BaselineEntry", "Baseline"]
+
+BASELINE_VERSION = 1
+
+_Key = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding."""
+
+    rule: str
+    path: str
+    message: str
+    justification: str = ""
+
+    @property
+    def key(self) -> _Key:
+        return (self.rule, self.path, self.message)
+
+
+def _diagnostic_key(diagnostic: Diagnostic) -> _Key:
+    return (diagnostic.rule_id, diagnostic.path, diagnostic.message)
+
+
+@dataclass
+class Baseline:
+    """The committed set of accepted findings."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError:
+            return cls()
+        entries = [
+            BaselineEntry(
+                rule=str(entry["rule"]),
+                path=str(entry["path"]),
+                message=str(entry["message"]),
+                justification=str(entry.get("justification", "")),
+            )
+            for entry in payload.get("entries", [])
+        ]
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "message": entry.message,
+                    **(
+                        {"justification": entry.justification}
+                        if entry.justification
+                        else {}
+                    ),
+                }
+                for entry in sorted(self.entries, key=lambda e: e.key)
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def split(
+        self, diagnostics: Sequence[Diagnostic]
+    ) -> Tuple[List[Diagnostic], int, List[BaselineEntry]]:
+        """Partition findings against the baseline.
+
+        Returns ``(new, baselined_count, stale_entries)``: findings not
+        covered by the baseline, how many were filtered as known, and
+        baseline entries that matched nothing (fixed findings whose
+        entries should be ratcheted out with ``--update-baseline``).
+        """
+        known: Dict[_Key, BaselineEntry] = {entry.key: entry for entry in self.entries}
+        matched: set = set()
+        new: List[Diagnostic] = []
+        baselined = 0
+        for diagnostic in diagnostics:
+            key = _diagnostic_key(diagnostic)
+            if key in known:
+                matched.add(key)
+                baselined += 1
+            else:
+                new.append(diagnostic)
+        stale = [entry for entry in self.entries if entry.key not in matched]
+        return new, baselined, stale
+
+    def updated_from(self, diagnostics: Sequence[Diagnostic]) -> "Baseline":
+        """A fresh baseline covering exactly ``diagnostics``.
+
+        Justifications of entries that survive are carried over.
+        """
+        previous: Dict[_Key, BaselineEntry] = {entry.key: entry for entry in self.entries}
+        seen: set = set()
+        entries: List[BaselineEntry] = []
+        for diagnostic in diagnostics:
+            key = _diagnostic_key(diagnostic)
+            if key in seen:
+                continue
+            seen.add(key)
+            kept = previous.get(key)
+            entries.append(
+                BaselineEntry(
+                    rule=key[0],
+                    path=key[1],
+                    message=key[2],
+                    justification=kept.justification if kept else "",
+                )
+            )
+        return Baseline(entries=entries)

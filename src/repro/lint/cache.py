@@ -1,0 +1,175 @@
+"""Incremental lint cache keyed by BLAKE2b file fingerprints.
+
+The cache file (``.reprolint_cache.json`` next to the config by default)
+stores, per linted file: the fingerprint of its bytes, its extracted
+:class:`~repro.lint.facts.ModuleFacts`, its per-file-tier diagnostics
+(*before* suppression filtering — suppressions are replayed fresh each
+run so unused-suppression accounting stays correct across cache hits),
+and its parsed suppression comments.  A warm run re-analyzes only files
+whose fingerprint changed plus their import-graph dependents; everything
+else is replayed from the cache, and the (cheap) whole-program tier runs
+over the combined facts without touching a single unchanged file.
+
+A meta fingerprint over the effective configuration, the registered rule
+set, and the engine version guards the whole cache: any change that
+could alter per-file results — a rule option, a severity override, a
+``--select`` filter, a new rule — invalidates every entry at once.
+Loading is fail-open: a missing, corrupt, or stale cache simply means a
+cold run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.facts import ModuleFacts
+
+__all__ = [
+    "CACHE_VERSION",
+    "LINT_ENGINE_VERSION",
+    "FileRecord",
+    "LintCache",
+    "file_fingerprint",
+    "config_fingerprint",
+    "diagnostic_from_dict",
+]
+
+#: Schema version of the cache file itself.
+CACHE_VERSION = 2
+#: Bumped whenever rule logic changes in a way that alters findings for
+#: unchanged source — forces a cold run after upgrading the linter.
+LINT_ENGINE_VERSION = "2.0"
+
+_DIGEST_SIZE = 16
+
+
+def file_fingerprint(data: bytes) -> str:
+    """BLAKE2b hex digest of a file's bytes."""
+    return hashlib.blake2b(data, digest_size=_DIGEST_SIZE).hexdigest()
+
+
+def config_fingerprint(config: LintConfig, rule_ids: Sequence[str]) -> str:
+    """Fingerprint of everything that can change per-file results."""
+    payload = {
+        "cache_version": CACHE_VERSION,
+        "engine": LINT_ENGINE_VERSION,
+        "rules": sorted(rule_ids),
+        "exclude": list(config.exclude),
+        "select": sorted(config.select),
+        "ignore": sorted(config.ignore),
+        "severity_overrides": {
+            rule: int(severity)
+            for rule, severity in sorted(config.severity_overrides.items())
+        },
+        "rule_options": {
+            rule: config.rule_options[rule] for rule in sorted(config.rule_options)
+        },
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(
+        canonical.encode("utf-8"), digest_size=_DIGEST_SIZE
+    ).hexdigest()
+
+
+def diagnostic_from_dict(payload: Dict[str, Any]) -> Diagnostic:
+    """Inverse of :meth:`Diagnostic.as_dict`."""
+    return Diagnostic(
+        rule_id=payload["rule"],
+        path=payload["path"],
+        line=int(payload["line"]),
+        col=int(payload["col"]),
+        severity=Severity.from_name(payload["severity"]),
+        message=payload["message"],
+    )
+
+
+@dataclass
+class FileRecord:
+    """Cached analysis products of one file."""
+
+    fingerprint: str
+    facts: Dict[str, Any]
+    #: Per-file-tier diagnostics, pre-suppression, as ``as_dict`` payloads.
+    diagnostics: List[Dict[str, Any]] = field(default_factory=list)
+    #: Serialised suppression entries (usage counters are never replayed).
+    suppressions: List[Dict[str, Any]] = field(default_factory=list)
+
+    def module_facts(self) -> ModuleFacts:
+        return ModuleFacts.from_dict(self.facts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "facts": self.facts,
+            "diagnostics": self.diagnostics,
+            "suppressions": self.suppressions,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FileRecord":
+        return cls(
+            fingerprint=payload["fingerprint"],
+            facts=payload["facts"],
+            diagnostics=list(payload.get("diagnostics", [])),
+            suppressions=list(payload.get("suppressions", [])),
+        )
+
+
+@dataclass
+class LintCache:
+    """On-disk warm state for incremental lint runs."""
+
+    meta_fingerprint: str
+    files: Dict[str, FileRecord] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path, meta_fingerprint: str) -> Optional["LintCache"]:
+        """Load a cache compatible with ``meta_fingerprint``, else None.
+
+        Fail-open by design: any read/parse problem or fingerprint
+        mismatch yields a cold run, never an error.
+        """
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("version") != CACHE_VERSION:
+            return None
+        if payload.get("meta_fingerprint") != meta_fingerprint:
+            return None
+        cache = cls(meta_fingerprint=meta_fingerprint)
+        try:
+            for relpath, record in payload.get("files", {}).items():
+                cache.files[relpath] = FileRecord.from_dict(record)
+        except (KeyError, TypeError, ValueError):
+            return None
+        return cache
+
+    def save(self, path: Path) -> None:
+        """Atomically write the cache file (best effort)."""
+        payload = {
+            "version": CACHE_VERSION,
+            "meta_fingerprint": self.meta_fingerprint,
+            "files": {
+                relpath: self.files[relpath].to_dict()
+                for relpath in sorted(self.files)
+            },
+        }
+        target = Path(path)
+        tmp = target.with_suffix(target.suffix + ".tmp")
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+            tmp.replace(target)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass

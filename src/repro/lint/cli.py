@@ -3,9 +3,17 @@
 Examples
 --------
 ``reprolint src/``
-    Lint a tree with config discovered from ``pyproject.toml``.
-``reprolint --format json src/ | jq .diagnostics``
-    Machine-readable findings for CI annotation.
+    Lint a tree with config discovered from ``pyproject.toml``; warm runs
+    re-analyze only changed files and their import-graph dependents.
+``reprolint --changed origin/main src/``
+    Report findings only for files changed vs a git ref (default HEAD)
+    plus their dependents.
+``reprolint --format sarif src/ > reprolint.sarif``
+    SARIF 2.1.0 output for GitHub code-scanning upload.
+``reprolint --strict src/``
+    Additionally report suppression comments that silence nothing.
+``reprolint --update-baseline src/``
+    Rewrite the committed baseline to cover exactly the current findings.
 ``reprolint --list-rules``
     Print the rule pack with ids and default severities.
 
@@ -19,15 +27,18 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.lint.config import LintConfig
 from repro.lint.diagnostics import Severity
 from repro.lint.registry import all_rules
-from repro.lint.runner import LintReport, lint_paths
+from repro.lint.runner import LintReport, git_changed_files, lint_paths
+from repro.lint.sarif import to_sarif
 
 __all__ = ["configure_parser", "run", "build_parser", "main"]
+
+DEFAULT_CACHE_PATH = ".reprolint_cache.json"
 
 
 def configure_parser(parser: argparse.ArgumentParser) -> None:
@@ -37,7 +48,7 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
         help="output format (default: human)",
     )
@@ -57,10 +68,61 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help="comma-separated rule ids to skip",
     )
     parser.add_argument(
+        "--exclude",
+        default=None,
+        metavar="PATTERNS",
+        help="comma-separated glob patterns replacing the config exclude "
+        "list ('' lints everything; e.g. for the relaxed benchmarks profile)",
+    )
+    parser.add_argument(
         "--fail-on",
         choices=tuple(str(level) for level in Severity),
         default=None,
         help="exit non-zero at/above this severity (default: config, else warning)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel per-file analysis processes (0 = cpu count; default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental cache (always analyze every file)",
+    )
+    parser.add_argument(
+        "--cache-path",
+        default=DEFAULT_CACHE_PATH,
+        metavar="FILE",
+        help=f"incremental cache location (default: {DEFAULT_CACHE_PATH})",
+    )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="report only files changed vs a git ref (default HEAD) "
+        "plus their import-graph dependents",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also report unused suppression comments (SUP001)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline file of accepted findings "
+        "(default: config `baseline`; '' disables)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to cover exactly the current findings",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule pack and exit"
@@ -68,28 +130,48 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     parser.set_defaults(handler=run)
 
 
-def _load_config(args: argparse.Namespace) -> LintConfig:
+def _load_config(args: argparse.Namespace) -> Tuple[LintConfig, Path]:
+    """The effective config plus the directory baselines resolve against."""
     if args.config is not None:
-        config = LintConfig.from_pyproject(Path(args.config))
+        config_path = Path(args.config)
+        config = LintConfig.from_pyproject(config_path)
+        base_dir = config_path.resolve().parent
     else:
         start = Path(args.paths[0]) if args.paths else Path.cwd()
         start_dir = start if start.is_dir() else start.parent
         config = LintConfig.discover(start_dir if start.exists() else Path.cwd())
+        base_dir = Path.cwd()
     if args.select:
         config.select = [rule.strip() for rule in args.select.split(",") if rule.strip()]
     if args.ignore:
         config.ignore += [rule.strip() for rule in args.ignore.split(",") if rule.strip()]
+    if args.exclude is not None:
+        config.exclude = [
+            pattern.strip() for pattern in args.exclude.split(",") if pattern.strip()
+        ]
     if args.fail_on:
         config.fail_on = Severity.from_name(args.fail_on)
-    return config
+    if args.strict:
+        config.strict = True
+    return config, base_dir
 
 
 def _print_report(report: LintReport, fmt: str, fail_on: Severity) -> None:
+    if fmt == "sarif":
+        print(json.dumps(to_sarif(report.diagnostics), indent=2))
+        return
     if fmt == "json":
         payload = {
             "diagnostics": [d.as_dict() for d in report.diagnostics],
             "files_checked": report.files_checked,
+            "files_analyzed": report.files_analyzed,
+            "cache_hits": report.cache_hits,
             "suppressed": report.suppressed,
+            "baselined": report.baselined,
+            "stale_baseline": [
+                {"rule": entry.rule, "path": entry.path, "message": entry.message}
+                for entry in report.stale_baseline
+            ],
             "fail_on": str(fail_on),
         }
         print(json.dumps(payload, indent=2))
@@ -98,9 +180,16 @@ def _print_report(report: LintReport, fmt: str, fail_on: Severity) -> None:
         print(diagnostic.format_human())
     summary = (
         f"{len(report.diagnostics)} finding(s) in {report.files_checked} file(s)"
-        f" ({report.suppressed} suppressed)"
+        f" ({report.suppressed} suppressed, {report.baselined} baselined;"
+        f" analyzed {report.files_analyzed}, cache hits {report.cache_hits})"
     )
     print(("" if not report.diagnostics else "\n") + summary)
+    if report.stale_baseline:
+        print(
+            f"note: {len(report.stale_baseline)} stale baseline entr"
+            f"{'y' if len(report.stale_baseline) == 1 else 'ies'} "
+            "(fixed findings); run --update-baseline to ratchet them out"
+        )
 
 
 def run(args: argparse.Namespace) -> int:
@@ -126,12 +215,63 @@ def run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        config = _load_config(args)
+        config, base_dir = _load_config(args)
         missing = [path for path in args.paths if not Path(path).exists()]
         if missing:
             print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
             return 2
-        report = lint_paths([Path(path) for path in args.paths], config)
+
+        changed_files = None
+        if args.changed is not None:
+            try:
+                changed_files = git_changed_files(args.changed)
+            except RuntimeError as exc:
+                hint = ""
+                if Path(args.changed).exists():
+                    # `--changed src` parses src as the REF; help out.
+                    hint = (
+                        f" (did you mean `--changed=HEAD {args.changed}`? "
+                        "use --changed=REF when paths follow)"
+                    )
+                print(f"error: --changed: {exc}{hint}", file=sys.stderr)
+                return 2
+
+        baseline_path: Optional[Path] = None
+        if args.baseline is not None:
+            baseline_path = Path(args.baseline) if args.baseline else None
+        elif config.baseline:
+            baseline_path = base_dir / config.baseline
+        if args.update_baseline and baseline_path is None:
+            print(
+                "error: --update-baseline needs a baseline path "
+                "(--baseline or config `baseline`)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.update_baseline and args.changed is not None:
+            print(
+                "error: --update-baseline needs the full view; "
+                "it cannot be combined with --changed",
+                file=sys.stderr,
+            )
+            return 2
+
+        jobs = args.jobs
+        if jobs <= 0:
+            import os
+
+            jobs = os.cpu_count() or 1
+
+        report = lint_paths(
+            [Path(path) for path in args.paths],
+            config,
+            jobs=jobs,
+            cache_path=None if args.no_cache else Path(args.cache_path),
+            changed_files=changed_files,
+            strict=config.strict,
+            baseline_path=baseline_path,
+            update_baseline=args.update_baseline,
+        )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -153,7 +293,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """Console-script entry point."""
     args = build_parser().parse_args(argv)
-    return run(args)
+    try:
+        return run(args)
+    except BrokenPipeError:  # e.g. `reprolint --format sarif | head`
+        return 0
 
 
 if __name__ == "__main__":

@@ -7,6 +7,8 @@ The linter reads its settings from the ``[tool.reprolint]`` table::
     fail_on = "warning"                 # exit non-zero at/above this severity
     select = []                         # optional allow-list of rule ids
     ignore = []                         # rule ids to disable entirely
+    strict = false                      # report unused suppressions (SUP001)
+    baseline = "lint-baseline.json"     # committed finding baseline (ratchet)
 
     [tool.reprolint.severity]
     DET002 = "error"                    # per-rule severity overrides
@@ -135,6 +137,10 @@ class LintConfig:
     ignore: List[str] = field(default_factory=list)
     severity_overrides: Dict[str, Severity] = field(default_factory=dict)
     rule_options: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Report unused suppression comments (SUP001); also via --strict.
+    strict: bool = False
+    #: Committed baseline file, relative to the config file's directory.
+    baseline: Optional[str] = None
 
     def rule_enabled(self, rule_id: str) -> bool:
         """Whether a rule survives the ``select``/``ignore`` filters."""
@@ -166,6 +172,9 @@ class LintConfig:
             config.fail_on = Severity.from_name(str(table["fail_on"]))
         config.select = [str(rule) for rule in table.get("select", [])]
         config.ignore = [str(rule) for rule in table.get("ignore", [])]
+        config.strict = bool(table.get("strict", False))
+        if table.get("baseline"):
+            config.baseline = str(table["baseline"])
         for rule_id, name in table.get("severity", {}).items():
             config.severity_overrides[str(rule_id)] = Severity.from_name(str(name))
         for rule_id, options in table.get("rules", {}).items():

@@ -1,0 +1,92 @@
+"""Module import graph over the linted project.
+
+Built from :class:`~repro.lint.facts.ModuleFacts` import records, the
+graph knows which *project* modules each module imports (external imports
+are dropped), and — the direction that matters for incremental linting —
+which modules depend on a given module.  ``transitive_dependents`` drives
+both cache invalidation (a changed file re-analyzes its dependents, whose
+whole-program findings may shift) and ``addc-repro lint --changed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Set
+
+from repro.lint.facts import ModuleFacts
+
+__all__ = ["ImportGraph"]
+
+
+@dataclass
+class ImportGraph:
+    """Project-internal import edges, both directions."""
+
+    #: importer module -> modules it imports (project-internal only)
+    imports: Dict[str, Set[str]] = field(default_factory=dict)
+    #: imported module -> modules that import it
+    dependents: Dict[str, Set[str]] = field(default_factory=dict)
+    #: module name -> relpath, for translating between file and module views
+    relpaths: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, facts_by_module: Mapping[str, ModuleFacts]) -> "ImportGraph":
+        """Build the graph for a project (module name -> facts)."""
+        graph = cls()
+        known = set(facts_by_module)
+        for module, facts in facts_by_module.items():
+            graph.relpaths[module] = facts.relpath
+            edges = graph.imports.setdefault(module, set())
+            for target in facts.imported_modules():
+                for resolved in _project_targets(target, known):
+                    if resolved != module:
+                        edges.add(resolved)
+            for binding in facts.import_bindings.values():
+                for resolved in _project_targets(binding, known):
+                    if resolved != module:
+                        edges.add(resolved)
+        for module, edges in graph.imports.items():
+            for target in edges:
+                graph.dependents.setdefault(target, set()).add(module)
+        return graph
+
+    def direct_dependents(self, module: str) -> Set[str]:
+        """Modules that import ``module`` directly."""
+        return set(self.dependents.get(module, ()))
+
+    def transitive_dependents(self, modules: Iterable[str]) -> Set[str]:
+        """Every module that (transitively) imports any of ``modules``.
+
+        The seed modules themselves are *not* included unless some other
+        seed imports them.
+        """
+        seeds = list(modules)
+        seen: Set[str] = set()
+        frontier: List[str] = list(seeds)
+        while frontier:
+            current = frontier.pop()
+            for dependent in self.dependents.get(current, ()):
+                if dependent not in seen:
+                    seen.add(dependent)
+                    frontier.append(dependent)
+        return seen
+
+    def to_dict(self) -> Dict[str, List[str]]:
+        """JSON form (imports direction only; dependents are re-derived)."""
+        return {module: sorted(edges) for module, edges in self.imports.items()}
+
+
+def _project_targets(target: str, known: Set[str]) -> Set[str]:
+    """Project modules a dotted import target touches.
+
+    ``from a.b import c`` may bind the module ``a.b.c`` or a symbol in
+    ``a.b``; importing ``a.b`` also executes ``a``'s ``__init__``.  Every
+    prefix that names a known project module is therefore an edge.
+    """
+    resolved: Set[str] = set()
+    parts = target.split(".")
+    for end in range(1, len(parts) + 1):
+        prefix = ".".join(parts[:end])
+        if prefix in known:
+            resolved.add(prefix)
+    return resolved

@@ -11,10 +11,13 @@ from repro.lint.rules import (
     determinism,
     hygiene,
     invariants,
+    lineage,
     observability,
+    ordering,
     perf,
     rng,
     robustness,
+    spawnsafety,
 )
 
 __all__ = [
@@ -22,7 +25,10 @@ __all__ = [
     "determinism",
     "invariants",
     "hygiene",
+    "lineage",
     "observability",
+    "ordering",
     "perf",
     "robustness",
+    "spawnsafety",
 ]

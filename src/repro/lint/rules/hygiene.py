@@ -1,4 +1,5 @@
-"""API-hygiene rules: mutable defaults, bare except, ``__all__`` drift."""
+"""API-hygiene rules: mutable defaults, bare except, ``__all__`` drift,
+and stale suppression comments."""
 
 from __future__ import annotations
 
@@ -8,7 +9,12 @@ from typing import Iterator, List, Optional, Set
 from repro.lint.diagnostics import Diagnostic, Severity
 from repro.lint.registry import ModuleContext, Rule, register_rule
 
-__all__ = ["MutableDefaultRule", "BareExceptRule", "AllDriftRule"]
+__all__ = [
+    "MutableDefaultRule",
+    "BareExceptRule",
+    "AllDriftRule",
+    "UnusedSuppressionRule",
+]
 
 _MUTABLE_CALLS = {
     "list",
@@ -221,3 +227,33 @@ class AllDriftRule(Rule):
                     f"public `{node.name}` is missing from __all__ "
                     "(or rename with a leading underscore)",
                 )
+
+
+@register_rule
+class UnusedSuppressionRule(Rule):
+    """SUP001: ``# reprolint: disable=RULE`` comments must suppress something.
+
+    A suppression that matches no finding is dead weight: either the
+    underlying violation was fixed (delete the comment) or the rule id /
+    line placement is wrong (the violation is being reported anyway and
+    the comment gives false confidence).  Detection has to run *after*
+    both lint tiers — a comment may exist solely to silence a
+    whole-program finding — so the runner emits these diagnostics itself
+    from suppression-usage accounting; this class only anchors the rule
+    id in the registry (config, severity overrides, ``--list-rules``).
+    Enabled in ``--strict`` runs (and via ``strict = true`` in
+    ``[tool.reprolint]``).
+    """
+
+    id = "SUP001"
+    name = "unused-suppression"
+    description = (
+        "suppression comment matches no finding; delete it or fix its "
+        "rule id/placement (reported in --strict runs)"
+    )
+    default_severity = Severity.WARNING
+    default_options = {}
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        # Runner-emitted after both tiers; nothing to do per module.
+        return iter(())

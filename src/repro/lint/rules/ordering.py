@@ -1,0 +1,85 @@
+"""DET003: ordered iteration in aggregation feeding ``merge_snapshot``.
+
+The deterministic parallel-merge contract (docs/PERFORMANCE.md) is that
+worker metric snapshots are merged in submission order *and* each
+snapshot is internally name-sorted — :meth:`MetricsRecorder.snapshot`
+sorts every section before shipping it.  Any producer that instead
+builds its payload by iterating a set (order randomised per process by
+``PYTHONHASHSEED``) or an unsorted dict view (insertion order varies
+with which code path registered a metric first) reintroduces
+merge-order nondeterminism that no downstream sort can undo once values
+are folded together.
+
+DET002 flags fresh-set iteration anywhere in a file.  This rule is the
+cross-module closure of that check for the merge path specifically: it
+resolves every ``merge_snapshot(producer(...))`` feed to its producing
+function, walks the resolvable call graph underneath it, and flags
+unordered iteration — including unsorted ``.keys()``/``.values()``/
+``.items()`` views and set-typed *variables*, which the per-file rule
+cannot judge.  Wrap the iterable in ``sorted(...)`` to pin the order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set, Tuple
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.project import ProjectContext, ProjectRule
+from repro.lint.registry import register_rule
+
+__all__ = ["OrderedMergeFeedRule"]
+
+
+@register_rule
+class OrderedMergeFeedRule(ProjectRule):
+    """DET003: merge_snapshot producers must iterate in pinned order."""
+
+    id = "DET003"
+    name = "unordered-merge-feed"
+    description = (
+        "function feeding merge_snapshot iterates a set or unsorted dict "
+        "view; merged metrics depend on hash/insertion order"
+    )
+    default_severity = Severity.ERROR
+    default_options = {"allow": []}
+
+    def check_project(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        allow_paths = project.option(self, "allow")
+        reported: Set[Tuple[str, int, int]] = set()
+        feeds = []
+        for module_name, facts in sorted(project.modules.items()):
+            for feed in facts.merge_feeds:
+                feeds.append((module_name, feed))
+        for module_name, feed in feeds:
+            resolved = project.resolve_callable(module_name, feed.callee)
+            if resolved is None:
+                continue
+            producer_module, producer_qualname = resolved
+            for function_module, function_qualname in project.call_closure(
+                producer_module, producer_qualname
+            ):
+                facts = project.modules.get(function_module)
+                if facts is None:
+                    continue
+                if allow_paths and project.module_in_paths(function_module, allow_paths):
+                    continue
+                for iteration in facts.unordered_iters:
+                    if iteration.function != function_qualname:
+                        continue
+                    key = (facts.relpath, iteration.lineno, iteration.col)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    what = (
+                        "a set" if iteration.kind == "set" else "an unsorted dict view"
+                    )
+                    yield project.diagnostic(
+                        self,
+                        facts.relpath,
+                        iteration.lineno,
+                        iteration.col,
+                        f"`{function_qualname}` feeds merge_snapshot (via "
+                        f"`{feed.callee}` in `{feed.function}`) but iterates "
+                        f"{what} ({iteration.detail}); wrap it in sorted(...) "
+                        "so merged metrics are order-independent",
+                    )

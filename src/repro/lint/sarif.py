@@ -1,0 +1,115 @@
+"""SARIF 2.1.0 export for lint findings.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format GitHub code scanning ingests: uploading
+``reprolint --format sarif`` output via ``github/codeql-action/upload-sarif``
+turns findings into inline PR annotations with rule help text attached.
+The log carries one run with the full rule-pack metadata in
+``tool.driver.rules`` (so viewers can show descriptions even for rules
+with no findings) and one ``result`` per diagnostic, each anchored by a
+``physicalLocation`` with 1-based line/column.  Severities map
+ERROR→``error``, WARNING→``warning``, INFO→``note``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import all_rules
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_TOOL_NAME = "reprolint"
+_TOOL_URI = "https://github.com/addc-repro/addc-repro"
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rule_descriptor(rule_id: str, name: str, description: str, severity: Severity) -> Dict[str, Any]:
+    return {
+        "id": rule_id,
+        "name": name,
+        "shortDescription": {"text": description},
+        "defaultConfiguration": {"level": _LEVELS[severity]},
+    }
+
+
+def _driver_rules(extra_ids: Sequence[str]) -> List[Dict[str, Any]]:
+    """Descriptors for the registered pack plus any ad-hoc result ids."""
+    descriptors = []
+    known = set()
+    for rule_class in all_rules():
+        known.add(rule_class.id)
+        descriptors.append(
+            _rule_descriptor(
+                rule_class.id,
+                rule_class.name,
+                rule_class.description,
+                rule_class.default_severity,
+            )
+        )
+    # Synthetic ids (e.g. PARSE) that carry results but live outside the
+    # registry still need a descriptor for ruleIndex resolution.
+    for rule_id in sorted(set(extra_ids) - known):
+        descriptors.append(
+            _rule_descriptor(rule_id, rule_id.lower(), rule_id, Severity.ERROR)
+        )
+    return descriptors
+
+
+def to_sarif(diagnostics: Sequence[Diagnostic]) -> Dict[str, Any]:
+    """Build a SARIF 2.1.0 log dict for ``diagnostics``."""
+    rules = _driver_rules([diagnostic.rule_id for diagnostic in diagnostics])
+    rule_index = {descriptor["id"]: index for index, descriptor in enumerate(rules)}
+    results = [
+        {
+            "ruleId": diagnostic.rule_id,
+            "ruleIndex": rule_index[diagnostic.rule_id],
+            "level": _LEVELS[diagnostic.severity],
+            "message": {"text": diagnostic.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": diagnostic.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": diagnostic.line,
+                            "startColumn": diagnostic.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for diagnostic in diagnostics
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }

@@ -15,6 +15,14 @@ disables every rule.  Anything after the rule list is free text — use it
 for the justification, e.g.::
 
     rng = np.random.default_rng(seed)  # reprolint: disable=RNG002 -- deprecated fallback
+
+Every suppression is tracked as a :class:`SuppressionEntry` that counts
+how many findings it actually silenced — across *both* lint tiers, since
+a comment may exist solely to quiet a whole-program rule.  Entries whose
+count stays zero are dead comments; ``--strict`` runs report them as
+SUP001.  The index serialises to plain JSON so the incremental cache can
+replay a warm file's suppressions (per-file-tier usage included) without
+re-tokenizing it.
 """
 
 from __future__ import annotations
@@ -23,9 +31,9 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, Set
+from typing import Any, Dict, List, Optional
 
-__all__ = ["SuppressionIndex", "parse_suppressions"]
+__all__ = ["SuppressionEntry", "SuppressionIndex", "parse_suppressions"]
 
 _MARKER = re.compile(
     r"#\s*reprolint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
@@ -35,18 +43,70 @@ _ALL = "all"
 
 
 @dataclass
+class SuppressionEntry:
+    """One suppression comment: where it lives, what it silences, usage."""
+
+    comment_line: int
+    #: Line whose findings are silenced; None for file-level suppressions.
+    target_line: Optional[int]
+    rules: List[str]
+    used: int = 0
+
+    def matches(self, rule_id: str, line: int) -> bool:
+        if self.target_line is not None and self.target_line != line:
+            return False
+        return _ALL in self.rules or rule_id in self.rules
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "comment_line": self.comment_line,
+            "target_line": self.target_line,
+            "rules": list(self.rules),
+            "used": self.used,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SuppressionEntry":
+        return cls(
+            comment_line=int(payload["comment_line"]),
+            target_line=payload.get("target_line"),
+            rules=list(payload["rules"]),
+            used=int(payload.get("used", 0)),
+        )
+
+
+@dataclass
 class SuppressionIndex:
     """Which rules are suppressed on which lines of one file."""
 
-    file_level: Set[str] = field(default_factory=set)
-    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    entries: List[SuppressionEntry] = field(default_factory=list)
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
-        """Whether ``rule_id`` is silenced at (1-based) ``line``."""
-        for scope in (self.file_level, self.by_line.get(line, ())):
-            if _ALL in scope or rule_id in scope:
-                return True
-        return False
+        """Whether ``rule_id`` is silenced at (1-based) ``line``.
+
+        Marks every matching entry as used — suppression-usage accounting
+        feeds the SUP001 unused-suppression report.
+        """
+        hit = False
+        for entry in self.entries:
+            if entry.matches(rule_id, line):
+                entry.used += 1
+                hit = True
+        return hit
+
+    def unused(self) -> List[SuppressionEntry]:
+        """Entries that silenced nothing (sorted by comment line)."""
+        return sorted(
+            (entry for entry in self.entries if entry.used == 0),
+            key=lambda entry: entry.comment_line,
+        )
+
+    def to_dict(self) -> List[Dict[str, Any]]:
+        return [entry.to_dict() for entry in self.entries]
+
+    @classmethod
+    def from_dict(cls, payload: List[Dict[str, Any]]) -> "SuppressionIndex":
+        return cls(entries=[SuppressionEntry.from_dict(entry) for entry in payload])
 
 
 def parse_suppressions(source: str) -> SuppressionIndex:
@@ -69,15 +129,19 @@ def parse_suppressions(source: str) -> SuppressionIndex:
         match = _MARKER.search(token.string)
         if match is None:
             continue
-        rules = {
-            rule.strip() for rule in match.group("rules").split(",") if rule.strip()
-        }
-        if match.group("scope") == "disable-file":
-            index.file_level.update(rules)
-            continue
+        rules = sorted(
+            {rule.strip() for rule in match.group("rules").split(",") if rule.strip()}
+        )
         line = token.start[0]
+        if match.group("scope") == "disable-file":
+            index.entries.append(
+                SuppressionEntry(comment_line=line, target_line=None, rules=rules)
+            )
+            continue
         # A standalone comment documents the line below it.
         standalone = token.line[: token.start[1]].strip() == ""
         target = line + 1 if standalone else line
-        index.by_line.setdefault(target, set()).update(rules)
+        index.entries.append(
+            SuppressionEntry(comment_line=line, target_line=target, rules=rules)
+        )
     return index

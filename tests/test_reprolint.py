@@ -158,14 +158,132 @@ RULE_FIXTURES = {
             "__all__ = ['release']\n"
         ),
     ),
+    "RNG010": (
+        "repro/sim/nodes.py",
+        (
+            "def sense(streams):\n"
+            "    return streams.stream('shared')\n\n\n"
+            "def transmit(streams):\n"
+            "    return streams.stream('shared')\n\n\n"
+            "__all__ = ['sense', 'transmit']\n"
+        ),
+        (
+            "def sense(streams):\n"
+            "    return streams.stream('sense')\n\n\n"
+            "def transmit(streams):\n"
+            "    return streams.stream('transmit')\n\n\n"
+            "__all__ = ['sense', 'transmit']\n"
+        ),
+    ),
+    "RNG011": (
+        "repro/sim/naming.py",
+        (
+            "import os\n\n\n"
+            "def pick(streams):\n"
+            "    label = os.environ.get('LABEL', 'x')\n"
+            "    return streams.stream(label)\n\n\n"
+            "__all__ = ['pick']\n"
+        ),
+        (
+            "def pick(streams, label):\n"
+            "    return streams.stream(label)\n\n\n"
+            "__all__ = ['pick']\n"
+        ),
+    ),
+    "RNG012": (
+        "repro/sim/reps.py",
+        (
+            "def run(streams, reps):\n"
+            "    draws = []\n"
+            "    for rep in range(reps):\n"
+            "        draws.append(streams.stream('noise'))\n"
+            "    return draws\n\n\n"
+            "__all__ = ['run']\n"
+        ),
+        (
+            "def run(streams, reps):\n"
+            "    draws = []\n"
+            "    for rep in range(reps):\n"
+            "        draws.append(streams.stream(f'noise-{rep}'))\n"
+            "    return draws\n\n\n"
+            "__all__ = ['run']\n"
+        ),
+    ),
+    "PERF002": (
+        "repro/perf/workers.py",
+        (
+            "from repro.harness import WorkerSupervisor\n\n"
+            "_CURRENT = None\n\n\n"
+            "def set_current(value):\n"
+            "    global _CURRENT\n"
+            "    _CURRENT = value\n\n\n"
+            "def work(item):\n"
+            "    return (_CURRENT, item)\n\n\n"
+            "def launch(items):\n"
+            "    supervisor = WorkerSupervisor(2)\n"
+            "    return supervisor.run(work, items)\n\n\n"
+            "__all__ = ['set_current', 'work', 'launch']\n"
+        ),
+        (
+            "from repro.harness import WorkerSupervisor\n\n"
+            "SCALE = 2.0\n\n\n"
+            "def work(item):\n"
+            "    return SCALE * item\n\n\n"
+            "def launch(items):\n"
+            "    supervisor = WorkerSupervisor(2)\n"
+            "    return supervisor.run(work, items)\n\n\n"
+            "__all__ = ['work', 'launch']\n"
+        ),
+    ),
+    "DET003": (
+        "repro/obs/publish.py",
+        (
+            "from repro.obs import merge_snapshot\n\n\n"
+            "def collect(metrics):\n"
+            "    payload = {}\n"
+            "    for name in metrics.keys():\n"
+            "        payload[name] = metrics[name]\n"
+            "    return payload\n\n\n"
+            "def publish(metrics):\n"
+            "    return merge_snapshot(collect(metrics))\n\n\n"
+            "__all__ = ['collect', 'publish']\n"
+        ),
+        (
+            "from repro.obs import merge_snapshot\n\n\n"
+            "def collect(metrics):\n"
+            "    payload = {}\n"
+            "    for name in sorted(metrics):\n"
+            "        payload[name] = metrics[name]\n"
+            "    return payload\n\n\n"
+            "def publish(metrics):\n"
+            "    return merge_snapshot(collect(metrics))\n\n\n"
+            "__all__ = ['collect', 'publish']\n"
+        ),
+    ),
+    "SUP001": (
+        "repro/sim/tidy.py",
+        "x = 1  # reprolint: disable=DET002 -- nothing here needs it\n",
+        "vals = [n for n in {1, 2}]  # reprolint: disable=DET002 -- tiny fixed set\n",
+    ),
 }
+
+# Rules whose fixtures need a non-default config (SUP001 only reports in
+# strict runs).
+RULE_FIXTURE_CONFIGS = {
+    "SUP001": lambda: LintConfig(strict=True),
+}
+
+
+def fixture_config(rule_id):
+    factory = RULE_FIXTURE_CONFIGS.get(rule_id)
+    return factory() if factory else None
 
 
 class TestRuleFixtures:
     @pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
     def test_positive_fixture_fires(self, rule_id):
         path, bad, _ = RULE_FIXTURES[rule_id]
-        diagnostics = lint_source(bad, path=path)
+        diagnostics = lint_source(bad, path=path, config=fixture_config(rule_id))
         assert rule_id in rule_ids(diagnostics), (
             f"{rule_id} should flag:\n{bad}"
         )
@@ -176,7 +294,7 @@ class TestRuleFixtures:
     @pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
     def test_negative_fixture_clean(self, rule_id):
         path, _, good = RULE_FIXTURES[rule_id]
-        diagnostics = lint_source(good, path=path)
+        diagnostics = lint_source(good, path=path, config=fixture_config(rule_id))
         assert rule_id not in rule_ids(diagnostics), (
             f"{rule_id} should not flag:\n{good}"
         )
@@ -518,6 +636,20 @@ class TestCli:
     def test_missing_path_is_usage_error(self, tmp_path, capsys):
         assert reprolint_main([str(tmp_path / "nope")]) == 2
 
+    def test_exclude_override_relints_excluded_tree(self, tmp_path, capsys):
+        """`--exclude ""` drops the config excludes (relaxed CI profile)."""
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.reprolint]\nexclude = ["bench/*"]\n', encoding="utf-8"
+        )
+        bench = tmp_path / "bench"
+        bench.mkdir()
+        (bench / "b.py").write_text("import random\n", encoding="utf-8")
+        config_args = ["--config", str(tmp_path / "pyproject.toml"), "--no-cache"]
+        assert reprolint_main(config_args + [str(bench)]) == 0
+        assert (
+            reprolint_main(config_args + ["--exclude", "", str(bench)]) == 1
+        )
+
     def test_list_rules(self, capsys):
         assert reprolint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
@@ -568,8 +700,559 @@ class TestRepoGate:
             target = tmp_path / Path(path).parent / f"fixture_{rule_id.lower()}.py"
             target.parent.mkdir(parents=True, exist_ok=True)
             target.write_text(bad, encoding="utf-8")
-        code = reprolint_main(["--config", str(PYPROJECT), str(tmp_path)])
+        # --strict so the SUP001 fixture reports; --no-cache keeps the
+        # throwaway fixture tree out of the repo's incremental cache.
+        code = reprolint_main(
+            ["--config", str(PYPROJECT), "--strict", "--no-cache", str(tmp_path)]
+        )
         out = capsys.readouterr().out
         assert code == 1
         for rule_id in RULE_FIXTURES:
             assert rule_id in out, f"{rule_id} fixture missing from CLI output"
+
+
+def write_tree(root: Path, files: dict) -> None:
+    for rel, text in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text, encoding="utf-8")
+
+
+# A mini-package whose driver hands a worker from another module to a
+# spawn pool — safe as written; UNSAFE_UTIL makes the worker read a
+# mutated-after-import module global.
+SPAWN_PKG = {
+    "pkg/__init__.py": "",
+    "pkg/util.py": "def work(item):\n    return item + 1\n",
+    "pkg/driver.py": (
+        "from repro.harness import WorkerSupervisor\n\n"
+        "from pkg.util import work\n\n\n"
+        "def launch(items):\n"
+        "    supervisor = WorkerSupervisor(2)\n"
+        "    return supervisor.run(work, items)\n"
+    ),
+}
+
+UNSAFE_UTIL = (
+    "STATE = 0\n\n\n"
+    "def bump():\n"
+    "    global STATE\n"
+    "    STATE = STATE + 1\n\n\n"
+    "def work(item):\n"
+    "    return STATE + item\n"
+)
+
+
+class TestProjectTier:
+    """Cross-file rules over mini-packages (resolution through imports)."""
+
+    def test_rng010_cross_module_collision(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "def f(streams):\n    return streams.stream('shared')\n",
+                "pkg/b.py": "def g(streams):\n    return streams.stream('shared')\n",
+            },
+        )
+        report = lint_paths([Path("pkg")], LintConfig(select=["RNG010"]))
+        assert rule_ids(report.diagnostics) == {"RNG010"}
+        assert len(report.diagnostics) == 1, "one diagnostic per colliding name"
+        message = report.diagnostics[0].message
+        assert "pkg.a:f" in message and "pkg.b:g" in message
+
+    def test_rng010_related_call_paths_do_not_collide(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": (
+                    "from pkg.b import g\n\n\n"
+                    "def f(streams):\n"
+                    "    g(streams)\n"
+                    "    return streams.stream('shared')\n"
+                ),
+                "pkg/b.py": "def g(streams):\n    return streams.stream('shared')\n",
+            },
+        )
+        report = lint_paths([Path("pkg")], LintConfig(select=["RNG010"]))
+        assert report.diagnostics == [], (
+            "f reaches g through the call graph; the mirrored name is one lineage"
+        )
+
+    def test_rng011_constant_import_is_auditable(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/names.py": "NOISE_STREAM = 'noise'\n",
+                "pkg/use.py": (
+                    "from pkg.names import NOISE_STREAM\n\n\n"
+                    "def f(streams):\n"
+                    "    return streams.stream(NOISE_STREAM)\n"
+                ),
+            },
+        )
+        report = lint_paths([Path("pkg")], LintConfig(select=["RNG011"]))
+        assert report.diagnostics == []
+
+    def test_rng011_call_result_is_dynamic(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/names.py": "def pick_name():\n    return 'noise'\n",
+                "pkg/use.py": (
+                    "from pkg.names import pick_name\n\n\n"
+                    "def f(streams):\n"
+                    "    return streams.stream(pick_name())\n"
+                ),
+            },
+        )
+        report = lint_paths([Path("pkg")], LintConfig(select=["RNG011"]))
+        assert rule_ids(report.diagnostics) == {"RNG011"}
+        assert report.diagnostics[0].path == "pkg/use.py"
+
+    def test_rng012_loop_fresh_receiver_is_exempt(self):
+        source = (
+            "def run(root, reps):\n"
+            "    out = []\n"
+            "    for rep in range(reps):\n"
+            "        factory = root.spawn(f'rep-{rep}')\n"
+            "        out.append(factory.stream('addc'))\n"
+            "    return out\n\n\n"
+            "__all__ = ['run']\n"
+        )
+        assert "RNG012" not in rule_ids(lint_source(source, "repro/sim/x.py"))
+
+    def test_perf002_cross_module_worker(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        config = LintConfig(select=["PERF002"])
+        write_tree(tmp_path, SPAWN_PKG)
+        assert lint_paths([Path("pkg")], config).diagnostics == []
+        (tmp_path / "pkg" / "util.py").write_text(UNSAFE_UTIL, encoding="utf-8")
+        report = lint_paths([Path("pkg")], config)
+        assert rule_ids(report.diagnostics) == {"PERF002"}
+        finding = report.diagnostics[0]
+        assert finding.path == "pkg/driver.py", "anchored at the handoff site"
+        assert "STATE" in finding.message and "pkg.util" in finding.message
+
+    def test_perf002_allowed_globals_escape_hatch(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write_tree(tmp_path, SPAWN_PKG)
+        (tmp_path / "pkg" / "util.py").write_text(UNSAFE_UTIL, encoding="utf-8")
+        config = LintConfig(
+            select=["PERF002"],
+            rule_options={"PERF002": {"allowed_globals": ["pkg.util:STATE"]}},
+        )
+        assert lint_paths([Path("pkg")], config).diagnostics == []
+
+    def test_det003_cross_module_merge_feed(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        config = LintConfig(select=["DET003"])
+        write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/produce.py": (
+                    "def collect(metrics):\n"
+                    "    payload = {}\n"
+                    "    for name in metrics.keys():\n"
+                    "        payload[name] = metrics[name]\n"
+                    "    return payload\n"
+                ),
+                "pkg/publish.py": (
+                    "from pkg.produce import collect\n\n\n"
+                    "def publish(metrics, recorder):\n"
+                    "    return recorder.merge_snapshot(collect(metrics))\n"
+                ),
+            },
+        )
+        report = lint_paths([Path("pkg")], config)
+        assert rule_ids(report.diagnostics) == {"DET003"}
+        finding = report.diagnostics[0]
+        assert finding.path == "pkg/produce.py", "anchored at the unordered iteration"
+        assert "sorted(" in finding.message
+        fixed = (
+            "def collect(metrics):\n"
+            "    payload = {}\n"
+            "    for name in sorted(metrics):\n"
+            "        payload[name] = metrics[name]\n"
+            "    return payload\n"
+        )
+        (tmp_path / "pkg" / "produce.py").write_text(fixed, encoding="utf-8")
+        assert lint_paths([Path("pkg")], config).diagnostics == []
+
+
+class TestIncrementalCache:
+    def test_warm_run_analyzes_zero_files(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write_tree(tmp_path, SPAWN_PKG)
+        config = LintConfig(select=["PERF002", "RNG001"])
+        cache = tmp_path / "cache.json"
+        cold = lint_paths([Path("pkg")], config, cache_path=cache)
+        assert cold.files_analyzed == 3 and cold.cache_hits == 0
+        warm = lint_paths([Path("pkg")], config, cache_path=cache)
+        assert warm.files_analyzed == 0 and warm.cache_hits == 3
+        assert [d.as_dict() for d in warm.diagnostics] == [
+            d.as_dict() for d in cold.diagnostics
+        ]
+        assert warm.suppressed == cold.suppressed
+
+    def test_dependent_reanalyzed_on_change(self, tmp_path, monkeypatch):
+        """Editing only util.py must surface the new cross-file finding
+        anchored in the *unchanged* driver.py."""
+        monkeypatch.chdir(tmp_path)
+        write_tree(tmp_path, SPAWN_PKG)
+        config = LintConfig(select=["PERF002"])
+        cache = tmp_path / "cache.json"
+        assert lint_paths([Path("pkg")], config, cache_path=cache).diagnostics == []
+        (tmp_path / "pkg" / "util.py").write_text(UNSAFE_UTIL, encoding="utf-8")
+        warm = lint_paths([Path("pkg")], config, cache_path=cache)
+        assert warm.files_analyzed == 2, "util.py plus its dependent driver.py"
+        assert warm.cache_hits == 1, "__init__.py untouched"
+        assert rule_ids(warm.diagnostics) == {"PERF002"}
+        assert warm.diagnostics[0].path == "pkg/driver.py"
+
+    def test_config_change_invalidates_cache(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write_tree(tmp_path, SPAWN_PKG)
+        cache = tmp_path / "cache.json"
+        lint_paths([Path("pkg")], LintConfig(select=["PERF002"]), cache_path=cache)
+        rerun = lint_paths(
+            [Path("pkg")], LintConfig(select=["RNG001"]), cache_path=cache
+        )
+        assert rerun.files_analyzed == 3 and rerun.cache_hits == 0
+
+    def test_corrupt_cache_is_a_cold_run(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write_tree(tmp_path, SPAWN_PKG)
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json", encoding="utf-8")
+        report = lint_paths([Path("pkg")], LintConfig(), cache_path=cache)
+        assert report.files_analyzed == 3
+
+    def test_parallel_matches_serial(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write_tree(tmp_path, SPAWN_PKG)
+        (tmp_path / "pkg" / "util.py").write_text(UNSAFE_UTIL, encoding="utf-8")
+        config = LintConfig(select=["PERF002", "API003"])
+        serial = lint_paths([Path("pkg")], config, jobs=1)
+        parallel = lint_paths([Path("pkg")], config, jobs=2)
+        assert [d.as_dict() for d in serial.diagnostics] == [
+            d.as_dict() for d in parallel.diagnostics
+        ]
+
+
+# Condensed structural subset of the official SARIF 2.1.0 schema
+# (sarif-schema-2.1.0.json): the required top-level shape, tool.driver,
+# and the result/location shape GitHub code scanning relies on.
+SARIF_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {"type": "integer", "minimum": 0},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+class TestSarifOutput:
+    def _sarif_for(self, tmp_path, capsys, source: str) -> dict:
+        package = tmp_path / "repro" / "sim"
+        package.mkdir(parents=True)
+        (package / "bad.py").write_text(source, encoding="utf-8")
+        reprolint_main(["--format", "sarif", "--no-cache", str(tmp_path)])
+        return json.loads(capsys.readouterr().out)
+
+    def test_sarif_validates_against_2_1_0_schema(self, tmp_path, capsys):
+        jsonschema = pytest.importorskip("jsonschema")
+        log = self._sarif_for(tmp_path, capsys, "import random\n")
+        jsonschema.validate(log, SARIF_SCHEMA)
+        assert log["runs"][0]["results"], "findings must appear as results"
+
+    def test_sarif_result_shape(self, tmp_path, capsys):
+        log = self._sarif_for(tmp_path, capsys, "import random\n")
+        run = log["runs"][0]
+        result = next(
+            r for r in run["results"] if r["ruleId"] == "RNG001"
+        )
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("bad.py")
+        assert location["region"]["startLine"] == 1
+        assert location["region"]["startColumn"] >= 1
+        rules = run["tool"]["driver"]["rules"]
+        assert result["ruleIndex"] == [r["id"] for r in rules].index("RNG001")
+
+    def test_sarif_rules_cover_the_pack(self, tmp_path, capsys):
+        log = self._sarif_for(tmp_path, capsys, "x = 1\n")
+        listed = {rule["id"] for rule in log["runs"][0]["tool"]["driver"]["rules"]}
+        assert listed >= {rule_class.id for rule_class in all_rules()}
+
+
+class TestBaselineRatchet:
+    def test_baseline_filters_known_reports_new_and_stale(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        write_tree(
+            tmp_path,
+            {"pkg/a.py": "import random\n", "pkg/b.py": "x = 1\n"},
+        )
+        config = LintConfig(select=["RNG001"])
+        baseline = tmp_path / "baseline.json"
+        first = lint_paths(
+            [Path("pkg")], config, baseline_path=baseline, update_baseline=True
+        )
+        assert first.diagnostics == [] and first.baselined == 1
+        assert baseline.is_file()
+
+        # A new finding is NOT covered; the baselined one stays filtered.
+        (tmp_path / "pkg" / "b.py").write_text("import random\n", encoding="utf-8")
+        second = lint_paths([Path("pkg")], config, baseline_path=baseline)
+        assert [d.path for d in second.diagnostics] == ["pkg/b.py"]
+        assert second.baselined == 1 and second.stale_baseline == []
+
+        # Fixing the baselined finding leaves a stale entry (ratchet cue).
+        (tmp_path / "pkg" / "a.py").write_text("x = 2\n", encoding="utf-8")
+        (tmp_path / "pkg" / "b.py").write_text("y = 3\n", encoding="utf-8")
+        third = lint_paths([Path("pkg")], config, baseline_path=baseline)
+        assert third.diagnostics == [] and third.baselined == 0
+        assert len(third.stale_baseline) == 1
+        assert third.stale_baseline[0].rule == "RNG001"
+
+    def test_update_preserves_justifications(self, tmp_path, monkeypatch):
+        from repro.lint import Baseline
+
+        monkeypatch.chdir(tmp_path)
+        write_tree(tmp_path, {"pkg/a.py": "import random\n"})
+        config = LintConfig(select=["RNG001"])
+        baseline_path = tmp_path / "baseline.json"
+        lint_paths(
+            [Path("pkg")], config, baseline_path=baseline_path, update_baseline=True
+        )
+        payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+        payload["entries"][0]["justification"] = "known quirk"
+        baseline_path.write_text(json.dumps(payload), encoding="utf-8")
+        lint_paths(
+            [Path("pkg")], config, baseline_path=baseline_path, update_baseline=True
+        )
+        kept = Baseline.load(baseline_path)
+        assert kept.entries[0].justification == "known quirk"
+
+    def test_repo_baseline_matches_current_findings(self):
+        """The committed baseline has no stale entries (ratchet invariant)."""
+        from repro.lint import Baseline
+
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        assert baseline.entries, "repo baseline exists and is non-empty"
+        config = LintConfig.from_pyproject(PYPROJECT)
+        report = lint_paths([SRC_DIR], config)
+        new, matched, stale = baseline.split(report.diagnostics)
+        assert stale == [], "baseline entries must match live findings"
+        assert matched == len(baseline.entries)
+
+
+class TestChangedMode:
+    def _git(self, *argv, cwd):
+        import subprocess
+
+        subprocess.run(
+            ["git", "-c", "user.name=t", "-c", "user.email=t@t"] + list(argv),
+            cwd=str(cwd),
+            check=True,
+            capture_output=True,
+        )
+
+    def _repo_with_history(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/util.py": "def work(item):\n    return item\n",
+                "pkg/driver.py": (
+                    "from pkg.util import work\n\n\n"
+                    "def launch(items):\n"
+                    "    return [work(i) for i in items]\n"
+                ),
+                "pkg/other.py": "import random\n",
+            },
+        )
+        self._git("init", "-q", cwd=tmp_path)
+        self._git("add", ".", cwd=tmp_path)
+        self._git("commit", "-q", "-m", "seed", cwd=tmp_path)
+
+    def test_git_changed_files(self, tmp_path):
+        from repro.lint.runner import git_changed_files
+
+        self._repo_with_history(tmp_path)
+        (tmp_path / "pkg" / "util.py").write_text(
+            "import random\n\n\ndef work(item):\n    return item\n",
+            encoding="utf-8",
+        )
+        (tmp_path / "pkg" / "fresh.py").write_text("x = 1\n", encoding="utf-8")
+        changed = git_changed_files("HEAD", root=tmp_path)
+        assert changed == ["pkg/fresh.py", "pkg/util.py"]
+
+    def test_changed_restricts_to_changed_plus_dependents(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        self._repo_with_history(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "pkg" / "util.py").write_text(
+            "import random\n\n\ndef work(item):\n    return item\n",
+            encoding="utf-8",
+        )
+        code = reprolint_main(
+            [
+                "--changed=HEAD",
+                "--select",
+                "RNG001",
+                "--no-cache",
+                "--format",
+                "json",
+                "pkg",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        # util.py changed; driver.py imports it; other.py's finding is
+        # out of focus even though the file still has `import random`.
+        assert [d["path"] for d in payload["diagnostics"]] == ["pkg/util.py"]
+        assert payload["files_checked"] == 2
+
+    def test_bad_ref_is_usage_error(self, tmp_path, monkeypatch, capsys):
+        self._repo_with_history(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        code = reprolint_main(["--changed=nonexistent-ref", "--no-cache", "pkg"])
+        assert code == 2
+        assert "--changed" in capsys.readouterr().err
+
+
+class TestStrictSuppressions:
+    def test_unused_suppressions_reported_only_in_strict(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write_tree(
+            tmp_path,
+            {
+                "pkg/a.py": (
+                    "# reprolint: disable-file=RNG001\n"
+                    "x = 1  # reprolint: disable=DET002 -- stale\n"
+                    "import random\n"
+                ),
+            },
+        )
+        config = LintConfig(select=["RNG001", "DET002", "SUP001"])
+        relaxed = lint_paths([Path("pkg")], config)
+        assert "SUP001" not in rule_ids(relaxed.diagnostics)
+        strict = lint_paths([Path("pkg")], config, strict=True)
+        findings = [d for d in strict.diagnostics if d.rule_id == "SUP001"]
+        # The file-level RNG001 suppression is used (line 3); only the
+        # DET002 line suppression is dead.
+        assert [d.line for d in findings] == [2]
+
+    def test_strict_config_key(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write_tree(
+            tmp_path, {"pkg/a.py": "x = 1  # reprolint: disable=DET002\n"}
+        )
+        config = LintConfig.from_table({"strict": True, "select": ["DET002", "SUP001"]})
+        assert config.strict is True
+        report = lint_paths([Path("pkg")], config)
+        assert rule_ids(report.diagnostics) == {"SUP001"}
+
+    def test_suppression_of_project_finding_counts_as_used(self):
+        bad, path = RULE_FIXTURES["RNG012"][1], RULE_FIXTURES["RNG012"][0]
+        suppressed = bad.replace(
+            "draws.append(streams.stream('noise'))",
+            "draws.append(streams.stream('noise'))  # reprolint: disable=RNG012 -- fixture",
+        )
+        config = LintConfig(strict=True)
+        diagnostics = lint_source(suppressed, path=path, config=config)
+        assert "RNG012" not in rule_ids(diagnostics)
+        assert "SUP001" not in rule_ids(diagnostics), (
+            "a suppression consumed by a project-tier finding is not unused"
+        )
