@@ -20,6 +20,11 @@ Commands
                and ``stats`` (summarize a trace/v1 file)
 ``checkpoint`` crash-safe journals: ``inspect`` (summarize), ``verify``
                (validate), ``smoke`` (run/kill/resume byte-identity check)
+``serve``      run the fault-tolerant experiment daemon (service/v1 over
+               a local AF_UNIX socket; see docs/SERVICE.md)
+``service``    talk to a running daemon: ``submit``, ``status``,
+               ``result``, ``ping``, ``shutdown``, and ``smoke`` (CI
+               kill/restart/cache end-to-end check)
 
 Every command accepts ``--scale {quick,bench,paper}`` (density-preserving
 scenario sizes; ``paper`` is the full n = 2000 setting — expect a very long
@@ -271,11 +276,114 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_options_from(args: argparse.Namespace, config: ExperimentConfig):
+    from repro.faults import ChaosOptions
+
+    return ChaosOptions(
+        intensity=args.intensity,
+        horizon_slots=args.horizon_slots,
+        mean_downtime_slots=args.mean_downtime,
+        drop_queue=not args.keep_queues,
+        # Pinned-idle detectors are only meaningful under geometric
+        # blocking (the mean-field model has no PUs to violate).
+        sensing_fault_fraction=0.25 if config.blocking == "geometric" else 0.0,
+        blackout=args.blackout,
+    )
+
+
+def _cmd_chaos_sweep(args: argparse.Namespace, config: ExperimentConfig) -> int:
+    """The checkpointed/resumable chaos path (harness flags or --save)."""
+    import dataclasses as _dataclasses
+
+    from repro import obs
+    from repro.errors import ReproError
+    from repro.service.jobs import JobSpec, run_job, save_job_artifact
+
+    options = _chaos_options_from(args, config)
+    spec = JobSpec(
+        kind="chaos",
+        scale=args.scale,
+        seed=args.seed,
+        blocking=args.blocking,
+        repetitions=args.repetitions,
+        p_t=args.p_t,
+        chaos=_dataclasses.asdict(options),
+    )
+    recorder = obs.MetricsRecorder()
+    start = obs.monotonic_s()
+    try:
+        with obs.use_recorder(recorder):
+            job = run_job(
+                spec,
+                checkpoint_path=args.checkpoint,
+                resume=args.resume,
+                workers=args.workers,
+                policy=_retry_policy_from(args),
+            )
+    except ReproError as error:
+        print(f"ERROR [{error.code}]: {error}", file=sys.stderr)
+        return 1
+    result = job.chaos
+    wall_time_s = obs.monotonic_s() - start
+    aggregate = result.aggregate()
+    print(
+        f"chaos sweep: {aggregate['completed']}/{result.repetitions} "
+        f"repetition(s) completed (intensity {options.intensity})"
+    )
+    if aggregate["mean_availability"] is not None:
+        print(f"mean availability : {aggregate['mean_availability']:.3f}")
+    print(
+        f"delivered         : {aggregate['delivered']} "
+        f"({aggregate['packets_lost']} lost, "
+        f"{aggregate['packets_orphaned']} orphaned)"
+    )
+    print(
+        f"fault events      : {aggregate['fault_events']} "
+        f"({aggregate['outages_recovered']} recovered)"
+    )
+    if result.delays is not None:
+        print(
+            f"ADDC delay        : {result.delays.mean:12.1f} ms "
+            f"± {result.delays.std:.1f}"
+        )
+    if result.status != "complete":
+        for failure in result.failures:
+            record = failure.to_dict()
+            print(
+                f"quarantined: rep {record['rep']} ({record['kind']} "
+                f"after {record['attempts']} attempts)",
+                file=sys.stderr,
+            )
+        if not args.allow_partial:
+            print(
+                "PARTIAL: chaos sweep lost repetitions; re-run with "
+                "--resume to retry them, or pass --allow-partial to save "
+                "the survivors",
+                file=sys.stderr,
+            )
+            return 1
+    if args.save:
+        manifest = obs.build_manifest(
+            seed=config.seed,
+            config=config,
+            wall_time_s=wall_time_s,
+            recorder=recorder,
+            extra=job.manifest_extra(args.workers),
+        )
+        save_job_artifact(job, args.save, manifest=manifest)
+        print(f"saved to {args.save}")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import chaos_plan
     from repro.metrics.resilience import resilience_report
 
     config = _config_from(args)
+    if not args.smoke and (
+        _harness_active(args) or args.save is not None or args.workers > 1
+    ):
+        return _cmd_chaos_sweep(args, config)
     if args.smoke:
         # CI sanity run: small, fast, and strict about the accounting.
         config = config.with_overrides(repetitions=1)
@@ -551,12 +659,22 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
     try:
         with obs.use_recorder(recorder):
             if use_harness:
-                from repro.experiments.fig6 import sweep_point_configs
-                from repro.harness import run_checkpointed_sweep
+                # The daemon runs the exact same spec through the exact
+                # same layer, so CLI journals and service cache entries
+                # share fingerprints (see repro.service.jobs).
+                from repro.service.jobs import JobSpec, run_job
 
-                result = run_checkpointed_sweep(
-                    name,
-                    sweep_point_configs(sweep, config),
+                spec = JobSpec(
+                    kind="fig6",
+                    scale=args.scale,
+                    seed=args.seed,
+                    blocking=args.blocking,
+                    repetitions=args.repetitions,
+                    p_t=args.p_t,
+                    subfigure=args.subfigure,
+                )
+                result = run_job(
+                    spec,
                     checkpoint_path=args.checkpoint,
                     resume=args.resume,
                     workers=args.workers,
@@ -564,8 +682,8 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
                 )
                 points = result.points
                 status = result.status
-                failures = [record.to_dict() for record in result.failures]
-                extra["harness"] = result.harness_summary()
+                failures = result.failures
+                extra["harness"] = result.sweep.harness_summary()
             else:
                 points = run_fig6_sweep(sweep, config, workers=args.workers)
     except ReproError as error:
@@ -779,6 +897,319 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the experiment daemon until SIGTERM/SIGINT (graceful drain)."""
+    from repro import obs
+    from repro.errors import ReproError
+    from repro.service import ExperimentService
+    from repro.service.server import ServiceServer
+
+    recorder = obs.MetricsRecorder()
+    try:
+        with obs.use_recorder(recorder):
+            service = ExperimentService(
+                args.state_dir,
+                queue_capacity=args.queue_capacity,
+                workers=args.workers,
+                policy=_retry_policy_from(args),
+            )
+            server = ServiceServer(
+                service, args.socket, heartbeat_s=args.heartbeat
+            )
+            server.install_signal_handlers()
+            if service.recovered_jobs:
+                print(
+                    f"recovered {service.recovered_jobs} unfinished job(s) "
+                    "from the state directory"
+                )
+            print(
+                f"service listening on {args.socket} "
+                f"(state: {args.state_dir}, queue capacity: "
+                f"{args.queue_capacity})"
+            )
+            sys.stdout.flush()
+            summary = server.serve_forever()
+    except ReproError as error:
+        print(f"ERROR [{error.code}]: {error}", file=sys.stderr)
+        return 1
+    print(f"drained: {summary['counters']}")
+    return 0
+
+
+def _service_spec_from(args: argparse.Namespace):
+    """A JobSpec from ``service submit`` flags (CLI-equivalent semantics)."""
+    from repro.service.jobs import JobSpec
+
+    kwargs = dict(
+        kind=args.kind,
+        scale=args.scale,
+        seed=args.seed,
+        blocking=args.blocking,
+        repetitions=args.repetitions,
+        p_t=args.p_t,
+    )
+    if args.kind == "fig6":
+        kwargs["subfigure"] = args.subfigure
+    if args.kind == "chaos":
+        import dataclasses as _dataclasses
+
+        kwargs["chaos"] = _dataclasses.asdict(
+            _chaos_options_from(args, _config_from(args))
+        )
+    return JobSpec(**kwargs)
+
+
+def _cmd_service_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.service.client import ServiceClient
+
+    try:
+        spec = _service_spec_from(args)
+        client = ServiceClient(args.socket)
+        if args.stream:
+            def on_event(event):
+                kind = event.get("type")
+                if kind == "progress":
+                    print(
+                        f"progress: {event.get('done')}/{event.get('total')}",
+                        file=sys.stderr,
+                    )
+                elif kind == "heartbeat":
+                    print(
+                        f"heartbeat: depth={event.get('queue_depth')} "
+                        f"inflight={event.get('inflight')}",
+                        file=sys.stderr,
+                    )
+
+            response = client.submit(spec, stream=True, on_event=on_event)
+        else:
+            response = client.submit(spec)
+    except ReproError as error:
+        print(f"ERROR [{error.code}]: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(response, indent=2, sort_keys=True))
+    kind = response.get("type")
+    if kind == "retry_after":
+        # EX_TEMPFAIL: the queue is full, come back later.
+        return 75
+    return 0 if kind in ("accepted", "cache_hit", "completed") else 1
+
+
+def _cmd_service_verb(args: argparse.Namespace) -> int:
+    """status / result / ping / shutdown — one request, JSON out."""
+    import json
+
+    from repro.errors import ReproError
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.socket)
+    try:
+        if args.service_command == "status":
+            response = client.status()
+        elif args.service_command == "result":
+            response = client.result(args.fingerprint)
+        elif args.service_command == "shutdown":
+            response = client.shutdown()
+        else:
+            response = client.ping()
+    except ReproError as error:
+        print(f"ERROR [{error.code}]: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("type") not in ("error", "failed") else 1
+
+
+def _cmd_service_smoke(args: argparse.Namespace) -> int:
+    """CI end-to-end daemon check: backpressure, SIGKILL recovery, cache.
+
+    Starts a real daemon subprocess with a capacity-1 queue, then
+    asserts the three service guarantees in order: a full queue answers
+    ``retry_after`` (never blocks), a SIGKILL'd daemon resumes its
+    backlog on restart and produces artifacts byte-identical to an
+    uninterrupted in-process run (RNG stream positions included), and a
+    repeat submission is served from the cache without admitting a job.
+    """
+    import json
+    import signal as _signal
+    import subprocess
+    import tempfile
+    from pathlib import Path
+
+    from repro.errors import ServiceError
+    from repro.experiments.runner import run_comparison_repetition
+    from repro.harness import load_checkpoint
+    from repro.obs.clock import sleep_s
+    from repro.service.client import ServiceClient
+    from repro.service.jobs import JobSpec, run_job, save_job_artifact
+
+    tiny = {"area": 900.0, "num_pus": 4, "num_sus": 20, "max_slots": 200_000}
+    job_a = JobSpec(kind="compare", seed=20120612, repetitions=3, overrides=tiny)
+    job_b = JobSpec(kind="compare", seed=7, repetitions=1, overrides=tiny)
+    job_c = JobSpec(kind="compare", seed=8, repetitions=1, overrides=tiny)
+    fp_a = job_a.fingerprint()
+    fp_b = job_b.fingerprint()
+
+    def fail(message: str) -> int:
+        print(f"SMOKE FAIL: {message}", file=sys.stderr)
+        return 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base = Path(tmp)
+        state = base / "state"
+        sock = str(base / "service.sock")
+        reference = base / "reference.json"
+        # The uninterrupted in-process reference the daemon must match.
+        save_job_artifact(run_job(job_a), reference)
+
+        def start_daemon() -> subprocess.Popen:
+            return subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "serve",
+                    "--socket",
+                    sock,
+                    "--state-dir",
+                    str(state),
+                    "--queue-capacity",
+                    "1",
+                    "--heartbeat",
+                    "0.5",
+                ],
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.STDOUT,
+            )
+
+        client = ServiceClient(sock, timeout_s=60.0)
+
+        def wait_ping() -> bool:
+            for _ in range(200):
+                try:
+                    if client.ping().get("type") == "pong":
+                        return True
+                except ServiceError:
+                    sleep_s(0.05)
+            return False
+
+        daemon = start_daemon()
+        try:
+            if not wait_ping():
+                return fail("daemon never answered ping")
+            first = client.submit(job_a)
+            if first.get("type") != "accepted":
+                return fail(f"submit A answered {first.get('type')!r}")
+            # Wait for A to go in-flight so B takes the only queue slot.
+            for _ in range(200):
+                if client.status().get("inflight") == 1:
+                    break
+                sleep_s(0.05)
+            else:
+                return fail("job A never started")
+            second = client.submit(job_b)
+            if second.get("type") != "accepted":
+                return fail(f"submit B answered {second.get('type')!r}")
+            third = client.submit(job_c)
+            if third.get("type") != "retry_after":
+                return fail(
+                    "expected typed backpressure for a full queue, got "
+                    f"{third.get('type')!r}"
+                )
+            if not third.get("retry_after_s", 0) > 0:
+                return fail("retry_after carried no backoff hint")
+            # SIGKILL once job A has >= 1 durable repetition journalled.
+            journal = state / "jobs" / fp_a / "checkpoint.ndjson"
+            for _ in range(600):
+                if (
+                    journal.exists()
+                    and len(journal.read_bytes().split(b"\n")) >= 3
+                ):
+                    break
+                sleep_s(0.05)
+            else:
+                return fail("job A journalled nothing to kill over")
+            daemon.send_signal(_signal.SIGKILL)
+            daemon.wait(timeout=30)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=30)
+
+        interrupted = not (state / "cache" / f"{fp_a}.json").exists()
+
+        daemon = start_daemon()
+        try:
+            if not wait_ping():
+                return fail("restarted daemon never answered ping")
+            if interrupted and client.status().get("jobs_recovered", 0) < 1:
+                return fail("restart recovered no jobs")
+            final_a = client.wait_for_result(fp_a)
+            final_b = client.wait_for_result(fp_b)
+            for label, final in (("A", final_a), ("B", final_b)):
+                if (
+                    final.get("type") != "completed"
+                    or final.get("status") != "complete"
+                ):
+                    return fail(
+                        f"job {label} ended {final.get('type')!r} "
+                        f"({final.get('status')!r})"
+                    )
+            artifact = (state / "cache" / f"{fp_a}.json").read_bytes()
+            if artifact != reference.read_bytes():
+                return fail(
+                    "recovered artifact differs from the uninterrupted "
+                    "reference run"
+                )
+            # RNG stream positions: the recovered journal must agree with
+            # a fresh in-process run, repetition by repetition.
+            entries = load_checkpoint(journal).entries
+            config_a = job_a.config()
+            for rep in range(config_a.repetitions):
+                expected = run_comparison_repetition(config_a, rep)
+                got = entries[(0, rep)].measurement.rng_positions
+                if got != expected.rng_positions:
+                    return fail(f"repetition {rep} RNG positions diverged")
+            before = client.status()
+            hit = client.submit(job_a)
+            if hit.get("type") != "cache_hit":
+                return fail(
+                    f"resubmission answered {hit.get('type')!r}, "
+                    "expected cache_hit"
+                )
+            if not hit.get("provenance", {}).get("fingerprint") == fp_a:
+                return fail("cache hit carried no provenance record")
+            after = client.status()
+            if after.get("jobs_admitted") != before.get("jobs_admitted"):
+                return fail("cache hit still admitted a job (compute leak)")
+            if after.get("cache_hits", 0) < 1:
+                return fail("cache_hits counter did not move")
+            if not interrupted:
+                print(
+                    "note: job A completed before the SIGKILL landed; "
+                    "identity checks still cover the journal"
+                )
+            if client.shutdown().get("type") != "draining":
+                return fail("shutdown was not acknowledged with draining")
+            daemon.wait(timeout=120)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=30)
+
+        snapshot_path = state / "service-state.json"
+        if not snapshot_path.exists():
+            return fail("drain left no service-state snapshot")
+        snapshot = json.loads(snapshot_path.read_text())
+        if snapshot.get("schema") != "service-state/v1":
+            return fail(f"snapshot schema is {snapshot.get('schema')!r}")
+        if not (state / "service-state.manifest.json").exists():
+            return fail("drain left no manifest next to the snapshot")
+    print("service smoke OK")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -877,6 +1308,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fast CI mode: one repetition plus accounting checks",
     )
+    chaos.add_argument(
+        "--save",
+        default=None,
+        help="run the repetition sweep and write it to a JSON file",
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the repetition fan-out "
+        "(1 = serial; results are identical for any value)",
+    )
+    _add_harness_options(chaos)
     chaos.set_defaults(handler=_cmd_chaos)
 
     fig4 = commands.add_parser("fig4", help="regenerate Figure 4")
@@ -1042,6 +1486,142 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the smoke sweep (default: 2)",
     )
     checkpoint_smoke.set_defaults(handler=_cmd_checkpoint_smoke)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the fault-tolerant experiment daemon (service/v1)",
+    )
+    serve.add_argument(
+        "--socket",
+        default=".addc-service/service.sock",
+        help="AF_UNIX socket path (default: .addc-service/service.sock)",
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=".addc-service",
+        help="durable state root: job journals, result cache, snapshot",
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=4,
+        help="bounded queue size; a full queue answers retry_after",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per job (1 = in-thread; results are "
+        "identical for any value)",
+    )
+    serve.add_argument(
+        "--heartbeat",
+        type=float,
+        default=5.0,
+        help="seconds between heartbeat events to streaming clients",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-repetition deadline (pool mode only)",
+    )
+    serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per item before quarantine (default: 2)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    service_parser = commands.add_parser(
+        "service",
+        help="talk to a running experiment daemon over its socket",
+    )
+    service_commands = service_parser.add_subparsers(
+        dest="service_command", required=True
+    )
+
+    service_submit = service_commands.add_parser(
+        "submit", help="submit a job; duplicates are served from cache"
+    )
+    service_submit.add_argument(
+        "kind",
+        choices=sorted(("fig6", "compare", "chaos")),
+        help="experiment kind",
+    )
+    service_submit.add_argument(
+        "--subfigure",
+        choices=list("abcdef"),
+        default=None,
+        help="Figure 6 sub-figure (required for kind=fig6)",
+    )
+    _add_scale_options(service_submit)
+    service_submit.add_argument(
+        "--intensity", type=float, default=0.2,
+        help="chaos: expected fraction of SUs hit by a transient outage",
+    )
+    service_submit.add_argument(
+        "--horizon-slots", type=int, default=2000,
+        help="chaos: slots over which fault onsets are scheduled",
+    )
+    service_submit.add_argument(
+        "--mean-downtime", type=float, default=200.0,
+        help="chaos: mean outage duration in slots",
+    )
+    service_submit.add_argument(
+        "--keep-queues", action="store_true",
+        help="chaos: downed nodes keep their queued packets",
+    )
+    service_submit.add_argument(
+        "--blackout", action="store_true",
+        help="chaos: add one base-station blackout window mid-run",
+    )
+    service_submit.add_argument(
+        "--socket",
+        default=".addc-service/service.sock",
+        help="daemon socket path",
+    )
+    service_submit.add_argument(
+        "--stream",
+        action="store_true",
+        help="hold the connection and print progress until the job ends",
+    )
+    service_submit.set_defaults(handler=_cmd_service_submit)
+
+    for verb, help_text in (
+        ("status", "queue depth, in-flight job, and service counters"),
+        ("ping", "liveness check"),
+        ("shutdown", "ask the daemon to drain and exit"),
+    ):
+        verb_parser = service_commands.add_parser(verb, help=help_text)
+        verb_parser.add_argument(
+            "--socket",
+            default=".addc-service/service.sock",
+            help="daemon socket path",
+        )
+        verb_parser.set_defaults(handler=_cmd_service_verb)
+
+    service_result = service_commands.add_parser(
+        "result", help="fetch a job's result by fingerprint"
+    )
+    service_result.add_argument("fingerprint", help="job fingerprint")
+    service_result.add_argument(
+        "--socket",
+        default=".addc-service/service.sock",
+        help="daemon socket path",
+    )
+    service_result.set_defaults(handler=_cmd_service_verb)
+
+    service_smoke = service_commands.add_parser(
+        "smoke",
+        help="CI mode: start a daemon, fill the queue, SIGKILL it "
+        "mid-run, restart, assert byte-identical recovery and a "
+        "cache hit",
+    )
+    service_smoke.set_defaults(handler=_cmd_service_smoke)
 
     lint = commands.add_parser(
         "lint",

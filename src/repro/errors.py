@@ -39,6 +39,8 @@ __all__ = [
     "CheckpointError",
     "WorkerTimeoutError",
     "WorkerCrashError",
+    "ServiceError",
+    "ProtocolError",
     "error_record",
 ]
 
@@ -200,6 +202,30 @@ class WorkerCrashError(HarnessError):
     """
 
     code = "worker-crash"
+
+
+class ServiceError(ReproError):
+    """The experiment service hit an unrecoverable condition.
+
+    Base class of the :mod:`repro.service` taxonomy: malformed protocol
+    traffic, unusable state directories, and invalid job specs all derive
+    from it.  Per-job failures are *not* errors at this level — they are
+    quarantined into structured failure records and reported to the
+    submitting client, so a poisoned job never takes the daemon down.
+    """
+
+    code = "service"
+
+
+class ProtocolError(ServiceError):
+    """A ``service/v1`` message is malformed or of an unknown type.
+
+    Raised while decoding client requests or server responses; the daemon
+    answers the offending client with a structured error record and keeps
+    serving everyone else.
+    """
+
+    code = "service-protocol"
 
 
 def error_record(exc: BaseException) -> Dict[str, str]:

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import os
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -18,6 +17,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ComparisonPoint
 from repro.metrics.aggregate import RunStatistics
 from repro.obs.manifest import RunManifest, manifest_path_for, write_manifest
+from repro.storage import atomic_write_text
 
 __all__ = [
     "comparison_point_to_dict",
@@ -72,10 +72,12 @@ def save_sweep(
 ) -> None:
     """Write one figure sweep (x-values plus comparison points) to JSON.
 
-    The write is atomic: the payload lands in a temporary sibling file
-    that replaces the target via :func:`os.replace`, so a crash (or a
-    concurrent reader) never observes a half-written sweep — an overnight
-    sweep interrupted mid-save keeps its previous good artifact.
+    The write is atomic and durable: the payload lands in a temporary
+    sibling file that replaces the target via :func:`os.replace`, and the
+    parent directory is fsynced afterwards (see :mod:`repro.storage`), so
+    neither a crash nor a power loss ever exposes a half-written sweep —
+    an overnight sweep interrupted mid-save keeps its previous good
+    artifact.
 
     When a :class:`~repro.obs.RunManifest` is given, it is written next to
     the artifact (``sweep.json`` gets ``sweep.manifest.json``) *after* the
@@ -102,15 +104,9 @@ def save_sweep(
         payload["status"] = status
         payload["failures"] = [dict(record) for record in (failures or [])]
     target = Path(path)
-    temporary = target.with_name(target.name + ".tmp")
     try:
-        temporary.write_text(json.dumps(payload, indent=2, sort_keys=True))
-        os.replace(temporary, target)
+        atomic_write_text(target, json.dumps(payload, indent=2, sort_keys=True))
     except OSError as exc:
-        try:
-            temporary.unlink()
-        except OSError:
-            pass
         raise ExperimentIOError(f"cannot write sweep file {target}: {exc}") from exc
     if manifest is not None:
         write_manifest(manifest_path_for(target), manifest)

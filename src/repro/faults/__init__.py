@@ -17,7 +17,34 @@ __all__ = [
     "FAULT_KINDS",
     "FaultEvent",
     "FaultPlan",
+    "ChaosOptions",
+    "ChaosSweepResult",
+    "chaos_fingerprint",
     "chaos_plan",
     "crash_plan",
+    "execute_chaos_item",
     "mtbf_outage_plan",
+    "run_chaos_sweep",
+    "save_chaos_run",
 ]
+
+# The chaos-sweep layer sits *above* the simulator (it drives collections
+# through the crash-safe harness), while this package is also imported
+# *by* the simulator for the fault-plan data model — so the sweep names
+# load lazily (PEP 562) to keep the import graph acyclic.
+_SWEEP_EXPORTS = {
+    "ChaosOptions",
+    "ChaosSweepResult",
+    "chaos_fingerprint",
+    "execute_chaos_item",
+    "run_chaos_sweep",
+    "save_chaos_run",
+}
+
+
+def __getattr__(name):
+    if name in _SWEEP_EXPORTS:
+        from repro.faults import sweep as _sweep
+
+        return getattr(_sweep, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,412 @@
+"""Checkpointed, resumable chaos sweeps (fault injection under the harness).
+
+``addc-repro chaos`` historically ran one ad-hoc collection; this module
+gives fault-injection experiments the same crash-safety contract as
+``compare``/``fig6``: every repetition is a pure function of
+``(config, options, repetition)`` — the whole RNG lineage re-derives from
+``StreamFactory(seed).spawn(f"chaos-rep-{i}")`` — executed under the
+:class:`~repro.harness.supervisor.WorkerSupervisor` and journalled into a
+``checkpoint/v1`` file through the shared
+:func:`~repro.harness.sweep.run_journalled_items` core.  A chaos sweep
+killed at any instant resumes from its last durable record and saves a
+byte-identical artifact.
+
+Per-repetition resilience numbers (delivery, availability, repair times)
+ride in the journal record's ``metrics`` dict under a ``"chaos"`` key —
+:func:`repro.obs.merge_snapshot` ignores unknown keys, so the same dict
+can also carry an instrumented worker's counter snapshot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import repro.obs as obs
+from repro.core.collector import run_addc_collection
+from repro.errors import ExperimentIOError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import RepetitionMeasurement
+from repro.faults.generators import chaos_plan
+from repro.harness.supervisor import FailureRecord, RetryPolicy
+from repro.harness.sweep import run_journalled_items
+from repro.metrics.aggregate import RunStatistics, summarize_delays
+from repro.metrics.resilience import resilience_report
+from repro.network.deployment import deploy_crn
+from repro.obs.manifest import (
+    RunManifest,
+    config_fingerprint,
+    manifest_path_for,
+    write_manifest,
+)
+from repro.rng import StreamFactory
+from repro.storage import atomic_write_text
+
+__all__ = [
+    "CHAOS_SWEEP_NAME",
+    "ChaosOptions",
+    "ChaosWorkItem",
+    "ChaosOutcome",
+    "ChaosSweepResult",
+    "chaos_fingerprint",
+    "execute_chaos_item",
+    "run_chaos_sweep",
+    "save_chaos_run",
+]
+
+CHAOS_SWEEP_NAME = "chaos"
+
+
+@dataclass(frozen=True)
+class ChaosOptions:
+    """The fault-cocktail knobs of one chaos scenario (picklable).
+
+    Mirrors :func:`repro.faults.generators.chaos_plan`; a plan is rebuilt
+    per repetition from these options plus the repetition's own stream,
+    so every repetition sees an independent (but replayable) schedule.
+    """
+
+    intensity: float = 0.2
+    horizon_slots: int = 2000
+    mean_downtime_slots: float = 200.0
+    drop_queue: bool = True
+    sensing_fault_fraction: float = 0.0
+    blackout: bool = False
+
+
+@dataclass(frozen=True)
+class ChaosWorkItem:
+    """One chaos repetition, fully picklable for spawn workers."""
+
+    point_index: int
+    repetition: int
+    config: ExperimentConfig
+    options: ChaosOptions
+    collect_metrics: bool = False
+
+
+@dataclass
+class ChaosOutcome:
+    """Worker result for one :class:`ChaosWorkItem` (journal-shaped)."""
+
+    point_index: int
+    repetition: int
+    measurement: RepetitionMeasurement
+    metrics: Optional[Dict] = None
+    profile: Optional[Dict] = None
+
+
+def chaos_fingerprint(
+    config: ExperimentConfig, options: ChaosOptions, repetitions: int
+) -> str:
+    """BLAKE2b fingerprint of the exact chaos sweep a journal protects.
+
+    Like :func:`~repro.harness.sweep.sweep_fingerprint`, it covers the
+    semantic definition (config, fault options, repetition count) and
+    deliberately not the worker count or retry policy.
+    """
+    return config_fingerprint(
+        {
+            "name": CHAOS_SWEEP_NAME,
+            "config": dataclasses.asdict(config),
+            "options": dataclasses.asdict(options),
+            "repetitions": int(repetitions),
+        }
+    )
+
+
+def _chaos_record(repetition: int, result, report) -> Dict:
+    """The JSON-native per-repetition record the artifact is built from."""
+    return {
+        "repetition": int(repetition),
+        "completed": bool(result.completed),
+        "slots_simulated": int(result.slots_simulated),
+        "delay_ms": result.delay_ms,
+        "delivered": int(result.delivered),
+        "num_packets": int(result.num_packets),
+        "packets_lost": int(result.packets_lost),
+        "packets_orphaned": int(result.packets_orphaned),
+        "collisions": int(result.collisions),
+        "total_transmissions": int(result.total_transmissions),
+        "delivery_ratio": report.delivery_ratio,
+        "fault_events": int(report.fault_events),
+        "outages_recovered": int(report.outages_recovered),
+        "outages_open": int(report.outages_open),
+        "mean_repair_slots": report.mean_repair_slots,
+        "max_repair_slots": report.max_repair_slots,
+        "availability": float(report.availability),
+        "downtime_weighted_throughput": report.downtime_weighted_throughput,
+        "blackout_failures": int(report.blackout_failures),
+        "arrivals_deferred": int(report.arrivals_deferred),
+    }
+
+
+def _run_chaos_repetition(item: ChaosWorkItem) -> ChaosOutcome:
+    config = item.config
+    options = item.options
+    factory = StreamFactory(config.seed).spawn(f"chaos-rep-{item.repetition}")
+    with obs.span("chaos.repetition"):
+        topology = deploy_crn(config.deployment_spec(), factory)
+        plan = chaos_plan(
+            topology.secondary.su_ids(),
+            options.horizon_slots,
+            options.intensity,
+            factory,
+            drop_queue=options.drop_queue,
+            mean_downtime_slots=options.mean_downtime_slots,
+            sensing_fault_fraction=options.sensing_fault_fraction,
+            blackout=options.blackout,
+        )
+        outcome = run_addc_collection(
+            topology,
+            factory.spawn("addc"),
+            eta_p_db=config.eta_p_db,
+            eta_s_db=config.eta_s_db,
+            alpha=config.alpha,
+            zeta_bound=config.zeta_bound,
+            blocking=config.blocking,
+            fault_plan=plan,
+            max_slots=config.max_slots,
+            contention_window_ms=config.contention_window_ms,
+            slot_duration_ms=config.slot_duration_ms,
+            with_bounds=False,
+        )
+    report = resilience_report(outcome.result, topology.secondary.num_sus)
+    positions = {}
+    if outcome.engine is not None:
+        positions["addc"] = outcome.engine.rng_positions()
+    measurement = RepetitionMeasurement(
+        repetition=item.repetition,
+        addc_delay_ms=outcome.result.delay_ms,
+        coolest_delay_ms=None,
+        rng_positions=positions,
+    )
+    return ChaosOutcome(
+        point_index=item.point_index,
+        repetition=item.repetition,
+        measurement=measurement,
+        metrics={"chaos": _chaos_record(item.repetition, outcome.result, report)},
+    )
+
+
+def execute_chaos_item(item: ChaosWorkItem) -> ChaosOutcome:
+    """Run one chaos repetition (the worker entry point).
+
+    Top-level by design so it pickles under the ``spawn`` start method
+    (PERF001).  With ``collect_metrics`` the worker installs a fresh
+    recorder and ships its snapshot back alongside the chaos record.
+    """
+    if item.collect_metrics:
+        recorder = obs.MetricsRecorder()
+        with obs.use_recorder(recorder):
+            outcome = _run_chaos_repetition(item)
+        snapshot = recorder.snapshot()
+        snapshot["chaos"] = (outcome.metrics or {}).get("chaos")
+        outcome.metrics = snapshot
+        outcome.profile = recorder.profile()
+        return outcome
+    return _run_chaos_repetition(item)
+
+
+@dataclass
+class ChaosSweepResult:
+    """What a checkpointed chaos sweep hands back."""
+
+    config: ExperimentConfig
+    options: ChaosOptions
+    #: Per-repetition chaos records, in repetition order (quarantined
+    #: repetitions are absent; see ``failures``).
+    records: List[Dict]
+    repetitions: int
+    delays: Optional[RunStatistics] = None
+    status: str = "complete"
+    failures: List[FailureRecord] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+    cached_items: int = 0
+    resumed: bool = False
+    checkpoint_path: Optional[Path] = None
+    config_hash: Optional[str] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.status == "complete"
+
+    def aggregate(self) -> Dict:
+        """Sweep-level totals and means, derived purely from ``records``."""
+        totals = {
+            key: sum(int(record[key]) for record in self.records)
+            for key in (
+                "delivered",
+                "num_packets",
+                "packets_lost",
+                "packets_orphaned",
+                "fault_events",
+                "outages_recovered",
+                "outages_open",
+                "blackout_failures",
+            )
+        }
+        count = len(self.records)
+        return {
+            "repetitions": count,
+            "completed": sum(
+                1 for record in self.records if record.get("completed")
+            ),
+            "mean_availability": (
+                sum(float(record["availability"]) for record in self.records)
+                / count
+                if count
+                else None
+            ),
+            "mean_delay_ms": (
+                self.delays.mean if self.delays is not None else None
+            ),
+            **totals,
+        }
+
+    def chaos_summary(self) -> Dict:
+        """The ``extra["chaos"]`` block for the run manifest."""
+        return {
+            "status": self.status,
+            "options": dataclasses.asdict(self.options),
+            "aggregate": self.aggregate(),
+            "stats": dict(self.stats),
+            "failures": [record.to_dict() for record in self.failures],
+            "cached_items": self.cached_items,
+            "resumed": self.resumed,
+            "config_hash": self.config_hash,
+        }
+
+
+def run_chaos_sweep(
+    config: ExperimentConfig,
+    options: ChaosOptions,
+    repetitions: Optional[int] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    workers: int = 1,
+    policy: Optional[RetryPolicy] = None,
+    progress=None,
+) -> ChaosSweepResult:
+    """Run ``repetitions`` chaos collections under the crash-safe harness.
+
+    The exact counterpart of
+    :func:`~repro.harness.sweep.run_checkpointed_sweep` for fault
+    injection: supervised execution, durable journalling, fingerprint
+    checked resume, quarantine on exhausted retries — and byte-identical
+    artifacts whether the sweep ran through or was killed and resumed.
+    """
+    reps = repetitions if repetitions is not None else config.repetitions
+    collect = obs.enabled()
+    items = [
+        ChaosWorkItem(
+            point_index=0,
+            repetition=rep,
+            config=config,
+            options=options,
+            collect_metrics=collect,
+        )
+        for rep in range(reps)
+    ]
+    fingerprint = chaos_fingerprint(config, options, reps)
+    run = run_journalled_items(
+        CHAOS_SWEEP_NAME,
+        fingerprint,
+        items,
+        execute_chaos_item,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+        workers=workers,
+        policy=policy,
+    )
+
+    records: List[Dict] = []
+    delay_values: List[float] = []
+    for rep in range(reps):
+        key = (0, rep)
+        if key in run.cached:
+            entry = run.cached[key]
+            measurement, metrics, profile = (
+                entry.measurement,
+                entry.metrics,
+                entry.profile,
+            )
+        elif key in run.fresh:
+            outcome = run.fresh[key]
+            measurement, metrics, profile = (
+                outcome.measurement,
+                outcome.metrics,
+                outcome.profile,
+            )
+        else:
+            continue  # quarantined: recorded in run.failures
+        metrics = metrics or {}
+        if "counters" in metrics:
+            obs.merge_snapshot(metrics, profile)
+        record = dict(metrics.get("chaos") or {})
+        if not record:
+            # Journal written by a future/minimal producer: fall back to
+            # what the measurement alone can say.
+            record = {
+                "repetition": rep,
+                "completed": measurement.addc_delay_ms is not None,
+                "delay_ms": measurement.addc_delay_ms,
+            }
+        obs.counter_add("chaos.repetitions")
+        if progress is not None:
+            progress.tick()
+        records.append(record)
+        if record.get("completed") and measurement.addc_delay_ms is not None:
+            delay_values.append(measurement.addc_delay_ms)
+
+    status = "complete" if not run.failures and len(records) == reps else "partial"
+    return ChaosSweepResult(
+        config=config,
+        options=options,
+        records=records,
+        repetitions=reps,
+        delays=summarize_delays(delay_values) if delay_values else None,
+        status=status,
+        failures=run.failures,
+        stats=run.stats,
+        cached_items=len(run.cached),
+        resumed=run.resumed,
+        checkpoint_path=run.checkpoint_path,
+        config_hash=fingerprint,
+    )
+
+
+def save_chaos_run(
+    path: Union[str, Path],
+    result: ChaosSweepResult,
+    manifest: Optional[RunManifest] = None,
+) -> None:
+    """Write one chaos sweep to JSON, atomically and durably.
+
+    Same discipline as :func:`repro.experiments.io.save_sweep`: temp
+    sibling + replace + directory fsync, manifest written after the
+    artifact.  The payload is a pure function of the sweep records, so a
+    resumed sweep saves byte-identical output.
+    """
+    payload = {
+        "name": CHAOS_SWEEP_NAME,
+        "config": dataclasses.asdict(result.config),
+        "options": dataclasses.asdict(result.options),
+        "repetitions": result.records,
+        "aggregate": result.aggregate(),
+    }
+    if result.status != "complete":
+        payload["status"] = result.status
+        payload["failures"] = [record.to_dict() for record in result.failures]
+    target = Path(path)
+    try:
+        atomic_write_text(target, json.dumps(payload, indent=2, sort_keys=True))
+    except OSError as exc:
+        raise ExperimentIOError(
+            f"cannot write chaos artifact {target}: {exc}"
+        ) from exc
+    if manifest is not None:
+        write_manifest(manifest_path_for(target), manifest)

@@ -39,8 +39,10 @@ from repro.harness.supervisor import (
     WorkerSupervisor,
 )
 from repro.harness.sweep import (
+    JournalledRun,
     SweepRunResult,
     run_checkpointed_sweep,
+    run_journalled_items,
     sweep_fingerprint,
 )
 
@@ -59,7 +61,9 @@ __all__ = [
     "RetryPolicy",
     "SupervisedRun",
     "WorkerSupervisor",
+    "JournalledRun",
     "SweepRunResult",
     "run_checkpointed_sweep",
+    "run_journalled_items",
     "sweep_fingerprint",
 ]

@@ -40,6 +40,7 @@ from repro._version import __version__
 from repro.errors import CheckpointError
 from repro.experiments.runner import RepetitionMeasurement
 from repro.obs.clock import wall_clock_iso
+from repro.storage import fsync_dir
 
 __all__ = [
     "CHECKPOINT_SCHEMA",
@@ -291,6 +292,15 @@ class CheckpointWriter:
         if extra:
             header.update(extra)
         writer._append(header)
+        try:
+            # The appends fsync the file, but the journal's *existence* is a
+            # directory entry: flush it too, or a power loss can silently
+            # undo the creation of a journal whose records were acknowledged.
+            fsync_dir(target.parent)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot sync directory of checkpoint journal {target}: {exc}"
+            ) from exc
         return writer
 
     @classmethod

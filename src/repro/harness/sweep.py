@@ -52,7 +52,13 @@ from repro.harness.supervisor import (
 from repro.obs.manifest import config_fingerprint
 from repro.obs.progress import Heartbeat
 
-__all__ = ["SweepRunResult", "sweep_fingerprint", "run_checkpointed_sweep"]
+__all__ = [
+    "SweepRunResult",
+    "JournalledRun",
+    "sweep_fingerprint",
+    "run_journalled_items",
+    "run_checkpointed_sweep",
+]
 
 
 def sweep_fingerprint(
@@ -161,6 +167,107 @@ def _open_journal(
     return None, writer
 
 
+@dataclass
+class JournalledRun:
+    """Raw outcome of one journalled, supervised batch of work items.
+
+    ``cached`` maps ``(point, repetition)`` to the journal entries a
+    resume replayed; ``fresh`` maps the same keys to the outcomes the
+    supervisor just computed.  Domain-specific assembly (comparison
+    points, chaos aggregates, ...) happens in the caller — this layer
+    only guarantees durability and crash-safe replay.
+    """
+
+    cached: Dict[Tuple[int, int], CheckpointEntry]
+    fresh: Dict[Tuple[int, int], object]
+    failures: List[FailureRecord]
+    stats: Dict[str, int]
+    resumed: bool
+    fingerprint: str
+    checkpoint_path: Optional[Path]
+
+
+def run_journalled_items(
+    name: str,
+    fingerprint: str,
+    items: Sequence,
+    executor,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    workers: int = 1,
+    policy: Optional[RetryPolicy] = None,
+) -> JournalledRun:
+    """Run picklable work items under supervision with a shared journal.
+
+    The engine under both :func:`run_checkpointed_sweep` and the chaos
+    sweep runner (:func:`repro.faults.sweep.run_chaos_sweep`): items are
+    keyed by ``(item.point_index, item.repetition)``, completed outcomes
+    (anything exposing ``point_index``/``repetition``/``measurement``/
+    ``metrics``/``profile``) are journalled durably as ``checkpoint/v1``
+    records, and a resume replays every journalled key instead of
+    re-executing it.  ``executor`` must be a module-level callable so the
+    spawn-based worker pool can pickle it (PERF001).
+    """
+    items = list(items)
+    cached: Dict[Tuple[int, int], CheckpointEntry] = {}
+    writer: Optional[CheckpointWriter] = None
+    resumed = False
+    if checkpoint_path is not None:
+        state, writer = _open_journal(
+            Path(checkpoint_path), name, fingerprint, len(items), resume
+        )
+        if state is not None:
+            cached = dict(state.entries)
+            resumed = True
+        else:
+            obs.counter_add("harness.checkpoint.misses")
+
+    todo = [
+        item
+        for item in items
+        if (item.point_index, item.repetition) not in cached
+    ]
+
+    def journal_result(index: int, outcome) -> None:
+        if writer is not None:
+            writer.append_measurement(
+                outcome.point_index,
+                outcome.repetition,
+                outcome.measurement,
+                metrics=outcome.metrics,
+                profile=outcome.profile,
+            )
+
+    supervisor = WorkerSupervisor(workers=workers, policy=policy)
+    try:
+        run = supervisor.run(executor, todo, on_result=journal_result)
+        if writer is not None:
+            for record in run.failures:
+                writer.append_failure(record.to_dict())
+    finally:
+        # KeyboardInterrupt lands here too: acknowledged records are
+        # already fsynced, this just releases the handle cleanly.
+        if writer is not None:
+            writer.close()
+
+    fresh: Dict[Tuple[int, int], object] = {}
+    for item, outcome in zip(todo, run.outcomes):
+        if outcome is not None:
+            fresh[(item.point_index, item.repetition)] = outcome
+
+    return JournalledRun(
+        cached=cached,
+        fresh=fresh,
+        failures=list(run.failures),
+        stats=dict(run.stats),
+        resumed=resumed,
+        fingerprint=fingerprint,
+        checkpoint_path=(
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        ),
+    )
+
+
 def run_checkpointed_sweep(
     name: str,
     points: Sequence[Tuple[float, ExperimentConfig]],
@@ -208,51 +315,16 @@ def run_checkpointed_sweep(
     ]
     fingerprint = sweep_fingerprint(name, points, reps_of)
 
-    cached: Dict[Tuple[int, int], CheckpointEntry] = {}
-    writer: Optional[CheckpointWriter] = None
-    resumed = False
-    if checkpoint_path is not None:
-        state, writer = _open_journal(
-            Path(checkpoint_path), name, fingerprint, len(items), resume
-        )
-        if state is not None:
-            cached = dict(state.entries)
-            resumed = True
-        else:
-            obs.counter_add("harness.checkpoint.misses")
-
-    todo = [
-        item
-        for item in items
-        if (item.point_index, item.repetition) not in cached
-    ]
-
-    def journal_result(index: int, outcome) -> None:
-        if writer is not None:
-            writer.append_measurement(
-                outcome.point_index,
-                outcome.repetition,
-                outcome.measurement,
-                metrics=outcome.metrics,
-                profile=outcome.profile,
-            )
-
-    supervisor = WorkerSupervisor(workers=workers, policy=policy)
-    try:
-        run = supervisor.run(execute_work_item, todo, on_result=journal_result)
-        if writer is not None:
-            for record in run.failures:
-                writer.append_failure(record.to_dict())
-    finally:
-        # KeyboardInterrupt lands here too: acknowledged records are
-        # already fsynced, this just releases the handle cleanly.
-        if writer is not None:
-            writer.close()
-
-    fresh: Dict[Tuple[int, int], object] = {}
-    for item, outcome in zip(todo, run.outcomes):
-        if outcome is not None:
-            fresh[(item.point_index, item.repetition)] = outcome
+    run = run_journalled_items(
+        name,
+        fingerprint,
+        items,
+        execute_work_item,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+        workers=workers,
+        policy=policy,
+    )
 
     # ---- assemble, strictly in submission order ----------------------- #
     results: List[Tuple[float, ComparisonPoint]] = []
@@ -261,15 +333,15 @@ def run_checkpointed_sweep(
         measurements = []
         for rep in range(reps_of[index]):
             key = (index, rep)
-            if key in cached:
-                entry = cached[key]
+            if key in run.cached:
+                entry = run.cached[key]
                 measurement, metrics, profile = (
                     entry.measurement,
                     entry.metrics,
                     entry.profile,
                 )
-            elif key in fresh:
-                outcome = fresh[key]
+            elif key in run.fresh:
+                outcome = run.fresh[key]
                 measurement, metrics, profile = (
                     outcome.measurement,
                     outcome.metrics,
@@ -298,13 +370,11 @@ def run_checkpointed_sweep(
         name=name,
         points=results,
         status=status,
-        failures=list(run.failures),
+        failures=run.failures,
         dropped_points=dropped,
-        stats=dict(run.stats),
-        cached_items=len(cached),
-        resumed=resumed,
-        checkpoint_path=(
-            Path(checkpoint_path) if checkpoint_path is not None else None
-        ),
+        stats=run.stats,
+        cached_items=len(run.cached),
+        resumed=run.resumed,
+        checkpoint_path=run.checkpoint_path,
         config_hash=fingerprint,
     )

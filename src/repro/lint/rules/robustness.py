@@ -1,4 +1,4 @@
-"""Robustness rules: no silently-swallowed broad exceptions.
+"""Robustness rules: loud failures and testable waiting.
 
 The crash-safe harness (:mod:`repro.harness`) only works because failures
 are *loud*: a worker exception becomes a retry, a quarantine record, and a
@@ -6,6 +6,13 @@ journal entry.  A ``try/except Exception: pass`` anywhere upstream
 converts those failures into silent bad data — the sweep "succeeds" with
 measurements missing or wrong, and nothing in the artifact says so.
 ROB001 bans the pattern statically.
+
+Retry and backoff loops have the dual problem: a ``time.sleep`` call
+hard-wires the wall clock into control flow, so the loop cannot be driven
+by an injected clock in tests and every retry test costs real seconds.
+The supervisor's backoff is deterministic precisely because its ``sleep``
+is a constructor argument; ROB002 bans wall-clock waiting everywhere
+outside the :mod:`repro.obs.clock` facade.
 """
 
 from __future__ import annotations
@@ -14,9 +21,9 @@ import ast
 from typing import Iterator
 
 from repro.lint.diagnostics import Diagnostic, Severity
-from repro.lint.registry import ModuleContext, Rule, register_rule
+from repro.lint.registry import ModuleContext, Rule, dotted_name, register_rule
 
-__all__ = ["SilentBroadExceptRule"]
+__all__ = ["SilentBroadExceptRule", "WallClockBackoffRule"]
 
 _BROAD_NAMES = {"Exception", "BaseException"}
 
@@ -93,3 +100,95 @@ class SilentBroadExceptRule(Rule):
                 f"`{caught}` with a do-nothing body silently swallows "
                 "failures; narrow the type, record the error, or re-raise",
             )
+
+
+# Clock reads that make a `while` test a wall-clock deadline poll.
+_DEADLINE_CLOCK_SUFFIXES = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+)
+
+
+def _suffix_match(name: str, suffix: str) -> bool:
+    return name == suffix or name.endswith("." + suffix)
+
+
+@register_rule
+class WallClockBackoffRule(Rule):
+    """ROB002: no wall-clock sleeps or deadline loops outside the facade.
+
+    Flags (a) any ``time.sleep`` call — including through an alias bound
+    by ``from time import sleep`` — and (b) ``while`` loops whose test
+    reads ``time.monotonic``/``time.time``/``time.perf_counter``: the
+    classic hand-rolled retry/backoff/deadline loop.  Such loops cannot be
+    driven by an injected clock, so their retry behaviour is untestable
+    without burning real seconds, and they stall the single-threaded
+    service loop.  Use :func:`repro.obs.clock.sleep_s` (injectable, like
+    the supervisor's ``sleep=`` argument) and deadlines computed from
+    :func:`repro.obs.clock.monotonic_s` instead.  The facade itself
+    (``repro/obs/*`` by default) is exempt.
+    """
+
+    id = "ROB002"
+    name = "wall-clock-backoff"
+    description = (
+        "time.sleep and wall-clock deadline loops are banned outside "
+        "repro/obs; inject repro.obs.clock.sleep_s / monotonic_s"
+    )
+    default_severity = Severity.ERROR
+    default_options = {"allow": ["repro/obs/*"]}
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        if module.in_paths(module.option(self, "allow")):
+            return
+        # Local names bound to time.sleep via `from time import sleep`.
+        sleep_aliases = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module != "time":
+                    continue
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        sleep_aliases.add(alias.asname or alias.name)
+                        yield module.diagnostic(
+                            self,
+                            node,
+                            "import of `time.sleep` hard-wires the wall "
+                            "clock; inject repro.obs.clock.sleep_s",
+                        )
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                if _suffix_match(name, "time.sleep") or name in sleep_aliases:
+                    yield module.diagnostic(
+                        self,
+                        node,
+                        f"call to `{name}` blocks on the wall clock; "
+                        "retry/backoff must go through an injected sleep "
+                        "(repro.obs.clock.sleep_s)",
+                    )
+            elif isinstance(node, ast.While):
+                for call in ast.walk(node.test):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    name = dotted_name(call.func)
+                    if name is None:
+                        continue
+                    if any(
+                        _suffix_match(name, suffix)
+                        for suffix in _DEADLINE_CLOCK_SUFFIXES
+                    ):
+                        yield module.diagnostic(
+                            self,
+                            node,
+                            f"`while` test reads `{name}`: a wall-clock "
+                            "deadline loop; compute deadlines from "
+                            "repro.obs.clock.monotonic_s and inject it",
+                        )
+                        break

@@ -13,7 +13,6 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
 import platform as _platform
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -24,6 +23,7 @@ import numpy as np
 from repro._version import __version__
 from repro.errors import ObservabilityError
 from repro.obs.clock import wall_clock_iso
+from repro.storage import atomic_write_text
 
 __all__ = [
     "MANIFEST_SCHEMA",
@@ -139,20 +139,19 @@ def manifest_path_for(artifact_path: Union[str, Path]) -> Path:
 
 
 def write_manifest(path: Union[str, Path], manifest: RunManifest) -> None:
-    """Write a manifest to ``path`` atomically (temp sibling + replace)."""
+    """Write a manifest to ``path`` atomically and durably.
+
+    Temp sibling + :func:`os.replace` + parent-directory fsync, via
+    :func:`repro.storage.atomic_write_text` — the manifest either exists
+    whole or not at all, even across a power loss.
+    """
     target = Path(path)
-    temporary = target.with_name(target.name + ".tmp")
     try:
-        temporary.write_text(
+        atomic_write_text(
+            target,
             json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
         )
-        os.replace(temporary, target)
     except OSError as exc:
-        try:
-            temporary.unlink()
-        except OSError:
-            pass
         raise ObservabilityError(
             f"cannot write manifest file {target}: {exc}"
         ) from exc

@@ -23,7 +23,9 @@ def render_report(manifest: RunManifest) -> str:
     histograms), the span profile with each span's share of the total
     recorded time, and — when the manifest carries an ``extra["harness"]``
     block from the crash-safe harness — a RESILIENCE section with the
-    run's retry/rebuild/quarantine history and failed-item records.
+    run's retry/rebuild/quarantine history and failed-item records.  A
+    manifest written by the experiment daemon (``extra["service"]``)
+    additionally gets a SERVICE section with queue/shed/cache counters.
     """
     lines: List[str] = []
     lines.append(f"run manifest ({manifest.schema})")
@@ -122,4 +124,20 @@ def render_report(manifest: RunManifest) -> str:
         dropped = harness.get("dropped_points") or []
         if dropped:
             lines.append(f"  dropped points: {dropped}")
+
+    service = (manifest.extra or {}).get("service")
+    if isinstance(service, dict):
+        lines.append("")
+        lines.append("SERVICE")
+        for key in ("queue_depth", "inflight", "capacity"):
+            if key in service:
+                lines.append(f"  {key + ':':<{16}}{_format_value(service[key])}")
+        for key in sorted(service):
+            if key in ("queue_depth", "inflight", "capacity", "fingerprint"):
+                continue
+            value = service[key]
+            if isinstance(value, (int, float)):
+                lines.append(f"  {key + ':':<{16}}{_format_value(value)}")
+        if "fingerprint" in service:
+            lines.append(f"  fingerprint:    {service['fingerprint']}")
     return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Fingerprint-keyed result cache with hit provenance.
+
+Artifacts live under one directory, named by the job's BLAKE2b
+fingerprint (``<fingerprint>.json`` plus its ``.manifest.json``
+sibling).  Because the fingerprint covers the full semantic definition
+of the experiment — and nothing else — an identical request is served
+from disk with **zero** engine compute, and every hit is appended to a
+durable ``cache-log.ndjson`` provenance trail recording exactly which
+spec was answered from which artifact, when.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import repro.obs as obs
+from repro.errors import ServiceError
+from repro.service.jobs import JobSpec
+from repro.storage import fsync_dir
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Artifacts by fingerprint, plus an append-only hit log."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.log_path = self.root / "cache-log.ndjson"
+
+    def artifact_path(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.json"
+
+    def manifest_path(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.manifest.json"
+
+    def has(self, fingerprint: str) -> bool:
+        return self.artifact_path(fingerprint).exists()
+
+    def load_artifact(self, fingerprint: str) -> Optional[Dict]:
+        """The cached artifact as a JSON object, or ``None`` on miss.
+
+        A corrupt cache entry raises :class:`~repro.errors.ServiceError`
+        naming the file — a half-written artifact must never be served
+        as a result (writes are atomic, so this indicates tampering).
+        """
+        path = self.artifact_path(fingerprint)
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"cache entry {path} is unreadable: {exc}") from exc
+
+    def record_hit(self, fingerprint: str, spec: JobSpec) -> Dict:
+        """Append one durable ``cache_hit`` provenance record; returns it."""
+        record = {
+            "kind": "cache_hit",
+            "fingerprint": fingerprint,
+            "at": obs.wall_clock_iso(),
+            "artifact": self.artifact_path(fingerprint).name,
+            "job": spec.to_dict(),
+        }
+        line = json.dumps(record, sort_keys=True) + "\n"
+        try:
+            with open(self.log_path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot append cache provenance to {self.log_path}: {exc}"
+            ) from exc
+        return record
+
+    def hit_records(self) -> list:
+        """All provenance records, oldest first (empty if no hits yet)."""
+        if not self.log_path.exists():
+            return []
+        records = []
+        for line in self.log_path.read_text().splitlines():
+            if line.strip():
+                records.append(json.loads(line))
+        return records
+
+    def sync(self) -> None:
+        """fsync the cache directory (call after a new artifact lands)."""
+        fsync_dir(self.root)

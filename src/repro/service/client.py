@@ -1,0 +1,158 @@
+"""Blocking NDJSON client for the experiment service.
+
+One request per connection for the simple verbs; a streaming submit
+keeps its connection open and yields ``progress``/``heartbeat`` events
+to a callback until the terminal ``completed``/``failed`` (or the
+daemon's ``draining`` farewell) arrives.  All waiting is bounded by the
+socket timeout — a dead daemon produces a :class:`ServiceError`, never
+a hang.
+"""
+
+from __future__ import annotations
+
+import socket
+from pathlib import Path
+from typing import Callable, Dict, Optional, Union
+
+from repro.errors import ProtocolError, ServiceError
+from repro.service import protocol
+from repro.service.jobs import JobSpec
+
+__all__ = ["ServiceClient"]
+
+#: Responses that end a streamed submission.
+_TERMINAL = ("completed", "failed", "draining", "error")
+
+
+class ServiceClient:
+    """Talk ``service/v1`` to a daemon on a local socket."""
+
+    def __init__(
+        self, socket_path: Union[str, Path], timeout_s: float = 300.0
+    ) -> None:
+        self.socket_path = Path(socket_path)
+        self.timeout_s = timeout_s
+
+    # ---- plumbing ------------------------------------------------------- #
+
+    def _connect(self) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout_s)
+        try:
+            sock.connect(str(self.socket_path))
+        except OSError as exc:
+            sock.close()
+            raise ServiceError(
+                f"cannot reach service socket {self.socket_path}: {exc} "
+                "(is the daemon running? start one with `addc-repro serve`)"
+            ) from exc
+        return sock
+
+    @staticmethod
+    def _read_line(sock: socket.socket, buffer: bytes) -> tuple:
+        """Read one ``\\n``-terminated line; returns ``(line, rest)``."""
+        while b"\n" not in buffer:
+            try:
+                chunk = sock.recv(65536)
+            except socket.timeout as exc:
+                raise ServiceError(
+                    "timed out waiting for the service to respond"
+                ) from exc
+            if not chunk:
+                raise ServiceError(
+                    "service closed the connection mid-response"
+                )
+            buffer += chunk
+        line, rest = buffer.split(b"\n", 1)
+        return line, rest
+
+    def request(self, message: Dict) -> Dict:
+        """One request, one response, one connection."""
+        sock = self._connect()
+        try:
+            sock.sendall(protocol.encode_message(message))
+            line, _rest = self._read_line(sock, b"")
+            return protocol.decode_message(line)
+        finally:
+            sock.close()
+
+    # ---- verbs ----------------------------------------------------------- #
+
+    def ping(self) -> Dict:
+        return self.request({"type": "ping"})
+
+    def status(self) -> Dict:
+        return self.request({"type": "status"})
+
+    def result(self, fingerprint: str) -> Dict:
+        return self.request({"type": "result", "fingerprint": fingerprint})
+
+    def shutdown(self) -> Dict:
+        return self.request({"type": "shutdown"})
+
+    def submit(
+        self,
+        spec: Union[JobSpec, Dict],
+        stream: bool = False,
+        on_event: Optional[Callable[[Dict], None]] = None,
+    ) -> Dict:
+        """Submit a job; returns the daemon's decisive answer.
+
+        Without ``stream``: the immediate response (``cache_hit``,
+        ``accepted``, ``retry_after``, or ``error``).  With ``stream``:
+        holds the connection, forwards every interim event to
+        ``on_event``, and returns the terminal ``completed``/``failed``
+        message (or the immediate answer when nothing will stream —
+        cache hits and sheds are already terminal).
+        """
+        job = spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
+        message = {"type": "submit", "job": job, "stream": bool(stream)}
+        if not stream:
+            return self.request(message)
+        sock = self._connect()
+        try:
+            sock.sendall(protocol.encode_message(message))
+            buffer = b""
+            line, buffer = self._read_line(sock, buffer)
+            response = protocol.decode_message(line)
+            if response.get("type") != "accepted":
+                return response
+            if on_event is not None:
+                on_event(response)
+            while True:
+                line, buffer = self._read_line(sock, buffer)
+                event = protocol.decode_message(line)
+                if event.get("type") in _TERMINAL:
+                    return event
+                if on_event is not None:
+                    on_event(event)
+        finally:
+            sock.close()
+
+    def wait_for_result(
+        self, fingerprint: str, attempts: int = 600, sleep=None
+    ) -> Dict:
+        """Poll ``result`` until terminal; bounded by ``attempts``.
+
+        ``sleep`` defaults to :func:`repro.obs.clock.sleep_s` (injectable
+        for tests).  Raises :class:`ServiceError` when the budget runs
+        out or the daemon reports an unknown fingerprint.
+        """
+        if sleep is None:
+            from repro.obs.clock import sleep_s as sleep
+        last: Dict = {}
+        for _ in range(attempts):
+            last = self.result(fingerprint)
+            kind = last.get("type")
+            if kind in ("completed", "failed"):
+                return last
+            if kind == "error":
+                raise ProtocolError(
+                    f"service cannot resolve {fingerprint!r}: "
+                    f"{last.get('error')}"
+                )
+            sleep(0.2)
+        raise ServiceError(
+            f"job {fingerprint!r} did not finish within the polling budget "
+            f"(last status: {last.get('type')!r})"
+        )

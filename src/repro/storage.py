@@ -1,0 +1,64 @@
+"""Durable filesystem primitives shared across the package.
+
+Checkpoint journals, sweep artifacts, manifests, and service state all
+promise to survive a crash.  ``os.replace`` alone only guarantees that a
+*process* kill never exposes a half-written file; after a power loss the
+rename itself may be lost unless the parent directory entry is flushed
+too.  These helpers centralize the full discipline: write a temporary
+sibling, fsync the file, rename over the target, then fsync the parent
+directory.
+
+Both helpers raise plain :class:`OSError`; callers wrap it in their own
+domain error (``ExperimentIOError``, ``ObservabilityError``, ...) so the
+failure names the artifact that could not be written.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+__all__ = ["fsync_dir", "atomic_write_text"]
+
+
+def fsync_dir(path: Union[str, Path]) -> None:
+    """Flush a directory's entries to stable storage.
+
+    After creating or renaming a file, the new directory entry lives in
+    the page cache until the directory itself is fsynced; without this a
+    power loss can silently undo an ``os.replace`` that already returned.
+    """
+    fd = os.open(str(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, encoding: str = "utf-8"
+) -> None:
+    """Write ``text`` to ``path`` atomically and durably.
+
+    The payload lands in a temporary sibling that is fsynced, renamed
+    over the target via :func:`os.replace`, and sealed with a parent
+    directory fsync — so readers never observe a partial file and the
+    completed write survives power loss.  On failure the temporary file
+    is removed and the original ``OSError`` propagates.
+    """
+    target = Path(path)
+    temporary = target.with_name(target.name + ".tmp")
+    try:
+        with open(temporary, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, target)
+        fsync_dir(target.parent)
+    except OSError:
+        try:
+            temporary.unlink()
+        except OSError:
+            pass
+        raise

@@ -103,3 +103,22 @@ class TestErrors:
         name, points = load_sweep(path)
         assert name == "fig6c"
         assert [x for x, _ in points] == [0.2]
+
+    def test_save_fsyncs_the_parent_directory(self, tmp_path, monkeypatch):
+        """Regression: ``os.replace`` alone can be undone by a power loss
+        unless the parent directory entry is flushed too — every saved
+        artifact must be sealed with a directory fsync."""
+        import os
+        import stat
+
+        dir_fsyncs = []
+        real_fsync = os.fsync
+
+        def spying_fsync(fd):
+            if stat.S_ISDIR(os.fstat(fd).st_mode):
+                dir_fsyncs.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", spying_fsync)
+        save_sweep(tmp_path / "sweep.json", "fig6c", [(0.1, make_point(0.1))])
+        assert dir_fsyncs, "save_sweep never fsynced the parent directory"

@@ -152,6 +152,26 @@ class TestJournal:
         with pytest.raises(CheckpointError, match="already exists"):
             CheckpointWriter.create(path, "unit", "hash-1", 3)
 
+    def test_create_fsyncs_the_journal_directory(self, tmp_path, monkeypatch):
+        """Regression: the appends fsync the *file*, but the journal's
+        existence is a directory entry — creation must flush the parent
+        directory too, or a power loss can undo an acknowledged journal."""
+        import stat
+
+        dir_fsyncs = []
+        real_fsync = os.fsync
+
+        def spying_fsync(fd):
+            if stat.S_ISDIR(os.fstat(fd).st_mode):
+                dir_fsyncs.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", spying_fsync)
+        path = tmp_path / "fresh.ndjson"
+        with CheckpointWriter.create(path, "unit", "hash-1", 1) as writer:
+            writer.append_measurement(0, 0, _measurement(0))
+        assert dir_fsyncs, "journal creation never fsynced its directory"
+
     def test_append_to_continues_journal(self, tmp_path):
         path = self._fresh(tmp_path, records=2)
         with CheckpointWriter.append_to(load_checkpoint(path)) as writer:

@@ -158,6 +158,23 @@ RULE_FIXTURES = {
             "__all__ = ['release']\n"
         ),
     ),
+    "ROB002": (
+        "repro/harness/waiting.py",
+        (
+            "import time\n\n\n"
+            "def wait_until(check):\n"
+            "    while not check():\n"
+            "        time.sleep(0.1)\n\n\n"
+            "__all__ = ['wait_until']\n"
+        ),
+        (
+            "from repro.obs.clock import sleep_s\n\n\n"
+            "def wait_until(check, sleep=sleep_s):\n"
+            "    while not check():\n"
+            "        sleep(0.1)\n\n\n"
+            "__all__ = ['wait_until']\n"
+        ),
+    ),
     "RNG010": (
         "repro/sim/nodes.py",
         (
@@ -421,6 +438,45 @@ class TestRuleFixtures:
             "__all__ = []\n"
         )
         assert "ROB001" not in rule_ids(lint_source(source, path="repro/x.py"))
+
+    def test_rob002_flags_from_import_sleep_alias(self):
+        source = (
+            "from time import sleep as snooze\n\n\n"
+            "def retry(fn):\n"
+            "    for _ in range(3):\n"
+            "        snooze(1.0)\n"
+            "    return fn()\n\n\n"
+            "__all__ = ['retry']\n"
+        )
+        assert "ROB002" in rule_ids(lint_source(source, path="repro/x.py"))
+
+    def test_rob002_flags_wall_clock_deadline_loop(self):
+        source = (
+            "import time\n\n\n"
+            "def wait(deadline):\n"
+            "    while time.monotonic() < deadline:\n"
+            "        pass\n\n\n"
+            "__all__ = ['wait']\n"
+        )
+        assert "ROB002" in rule_ids(lint_source(source, path="repro/x.py"))
+
+    def test_rob002_exempts_the_clock_facade(self):
+        source = "import time\n\ntime.sleep(0.0)\n\n__all__ = []\n"
+        assert "ROB002" not in rule_ids(
+            lint_source(source, path="repro/obs/clock.py")
+        )
+        assert "ROB002" in rule_ids(lint_source(source, path="repro/cli.py"))
+
+    def test_rob002_allows_injected_sleep(self):
+        source = (
+            "from repro.obs.clock import sleep_s\n\n\n"
+            "def retry(fn, sleep=sleep_s):\n"
+            "    for attempt in range(3):\n"
+            "        sleep(0.5 * 2 ** attempt)\n"
+            "    return fn()\n\n\n"
+            "__all__ = ['retry']\n"
+        )
+        assert "ROB002" not in rule_ids(lint_source(source, path="repro/x.py"))
 
 
 class TestSuppressions:
