@@ -12,19 +12,22 @@ Commands
 ``scenario``   list or run a named scenario preset
 ``report``     regenerate the full evaluation record (slow)
 ``lint``       run reprolint (determinism & paper-invariant checks)
-``obs``        observability: ``report`` (render/verify a run manifest) and
-               ``bench`` (profiled engine baseline -> manifest JSON)
+``obs``        observability: ``report`` (render/verify a run manifest),
+               ``bench`` (profiled engine baseline -> manifest JSON),
+               ``export`` (manifest or live stats -> Prometheus text), and
+               ``diff`` (manifest-vs-manifest perf ratchet)
 ``perf``       performance: ``bench`` (serial vs parallel, scalar vs
                vectorized -> BENCH_perf.json; equality-checked)
-``trace``      NDJSON traces: ``export`` (stream a run's events to disk)
-               and ``stats`` (summarize a trace/v1 file)
+``trace``      NDJSON traces: ``export`` (stream a run's events to disk),
+               ``stats`` (summarize a trace/v1 or trace/v2 file), and
+               ``tree`` (render a job's merged trace/v2 span tree)
 ``checkpoint`` crash-safe journals: ``inspect`` (summarize), ``verify``
                (validate), ``smoke`` (run/kill/resume byte-identity check)
 ``serve``      run the fault-tolerant experiment daemon (service/v1 over
                a local AF_UNIX socket; see docs/SERVICE.md)
-``service``    talk to a running daemon: ``submit``, ``status``,
-               ``result``, ``ping``, ``shutdown``, and ``smoke`` (CI
-               kill/restart/cache end-to-end check)
+``service``    talk to a running daemon: ``submit``, ``status``, ``top``
+               (live telemetry), ``result``, ``ping``, ``shutdown``, and
+               ``smoke`` (CI kill/restart/cache end-to-end check)
 
 Every command accepts ``--scale {quick,bench,paper}`` (density-preserving
 scenario sizes; ``paper`` is the full n = 2000 setting — expect a very long
@@ -617,17 +620,150 @@ def _cmd_trace_stats(args: argparse.Namespace) -> int:
 
     from repro import obs
 
-    stats = obs.trace_stats(args.path)
+    stats = obs.trace_stats(args.path, top=args.top)
     if args.json:
         print(json.dumps(stats, indent=2, sort_keys=True))
         return 0
     print(f"schema:  {stats['schema']}")
+    if stats["schema"] == "trace/v2":
+        print(f"trace:   {stats['trace_id']}")
+        print(f"spans:   {stats['spans']} ({stats['dropped']} dropped)")
+        names = stats["names"]
+        if names:
+            width = max(len(name) for name in names)
+            for name in sorted(names):
+                row = names[name]
+                print(
+                    f"  {name:<{width}}  n={row['spans']:<5d} "
+                    f"total={row['total_ms']:10.3f} ms  "
+                    f"p50={row['p50_ms']:.3f}  p95={row['p95_ms']:.3f}  "
+                    f"p99={row['p99_ms']:.3f}"
+                )
+        for entry in stats.get("slowest", ()):
+            print(
+                f"  slow  {entry['span_id']}  ({entry['name']})  "
+                f"{entry['total_ms']:.3f} ms"
+            )
+        return 0
     print(f"events:  {stats['events']} ({stats['dropped']} dropped)")
     print(f"slots:   {stats['first_slot']} .. {stats['last_slot']}")
     print(f"nodes:   {stats['nodes']}")
     for kind, count in stats["kinds"].items():
         print(f"  {kind:>14}: {count}")
     return 0
+
+
+def _cmd_trace_tree(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import ReproError
+    from repro.obs.tracing import load_spans, render_tree
+
+    path = Path(args.job)
+    if not path.exists():
+        candidate = Path(args.state_dir) / "jobs" / args.job / "trace.ndjson"
+        if candidate.exists():
+            path = candidate
+        else:
+            print(
+                f"no trace file at {path} and no job trace at {candidate} "
+                "(pass a trace/v2 path or a job fingerprint + --state-dir)",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        header, spans = load_spans(path)
+    except ReproError as error:
+        print(f"ERROR [{error.code}]: {error}", file=sys.stderr)
+        return 1
+    print(render_tree(header.get("trace_id", ""), spans))
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro import obs
+    from repro.errors import ReproError
+
+    try:
+        if args.socket is not None:
+            from repro.service.client import ServiceClient
+
+            report = ServiceClient(args.socket).stats()
+            if report.get("type") != "stats_report":
+                print(
+                    f"unexpected response type {report.get('type')!r} "
+                    "(expected 'stats_report')",
+                    file=sys.stderr,
+                )
+                return 1
+            summary = report.get("service") or {}
+            gauge_names = ("queue_depth", "inflight", "capacity")
+            metrics = {
+                "counters": {
+                    f"service.{name}": value
+                    for name, value in summary.items()
+                    if name not in gauge_names
+                    and isinstance(value, (int, float))
+                },
+                "gauges": {
+                    f"service.{name}": summary.get(name, 0)
+                    for name in gauge_names
+                },
+            }
+            metrics["gauges"]["service.quarantined"] = report.get(
+                "quarantined", 0
+            )
+            profile = report.get("phases") or {}
+        else:
+            if args.manifest is None:
+                print(
+                    "obs export needs a manifest path (or --socket for a "
+                    "live daemon)",
+                    file=sys.stderr,
+                )
+                return 2
+            record = obs.load_manifest(args.manifest).to_dict()
+            metrics = record.get("metrics") or {}
+            profile = record.get("profile") or {}
+    except ReproError as error:
+        print(f"ERROR [{error.code}]: {error}", file=sys.stderr)
+        return 1
+    text = obs.render_prometheus(metrics, profile)
+    if args.out is not None:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+    from repro.errors import ReproError
+    from repro.obs.diff import load_manifest_dict
+
+    try:
+        old = load_manifest_dict(args.old)
+        new = load_manifest_dict(args.new)
+        rows = obs.diff_manifests(
+            old, new, tolerance_pct=args.fail_on_regression
+        )
+    except ReproError as error:
+        print(f"ERROR [{error.code}]: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(
+            json.dumps(
+                [row.to_dict() for row in rows], indent=2, sort_keys=True
+            )
+        )
+    else:
+        print(obs.render_diff(rows, args.fail_on_regression))
+    return 1 if any(row.regression for row in rows) else 0
 
 
 def _cmd_fig4(args: argparse.Namespace) -> int:
@@ -979,7 +1115,9 @@ def _cmd_service_submit(args: argparse.Namespace) -> int:
                 elif kind == "heartbeat":
                     print(
                         f"heartbeat: depth={event.get('queue_depth')} "
-                        f"inflight={event.get('inflight')}",
+                        f"inflight={event.get('inflight')} "
+                        f"cache={event.get('cache_hits', 0)}/"
+                        f"{event.get('cache_misses', 0)} hit/miss",
                         file=sys.stderr,
                     )
 
@@ -1019,6 +1157,78 @@ def _cmd_service_verb(args: argparse.Namespace) -> int:
         return 1
     print(json.dumps(response, indent=2, sort_keys=True))
     return 0 if response.get("type") not in ("error", "failed") else 1
+
+
+def _render_service_top(report: dict) -> str:
+    """The ``service top`` text view of one ``stats_report`` payload."""
+    summary = report.get("service") or {}
+    lines = [
+        "queue    depth={queue_depth} inflight={inflight} "
+        "capacity={capacity}".format(
+            queue_depth=summary.get("queue_depth", 0),
+            inflight=summary.get("inflight", 0),
+            capacity=summary.get("capacity", 0),
+        ),
+        "cache    hits={cache_hits} misses={cache_misses}".format(
+            cache_hits=summary.get("cache_hits", 0),
+            cache_misses=summary.get("cache_misses", 0),
+        ),
+        "jobs     admitted={jobs_admitted} completed={jobs_completed} "
+        "failed={jobs_failed} shed={jobs_shed} quarantined={q}".format(
+            jobs_admitted=summary.get("jobs_admitted", 0),
+            jobs_completed=summary.get("jobs_completed", 0),
+            jobs_failed=summary.get("jobs_failed", 0),
+            jobs_shed=summary.get("jobs_shed", 0),
+            q=report.get("quarantined", 0),
+        ),
+    ]
+    phases = report.get("phases") or {}
+    if phases:
+        lines.append("phases")
+        width = max(len(name) for name in phases)
+        for name in sorted(phases):
+            stats = phases[name]
+            lines.append(
+                f"  {name:<{width}}  calls={stats.get('count', 0):<8} "
+                f"total={stats.get('total_ms', 0.0):10.1f} ms  "
+                f"mean={stats.get('mean_ms', 0.0):.4f} ms"
+            )
+    else:
+        lines.append("phases   (no spans recorded yet)")
+    return "\n".join(lines)
+
+
+def _cmd_service_top(args: argparse.Namespace) -> int:
+    """Live daemon telemetry: single-shot JSON or a refreshing text view."""
+    import json
+
+    from repro.errors import ReproError
+    from repro.obs.clock import sleep_s
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.socket)
+    try:
+        for iteration in range(max(1, args.count)):
+            if iteration:
+                sleep_s(args.interval)
+                print()
+            report = client.stats()
+            if report.get("type") != "stats_report":
+                print(
+                    f"unexpected response type {report.get('type')!r} "
+                    "(expected 'stats_report')",
+                    file=sys.stderr,
+                )
+                return 1
+            if args.json:
+                print(json.dumps(report, indent=2, sort_keys=True))
+            else:
+                print(_render_service_top(report))
+            sys.stdout.flush()
+    except ReproError as error:
+        print(f"ERROR [{error.code}]: {error}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_service_smoke(args: argparse.Namespace) -> int:
@@ -1398,6 +1608,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_options(obs_bench)
     obs_bench.set_defaults(handler=_cmd_obs_bench)
 
+    obs_export = obs_commands.add_parser(
+        "export",
+        help="export a manifest (or live daemon stats) as Prometheus text",
+    )
+    obs_export.add_argument(
+        "manifest", nargs="?", default=None, help="path to a *.manifest.json"
+    )
+    obs_export.add_argument(
+        "--format",
+        choices=("prom",),
+        default="prom",
+        help="output format (only 'prom' for now)",
+    )
+    obs_export.add_argument(
+        "--socket",
+        default=None,
+        help="export a live daemon's stats instead of a manifest file",
+    )
+    obs_export.add_argument(
+        "--out", default=None, help="write to a file instead of stdout"
+    )
+    obs_export.set_defaults(handler=_cmd_obs_export)
+
+    obs_diff = obs_commands.add_parser(
+        "diff",
+        help="compare two manifests' perf figures (the regression ratchet)",
+    )
+    obs_diff.add_argument("old", help="baseline manifest (e.g. BENCH_perf.json)")
+    obs_diff.add_argument("new", help="fresh manifest to compare")
+    obs_diff.add_argument(
+        "--fail-on-regression",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit nonzero when a gated figure slowed by more than PCT%%",
+    )
+    obs_diff.add_argument(
+        "--json", action="store_true", help="emit the rows as JSON"
+    )
+    obs_diff.set_defaults(handler=_cmd_obs_diff)
+
     perf_parser = commands.add_parser(
         "perf", help="performance: parallel/vectorized benchmarks"
     )
@@ -1441,13 +1692,34 @@ def build_parser() -> argparse.ArgumentParser:
     trace_export.set_defaults(handler=_cmd_trace_export)
 
     trace_stats = trace_commands.add_parser(
-        "stats", help="summarize a trace/v1 NDJSON file"
+        "stats", help="summarize a trace NDJSON file (trace/v1 or trace/v2)"
     )
     trace_stats.add_argument("path", help="path to a trace NDJSON file")
     trace_stats.add_argument(
         "--json", action="store_true", help="emit the summary as JSON"
     )
+    trace_stats.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also list the N slowest individual spans (trace/v2 only)",
+    )
     trace_stats.set_defaults(handler=_cmd_trace_stats)
+
+    trace_tree = trace_commands.add_parser(
+        "tree", help="render a job's merged trace/v2 file as a span tree"
+    )
+    trace_tree.add_argument(
+        "job", help="path to a trace/v2 file, or a job fingerprint"
+    )
+    trace_tree.add_argument(
+        "--state-dir",
+        default=".addc-service",
+        help="daemon state directory for fingerprint lookup "
+        "(default: .addc-service)",
+    )
+    trace_tree.set_defaults(handler=_cmd_trace_tree)
 
     checkpoint_parser = commands.add_parser(
         "checkpoint",
@@ -1603,6 +1875,32 @@ def build_parser() -> argparse.ArgumentParser:
             help="daemon socket path",
         )
         verb_parser.set_defaults(handler=_cmd_service_verb)
+
+    service_top = service_commands.add_parser(
+        "top",
+        help="live telemetry: queue, cache, quarantine, per-phase timings",
+    )
+    service_top.add_argument(
+        "--socket",
+        default=".addc-service/service.sock",
+        help="daemon socket path",
+    )
+    service_top.add_argument(
+        "--json", action="store_true", help="emit raw stats_report JSON"
+    )
+    service_top.add_argument(
+        "--count",
+        type=int,
+        default=1,
+        help="snapshots to take before exiting (default: 1)",
+    )
+    service_top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between snapshots (default: 2)",
+    )
+    service_top.set_defaults(handler=_cmd_service_top)
 
     service_result = service_commands.add_parser(
         "result", help="fetch a job's result by fingerprint"

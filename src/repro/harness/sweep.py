@@ -51,6 +51,12 @@ from repro.harness.supervisor import (
 )
 from repro.obs.manifest import config_fingerprint
 from repro.obs.progress import Heartbeat
+from repro.obs.tracing import (
+    TraceContext,
+    build_repetition_spans,
+    shard_filename,
+    write_shard,
+)
 
 __all__ = [
     "SweepRunResult",
@@ -278,6 +284,8 @@ def run_checkpointed_sweep(
     workers: int = 1,
     policy: Optional[RetryPolicy] = None,
     progress: Optional[Heartbeat] = None,
+    trace: Optional[TraceContext] = None,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> SweepRunResult:
     """Run a sweep under supervision, journalling every repetition.
 
@@ -294,6 +302,14 @@ def run_checkpointed_sweep(
     Items that exhaust their retry budget are quarantined, the surviving
     repetitions are assembled anyway, and the result is flagged
     ``status: "partial"`` rather than aborting the sweep.
+
+    ``trace`` + ``trace_dir`` enable distributed ``trace/v2`` span
+    capture: each worker writes one shard per repetition, and replayed
+    (journalled) repetitions re-derive their shards here from the
+    journalled profiles — a pure function of ``(trace, point, rep,
+    profile)`` — so a ``SIGKILL``-and-resume run yields the same shard
+    set as an uninterrupted one.  Requires an installed recorder
+    (``collect_metrics`` rides on :func:`obs.enabled`).
     """
     from repro.perf.executor import SweepWorkItem, execute_work_item
 
@@ -303,12 +319,19 @@ def run_checkpointed_sweep(
         for _, config in points
     ]
     collect = obs.enabled()
+    if trace is not None and trace_dir is not None and collect:
+        trace_dir = Path(trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+    else:
+        trace_dir = None
     items = [
         SweepWorkItem(
             point_index=index,
             repetition=rep,
             config=config,
             collect_metrics=collect,
+            trace=trace if trace_dir is not None else None,
+            trace_dir=str(trace_dir) if trace_dir is not None else None,
         )
         for index, (_, config) in enumerate(points)
         for rep in range(reps_of[index])
@@ -349,6 +372,19 @@ def run_checkpointed_sweep(
                 )
             else:
                 continue  # quarantined: recorded in run.failures
+            if trace_dir is not None and profile is not None:
+                # Journal-replayed repetitions never reached a worker this
+                # run: re-derive their shards from the journalled profile
+                # so resumed and uninterrupted runs merge identical traces.
+                shard = trace_dir / shard_filename(index, rep)
+                if not shard.exists():
+                    write_shard(
+                        shard,
+                        trace.trace_id,
+                        index,
+                        rep,
+                        build_repetition_spans(trace, index, rep, profile),
+                    )
             if metrics is not None:
                 obs.merge_snapshot(metrics, profile)
             obs.counter_add("sweep.repetitions")

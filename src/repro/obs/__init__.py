@@ -41,6 +41,7 @@ from repro.obs.recorder import (
     MetricsRecorder,
     NullRecorder,
     SpanStats,
+    histogram_percentile,
 )
 
 __all__ = [
@@ -78,7 +79,26 @@ __all__ = [
     "manifest_path_for",
     "config_fingerprint",
     "render_report",
+    "render_prometheus",
     "Heartbeat",
+    "histogram_percentile",
+    # Distributed tracing (trace/v2), from repro.obs.tracing.
+    "TRACE_V2_SCHEMA",
+    "TraceContext",
+    "SpanRecord",
+    "build_repetition_spans",
+    "shard_filename",
+    "write_shard",
+    "load_spans",
+    "merge_shards",
+    "write_trace",
+    "structural_form",
+    "structure_digest",
+    "span_stats",
+    "render_tree",
+    # Manifest diffing (the perf ratchet), from repro.obs.diff.
+    "diff_manifests",
+    "render_diff",
 ]
 
 _NULL = NullRecorder()
@@ -232,8 +252,25 @@ from repro.obs.manifest import (  # noqa: E402
     manifest_path_for,
     write_manifest,
 )
+from repro.obs.diff import diff_manifests, render_diff  # noqa: E402
+from repro.obs.export import render_prometheus  # noqa: E402
 from repro.obs.progress import Heartbeat  # noqa: E402
 from repro.obs.report import render_report  # noqa: E402
+from repro.obs.tracing import (  # noqa: E402
+    TRACE_V2_SCHEMA,
+    SpanRecord,
+    TraceContext,
+    build_repetition_spans,
+    load_spans,
+    merge_shards,
+    render_tree,
+    shard_filename,
+    span_stats,
+    structural_form,
+    structure_digest,
+    write_shard,
+    write_trace,
+)
 
 # The trace re-exports resolve lazily (PEP 562): `repro.obs.trace_io`
 # imports `repro.sim.trace`, and an eager import here would cycle when an

@@ -26,6 +26,7 @@ __all__ = [
     "SpanStats",
     "NullRecorder",
     "MetricsRecorder",
+    "histogram_percentile",
 ]
 
 #: Default histogram bucket upper bounds (unit-agnostic geometric ladder).
@@ -91,6 +92,45 @@ class Histogram:
             "count": self.count,
             "total": self.total,
         }
+
+    def percentile(self, quantile: float) -> Optional[float]:
+        """Estimated percentile; see :func:`histogram_percentile`."""
+        return histogram_percentile(self.bounds, self.bucket_counts, quantile)
+
+
+def histogram_percentile(
+    bounds: Sequence[float],
+    bucket_counts: Sequence[int],
+    quantile: float,
+) -> Optional[float]:
+    """Estimate a percentile from fixed-bucket counts.
+
+    Linear interpolation inside the bucket holding the target rank (the
+    Prometheus ``histogram_quantile`` estimator): the first bucket spans
+    ``[0, bounds[0]]``, later ones ``(bounds[i-1], bounds[i]]``.  Returns
+    ``None`` for an empty histogram and ``inf`` when the rank lands in
+    the overflow bucket — the true value is beyond the last bound, and a
+    made-up number would understate a tail regression.
+    """
+    if not 0.0 <= quantile <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1], got {quantile}")
+    total = sum(bucket_counts)
+    if total == 0:
+        return None
+    rank = quantile * total
+    cumulative = 0
+    for index, count in enumerate(bucket_counts):
+        cumulative += count
+        if cumulative >= rank:
+            if index >= len(bounds):
+                return float("inf")
+            lower = float(bounds[index - 1]) if index > 0 else 0.0
+            upper = float(bounds[index])
+            if count == 0:
+                return upper
+            fraction = (rank - (cumulative - count)) / count
+            return lower + (upper - lower) * fraction
+    return float("inf")
 
 
 class SpanStats:

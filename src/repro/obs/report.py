@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
-from typing import List
+import math
+from typing import Dict, List, Optional
 
 from repro.obs.manifest import RunManifest
+from repro.obs.recorder import histogram_percentile
 
 __all__ = ["render_report"]
 
@@ -14,6 +16,32 @@ def _format_value(value: float) -> str:
     if isinstance(value, float) and not value.is_integer():
         return f"{value:.4g}"
     return str(int(value))
+
+
+def _format_percentile(value: Optional[float], bounds) -> str:
+    """One estimated percentile: ``inf`` means "past the last bucket"."""
+    if value is None:
+        return "-"
+    if math.isinf(value):
+        return f">{_format_value(float(bounds[-1]))}" if bounds else "inf"
+    return f"{value:.4g}"
+
+
+def _histogram_line(histogram: Dict) -> str:
+    count = histogram.get("count", 0)
+    total = histogram.get("total", 0.0)
+    mean = total / count if count else 0.0
+    line = f"count={count} mean={mean:.4g} total={total:.6g}"
+    bounds = histogram.get("bounds") or ()
+    bucket_counts = histogram.get("bucket_counts") or ()
+    if count and bounds and bucket_counts:
+        quantiles = (
+            histogram_percentile(bounds, bucket_counts, q)
+            for q in (0.50, 0.95, 0.99)
+        )
+        p50, p95, p99 = (_format_percentile(q, bounds) for q in quantiles)
+        line += f" p50={p50} p95={p95} p99={p99}"
+    return line
 
 
 def render_report(manifest: RunManifest) -> str:
@@ -61,13 +89,7 @@ def render_report(manifest: RunManifest) -> str:
         for name in sorted(gauges):
             lines.append(f"  {name:<{width}}  {_format_value(gauges[name])}")
         for name in sorted(histograms):
-            histogram = histograms[name]
-            count = histogram.get("count", 0)
-            total = histogram.get("total", 0.0)
-            mean = total / count if count else 0.0
-            lines.append(
-                f"  {name:<{width}}  count={count} mean={mean:.4g} total={total:.6g}"
-            )
+            lines.append(f"  {name:<{width}}  {_histogram_line(histograms[name])}")
 
     profile = manifest.profile or {}
     if profile:

@@ -125,10 +125,19 @@ def _scan(path: Union[str, Path]) -> Iterator[Tuple[Dict, Dict]]:
                         f"trace file {path} line {number} is not a JSON object"
                     )
                 if header is None:
-                    if line.get("schema") != TRACE_SCHEMA:
+                    schema = line.get("schema")
+                    if schema != TRACE_SCHEMA:
+                        if schema == "trace/v2":
+                            raise ObservabilityError(
+                                f"trace file {path} has schema 'trace/v2' "
+                                f"(job spans), expected {TRACE_SCHEMA!r} "
+                                "(simulator events); load it with "
+                                "repro.obs.tracing.load_spans / "
+                                "`addc-repro trace tree` instead"
+                            )
                         raise ObservabilityError(
                             f"trace file {path} has schema "
-                            f"{line.get('schema')!r}, expected {TRACE_SCHEMA!r}"
+                            f"{schema!r}, expected {TRACE_SCHEMA!r}"
                         )
                     header = line
                     continue
@@ -183,12 +192,28 @@ def _header_of(path: Union[str, Path]) -> Dict:
     raise ObservabilityError(f"trace file {path} is empty (no header line)")
 
 
-def trace_stats(path: Union[str, Path]) -> Dict:
+def trace_stats(path: Union[str, Path], top: int = 0) -> Dict:
     """Single-pass summary of a trace file (no event objects built).
 
-    Returns a JSON-serializable dict: schema, event/drop counts, the slot
-    span, per-kind counts, and the number of distinct nodes touched.
+    Handles both schemas: a ``trace/v1`` event file yields schema,
+    event/drop counts, the slot span, per-kind counts, and the number of
+    distinct nodes touched; a ``trace/v2`` span file (shard or merged) is
+    delegated to :func:`repro.obs.tracing.span_stats` — per-span-name
+    p50/p95/p99 duration summaries plus, with ``top > 0``, the ``top``
+    slowest individual spans.  Always JSON-serializable.
     """
+    try:
+        first = _header_of(path)
+    except (json.JSONDecodeError, OSError):
+        first = {}  # let the trace/v1 scanner produce its precise error
+    if isinstance(first, dict) and first.get("schema") == "trace/v2":
+        from repro.obs.tracing import load_spans, span_stats
+
+        header, spans = load_spans(path)
+        summary = span_stats(spans, top=top)
+        summary["dropped"] = int(header.get("dropped", 0) or 0)
+        summary["trace_id"] = header.get("trace_id")
+        return summary
     kinds: Dict[str, int] = {}
     nodes = set()
     first_slot: Optional[int] = None

@@ -1,0 +1,542 @@
+"""Distributed tracing for multi-process jobs (schema ``trace/v2``).
+
+Where ``trace/v1`` (:mod:`repro.obs.trace_io`) records *simulator* events
+— one line per transmission inside one engine run — ``trace/v2`` records
+*spans*: the timed tree of work a whole job performed across the daemon,
+the supervisor, and its spawn workers.  Every identity in a trace is
+deterministic:
+
+* the ``trace_id`` **is** the job/sweep BLAKE2b fingerprint
+  (:meth:`repro.service.jobs.JobSpec.fingerprint` /
+  :func:`repro.harness.sweep.sweep_fingerprint`), so the trace of a job
+  names the same experiment as its result cache entry and its
+  checkpoint journal;
+* ``span_id``\\ s come from a named counter walking the tree
+  (``job``, ``job/point-0``, ``job/point-0/rep-1``, ...) — no wall
+  clock, no randomness, no PIDs.  Two runs of the same spec produce
+  byte-identical traces *modulo the timing fields*
+  (:data:`TIMING_FIELDS`), which is exactly what
+  :func:`structure_digest` hashes.
+
+Workers emit one NDJSON **shard** per ``(point, repetition)`` work item;
+:func:`merge_shards` folds them into one causally-ordered per-job trace
+in submission order — the same discipline as
+:meth:`~repro.obs.recorder.MetricsRecorder.merge_snapshot` — so the
+merged trace is independent of worker completion order.  A repetition
+replayed from a checkpoint journal re-derives its shard from the
+journalled profile (:func:`build_repetition_spans` is a pure function of
+the context and the profile), which is why a SIGKILL'd-and-resumed job
+merges to the same tree as an uninterrupted one.
+
+Line shapes::
+
+    {"schema": "trace/v2", "trace_id": "9c0f...", "shard": "point-0.rep-1", "spans": 4}
+    {"span_id": "job/point-0/rep-1", "parent_id": "job/point-0", "name": "rep", ...}
+    ...
+
+Loading a ``trace/v1`` file here (or a ``trace/v2`` file with the v1
+loader) raises :class:`~repro.errors.ObservabilityError` naming **both**
+schemas, so mixed-era tooling fails loudly instead of misparsing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "TRACE_V2_SCHEMA",
+    "TIMING_FIELDS",
+    "TraceContext",
+    "SpanIdAllocator",
+    "SpanRecord",
+    "build_repetition_spans",
+    "shard_filename",
+    "write_shard",
+    "load_spans",
+    "merge_shards",
+    "write_trace",
+    "structural_form",
+    "structure_digest",
+    "span_stats",
+    "render_tree",
+]
+
+TRACE_V2_SCHEMA = "trace/v2"
+
+#: The only fields of a span record that may differ between two runs of
+#: the same spec (wall-clock measurements).  Everything else — ids,
+#: names, parentage, counts, ordering — is deterministic.
+TIMING_FIELDS = ("total_ms", "mean_ms", "min_ms", "max_ms")
+
+_SHARD_NAME_RE = re.compile(r"^point-(\d+)\.rep-(\d+)$")
+
+
+class SpanIdAllocator:
+    """Deterministic span ids from a named counter (no clock, no random).
+
+    The first span of a given name under a parent gets the bare name;
+    repeats get ``name:1``, ``name:2``, ...  Allocation order is the
+    caller's (deterministic) emission order, so equal trees allocate
+    equal ids.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def allocate(self, name: str) -> str:
+        count = self._counts.get(name, 0)
+        self._counts[name] = count + 1
+        return name if count == 0 else f"{name}:{count}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The deterministic identity a span tree grows under.
+
+    Picklable by design: it rides a :class:`~repro.perf.executor.
+    SweepWorkItem` into spawn workers, which derive their repetition
+    span ids from it with no coordination.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+    @classmethod
+    def for_job(cls, fingerprint: str) -> "TraceContext":
+        """The root context of one job: ``trace_id`` is the fingerprint."""
+        return cls(trace_id=str(fingerprint), span_id="job", parent_id=None)
+
+    def child(self, name: str) -> "TraceContext":
+        """A child context one level down the deterministic name path."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=f"{self.span_id}/{name}",
+            parent_id=self.span_id,
+        )
+
+
+@dataclass
+class SpanRecord:
+    """One span line of a ``trace/v2`` file (timing fields optional)."""
+
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    count: int = 1
+    total_ms: Optional[float] = None
+    mean_ms: Optional[float] = None
+    min_ms: Optional[float] = None
+    max_ms: Optional[float] = None
+
+    def to_dict(self) -> Dict:
+        line: Dict = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "count": self.count,
+        }
+        for field in TIMING_FIELDS:
+            value = getattr(self, field)
+            if value is not None:
+                line[field] = value
+        return line
+
+    @classmethod
+    def from_dict(cls, line: Dict) -> "SpanRecord":
+        try:
+            return cls(
+                span_id=str(line["span_id"]),
+                parent_id=line.get("parent_id"),
+                name=str(line["name"]),
+                count=int(line.get("count", 1)),
+                total_ms=line.get("total_ms"),
+                mean_ms=line.get("mean_ms"),
+                min_ms=line.get("min_ms"),
+                max_ms=line.get("max_ms"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ObservabilityError(
+                f"bad trace span record {line!r}: {exc}"
+            ) from exc
+
+
+def build_repetition_spans(
+    context: TraceContext,
+    point_index: int,
+    repetition: int,
+    profile: Optional[Dict],
+) -> List[SpanRecord]:
+    """The span subtree of one ``(point, repetition)`` work item.
+
+    A pure function of the deterministic inputs: the job context, the
+    item's coordinates, and the worker's span profile (as journalled by
+    ``checkpoint/v1``).  Fresh outcomes and journal replays therefore
+    produce identical subtrees — structure always, timings too when the
+    profile came from the same run.
+    """
+    rep_context = context.child(f"point-{point_index}").child(
+        f"rep-{repetition}"
+    )
+    profile = profile or {}
+    rep_stats = profile.get("sweep.repetition")
+    rep_span = SpanRecord(
+        span_id=rep_context.span_id,
+        parent_id=rep_context.parent_id,
+        name=f"rep-{repetition}",
+    )
+    if rep_stats is not None:
+        rep_span.count = int(rep_stats.get("count", 1))
+        for field in TIMING_FIELDS:
+            setattr(rep_span, field, rep_stats.get(field))
+    spans = [rep_span]
+    allocator = SpanIdAllocator()
+    for name in sorted(profile):
+        stats = profile[name]
+        child = rep_context.child(allocator.allocate(name))
+        spans.append(
+            SpanRecord(
+                span_id=child.span_id,
+                parent_id=child.parent_id,
+                name=name,
+                count=int(stats.get("count", 0)),
+                total_ms=stats.get("total_ms"),
+                mean_ms=stats.get("mean_ms"),
+                min_ms=stats.get("min_ms"),
+                max_ms=stats.get("max_ms"),
+            )
+        )
+    return spans
+
+
+def shard_filename(point_index: int, repetition: int) -> str:
+    """The canonical shard name of one work item (sort-stable)."""
+    return f"point-{int(point_index):04d}.rep-{int(repetition):04d}.ndjson"
+
+
+def write_shard(
+    path: Union[str, Path],
+    trace_id: str,
+    point_index: int,
+    repetition: int,
+    spans: Sequence[SpanRecord],
+) -> None:
+    """Atomically write one worker shard as ``trace/v2`` NDJSON."""
+    target = Path(path)
+    temporary = target.with_name(target.name + ".tmp")
+    header = {
+        "schema": TRACE_V2_SCHEMA,
+        "trace_id": str(trace_id),
+        "shard": f"point-{int(point_index)}.rep-{int(repetition)}",
+        "spans": len(spans),
+    }
+    try:
+        with temporary.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for span in spans:
+                handle.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        os.replace(temporary, target)
+    except OSError as exc:
+        try:
+            temporary.unlink()
+        except OSError:
+            # Best-effort cleanup; the original OSError is the real story.
+            pass
+        raise ObservabilityError(
+            f"cannot write trace shard {target}: {exc}"
+        ) from exc
+
+
+def _check_schema(path: Union[str, Path], header: Dict) -> None:
+    schema = header.get("schema")
+    if schema == TRACE_V2_SCHEMA:
+        return
+    if schema == "trace/v1":
+        raise ObservabilityError(
+            f"trace file {path} has schema 'trace/v1' (simulator events), "
+            f"expected {TRACE_V2_SCHEMA!r} (job spans); load it with "
+            "repro.obs.load_trace / `addc-repro trace stats` instead"
+        )
+    raise ObservabilityError(
+        f"trace file {path} has schema {schema!r}, expected "
+        f"{TRACE_V2_SCHEMA!r}"
+    )
+
+
+def load_spans(
+    path: Union[str, Path]
+) -> Tuple[Dict, List[SpanRecord]]:
+    """Load one ``trace/v2`` file; returns ``(header, spans)``.
+
+    Validates the header schema (a ``trace/v1`` file raises an error
+    naming both versions), an optional trailing footer, and the declared
+    span count.
+    """
+    header: Optional[Dict] = None
+    footer: Optional[Dict] = None
+    spans: List[SpanRecord] = []
+    try:
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for number, raw in enumerate(handle, start=1):
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    line = json.loads(raw)
+                except json.JSONDecodeError as exc:
+                    raise ObservabilityError(
+                        f"trace file {path} line {number} is not JSON: {exc}"
+                    ) from exc
+                if not isinstance(line, dict):
+                    raise ObservabilityError(
+                        f"trace file {path} line {number} is not a JSON object"
+                    )
+                if header is None:
+                    _check_schema(path, line)
+                    header = line
+                    continue
+                if footer is not None:
+                    raise ObservabilityError(
+                        f"trace file {path} has span lines after its footer"
+                    )
+                if line.get("schema") == TRACE_V2_SCHEMA and line.get("footer"):
+                    footer = line
+                    continue
+                spans.append(SpanRecord.from_dict(line))
+    except OSError as exc:
+        raise ObservabilityError(
+            f"cannot read trace file {path}: {exc}"
+        ) from exc
+    if header is None:
+        raise ObservabilityError(f"trace file {path} is empty (no header line)")
+    declared = (
+        footer.get("spans") if footer is not None else header.get("spans")
+    )
+    if declared is not None and int(declared) != len(spans):
+        raise ObservabilityError(
+            f"trace file {path} declares {declared} spans but contains "
+            f"{len(spans)}"
+        )
+    return header, spans
+
+
+def _shard_key(path: Path, header: Dict) -> Tuple[int, int]:
+    """The submission-order key ``(point, rep)`` of one shard."""
+    match = _SHARD_NAME_RE.match(str(header.get("shard", "")))
+    if match is None:
+        raise ObservabilityError(
+            f"trace shard {path} has no 'point-<i>.rep-<j>' shard label "
+            f"(got {header.get('shard')!r})"
+        )
+    return int(match.group(1)), int(match.group(2))
+
+
+def merge_shards(
+    trace_id: str,
+    shard_paths: Iterable[Union[str, Path]],
+    job_name: Optional[str] = None,
+) -> List[SpanRecord]:
+    """Fold worker shards into one causally-ordered per-job span list.
+
+    Shards are sorted by their ``(point, repetition)`` submission key —
+    **never** by argument or completion order — so the merge is
+    invariant under any shuffling of ``shard_paths`` (the
+    ``merge_snapshot`` discipline, applied to traces).  Every shard must
+    carry the job's ``trace_id``; a stray shard from another job is a
+    hard error, not a silent mix-up.
+
+    The result starts with the root ``job`` span and one synthetic
+    ``point-<i>`` span per sweep point (timing folded up from its
+    repetitions), followed by each repetition subtree in order.
+    """
+    root = TraceContext.for_job(trace_id)
+    loaded: List[Tuple[Tuple[int, int], List[SpanRecord]]] = []
+    for path in shard_paths:
+        path = Path(path)
+        header, spans = load_spans(path)
+        if header.get("trace_id") != trace_id:
+            raise ObservabilityError(
+                f"trace shard {path} belongs to trace "
+                f"{header.get('trace_id')!r}, not {trace_id!r}"
+            )
+        loaded.append((_shard_key(path, header), spans))
+    loaded.sort(key=lambda item: item[0])
+
+    job_span = SpanRecord(
+        span_id=root.span_id,
+        parent_id=None,
+        name=job_name or "job",
+        count=1,
+    )
+    merged: List[SpanRecord] = [job_span]
+    by_point: Dict[int, List[Tuple[int, List[SpanRecord]]]] = {}
+    for (point, rep), spans in loaded:
+        by_point.setdefault(point, []).append((rep, spans))
+    job_total = 0.0
+    job_timed = False
+    for point in sorted(by_point):
+        point_context = root.child(f"point-{point}")
+        point_span = SpanRecord(
+            span_id=point_context.span_id,
+            parent_id=point_context.parent_id,
+            name=f"point-{point}",
+            count=len(by_point[point]),
+        )
+        merged.append(point_span)
+        total = 0.0
+        timed = False
+        for _rep, spans in sorted(by_point[point], key=lambda item: item[0]):
+            merged.extend(spans)
+            if spans and spans[0].total_ms is not None:
+                total += spans[0].total_ms
+                timed = True
+        if timed:
+            point_span.total_ms = total
+            job_total += total
+            job_timed = True
+    if job_timed:
+        job_span.total_ms = job_total
+    return merged
+
+
+def write_trace(
+    path: Union[str, Path], trace_id: str, spans: Sequence[SpanRecord]
+) -> None:
+    """Atomically write one merged ``trace/v2`` file."""
+    target = Path(path)
+    temporary = target.with_name(target.name + ".tmp")
+    header = {
+        "schema": TRACE_V2_SCHEMA,
+        "trace_id": str(trace_id),
+        "merged": True,
+        "spans": len(spans),
+    }
+    try:
+        with temporary.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for span in spans:
+                handle.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        os.replace(temporary, target)
+    except OSError as exc:
+        try:
+            temporary.unlink()
+        except OSError:
+            pass
+        raise ObservabilityError(
+            f"cannot write trace file {target}: {exc}"
+        ) from exc
+
+
+def structural_form(spans: Sequence[SpanRecord]) -> List[Dict]:
+    """Span records with the :data:`TIMING_FIELDS` stripped.
+
+    What is left — ids, parentage, names, counts, and the list order —
+    is the deterministic identity of the trace: two runs of the same
+    spec (interrupted or not, any worker count) must agree on it.
+    """
+    structural = []
+    for span in spans:
+        line = span.to_dict()
+        for field in TIMING_FIELDS:
+            line.pop(field, None)
+        structural.append(line)
+    return structural
+
+
+def structure_digest(spans: Sequence[SpanRecord]) -> str:
+    """BLAKE2b digest of the canonical structural form (timing excluded)."""
+    import hashlib
+
+    payload = json.dumps(structural_form(spans), sort_keys=True)
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def _percentile(sorted_values: Sequence[float], quantile: float) -> float:
+    """Linear-interpolation percentile of an ascending value list."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    rank = quantile * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = rank - low
+    return float(
+        sorted_values[low] + (sorted_values[high] - sorted_values[low]) * fraction
+    )
+
+
+def span_stats(spans: Sequence[SpanRecord], top: int = 0) -> Dict:
+    """Per-name summary of a span list (JSON-serializable).
+
+    For every span name: how many records carry it, the summed
+    ``total_ms``, and p50/p95/p99 over the records' durations — the
+    distribution of one named phase across the job's repetitions.  With
+    ``top > 0`` the result also lists the ``top`` slowest individual
+    spans (by ``total_ms``).
+    """
+    by_name: Dict[str, List[float]] = {}
+    counts: Dict[str, int] = {}
+    for span in spans:
+        counts[span.name] = counts.get(span.name, 0) + 1
+        if span.total_ms is not None:
+            by_name.setdefault(span.name, []).append(float(span.total_ms))
+    names: Dict[str, Dict] = {}
+    for name in sorted(counts):
+        durations = sorted(by_name.get(name, ()))
+        names[name] = {
+            "spans": counts[name],
+            "total_ms": sum(durations),
+            "p50_ms": _percentile(durations, 0.50),
+            "p95_ms": _percentile(durations, 0.95),
+            "p99_ms": _percentile(durations, 0.99),
+        }
+    summary: Dict = {"schema": TRACE_V2_SCHEMA, "spans": len(spans), "names": names}
+    if top > 0:
+        slowest = sorted(
+            (span for span in spans if span.total_ms is not None),
+            key=lambda span: (-float(span.total_ms), span.span_id),
+        )[:top]
+        summary["slowest"] = [
+            {
+                "span_id": span.span_id,
+                "name": span.name,
+                "total_ms": float(span.total_ms),
+            }
+            for span in slowest
+        ]
+    return summary
+
+
+def render_tree(trace_id: str, spans: Sequence[SpanRecord]) -> str:
+    """Indented text rendering of a merged trace (``trace tree``)."""
+    by_id = {span.span_id: span for span in spans}
+    children: Dict[str, List[SpanRecord]] = {}
+    roots: List[SpanRecord] = []
+    for span in spans:
+        if span.parent_id in by_id and span.parent_id != span.span_id:
+            children.setdefault(span.parent_id, []).append(span)
+        else:
+            roots.append(span)
+    lines = [f"trace {trace_id} ({len(spans)} spans)"]
+
+    def render(span: SpanRecord, depth: int) -> None:
+        timing = ""
+        if span.total_ms is not None:
+            timing = f"  total={span.total_ms:.3f} ms"
+            if span.count > 1 and span.mean_ms is not None:
+                timing += f"  mean={span.mean_ms:.4f} ms"
+        lines.append(f"{'  ' * depth}{span.name}  calls={span.count}{timing}")
+        for child in children.get(span.span_id, ()):  # insertion order
+            render(child, depth + 1)
+
+    for root in roots:
+        render(root, 1)
+    return "\n".join(lines)

@@ -26,6 +26,7 @@ from __future__ import annotations
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 import repro.obs as obs
@@ -34,6 +35,12 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
     RepetitionMeasurement,
     run_comparison_repetition,
+)
+from repro.obs.tracing import (
+    TraceContext,
+    build_repetition_spans,
+    shard_filename,
+    write_shard,
 )
 
 __all__ = [
@@ -55,6 +62,12 @@ class SweepWorkItem:
     #: MetricsRecorder` and ships its snapshot/profile back for the
     #: parent to merge (deterministically, in submission order).
     collect_metrics: bool = False
+    #: Deterministic trace identity for this job (``trace/v2``); when set
+    #: together with ``trace_dir`` and ``collect_metrics``, the worker
+    #: writes one span shard per repetition as it completes.
+    trace: Optional[TraceContext] = None
+    #: Directory receiving ``point-NNNN.rep-NNNN.ndjson`` shards.
+    trace_dir: Optional[str] = None
 
 
 @dataclass
@@ -80,12 +93,29 @@ def execute_work_item(item: SweepWorkItem) -> RepetitionOutcome:
         recorder = obs.MetricsRecorder()
         with obs.use_recorder(recorder):
             measurement = run_comparison_repetition(item.config, item.repetition)
+        profile = recorder.profile()
+        if item.trace is not None and item.trace_dir is not None:
+            # One trace/v2 shard per repetition.  Span identity derives
+            # only from the job fingerprint and (point, repetition), so a
+            # crashed-and-resumed sweep re-derives identical shards from
+            # its journalled profiles.
+            spans = build_repetition_spans(
+                item.trace, item.point_index, item.repetition, profile
+            )
+            write_shard(
+                Path(item.trace_dir)
+                / shard_filename(item.point_index, item.repetition),
+                item.trace.trace_id,
+                item.point_index,
+                item.repetition,
+                spans,
+            )
         return RepetitionOutcome(
             point_index=item.point_index,
             repetition=item.repetition,
             measurement=measurement,
             metrics=recorder.snapshot(),
-            profile=recorder.profile(),
+            profile=profile,
         )
     measurement = run_comparison_repetition(item.config, item.repetition)
     return RepetitionOutcome(

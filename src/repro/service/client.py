@@ -84,6 +84,10 @@ class ServiceClient:
     def status(self) -> Dict:
         return self.request({"type": "status"})
 
+    def stats(self) -> Dict:
+        """Live telemetry snapshot (``stats_report``); never blocks a job."""
+        return self.request({"type": "stats"})
+
     def result(self, fingerprint: str) -> Dict:
         return self.request({"type": "result", "fingerprint": fingerprint})
 

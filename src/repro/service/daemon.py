@@ -42,17 +42,22 @@ from repro.service.state import ServiceState
 
 __all__ = ["ExperimentService"]
 
-#: The service.* counters reported in status, snapshot, and manifest.
-_COUNTERS = (
-    "jobs_admitted",
-    "jobs_completed",
-    "jobs_failed",
-    "jobs_shed",
-    "jobs_recovered",
-    "jobs_resumed",
-    "cache_hits",
-    "cache_misses",
-)
+#: The service.* counters reported in status, snapshot, and manifest,
+#: each mapped to its literal metric name — reprolint rule OBS002 bans
+#: computed metric names (``f"service.{name}"``), so the registry of
+#: valid names lives here, spelled out.
+_COUNTER_METRICS = {
+    "jobs_admitted": "service.jobs_admitted",
+    "jobs_completed": "service.jobs_completed",
+    "jobs_failed": "service.jobs_failed",
+    "jobs_shed": "service.jobs_shed",
+    "jobs_recovered": "service.jobs_recovered",
+    "jobs_resumed": "service.jobs_resumed",
+    "cache_hits": "service.cache_hits",
+    "cache_misses": "service.cache_misses",
+}
+
+_COUNTERS = tuple(_COUNTER_METRICS)
 
 
 class _JobProgress:
@@ -106,7 +111,7 @@ class ExperimentService:
     def _count(self, name: str, value: int = 1) -> None:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + value
-        obs.counter_add(f"service.{name}", value)
+        obs.counter_add(_COUNTER_METRICS[name], value)
 
     def counters(self) -> Dict[str, int]:
         with self._lock:
@@ -204,10 +209,32 @@ class ExperimentService:
     def status_report(self) -> Dict:
         return protocol.status_report(self.service_summary())
 
+    def stats(self) -> Dict:
+        """Live telemetry payload: summary + quarantine + per-phase timings.
+
+        Everything here reads in-memory state (locked counters, queue
+        properties, the ambient recorder's profile), so answering a
+        ``stats`` request never pauses the event loop or the running job.
+        """
+        with self._lock:
+            quarantined = len(self._failed)
+        return {
+            "service": self.service_summary(),
+            "quarantined": quarantined,
+            "phases": obs.profile(),
+        }
+
+    def stats_report(self) -> Dict:
+        return protocol.stats_report(self.stats())
+
     def heartbeat(self) -> Dict:
         counters = self.counters()
         return protocol.heartbeat(
-            self.queue.depth, self.queue.inflight, counters["jobs_completed"]
+            self.queue.depth,
+            self.queue.inflight,
+            counters["jobs_completed"],
+            cache_hits=counters["cache_hits"],
+            cache_misses=counters["cache_misses"],
         )
 
     # ---- subscriptions -------------------------------------------------- #

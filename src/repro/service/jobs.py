@@ -40,6 +40,7 @@ from repro.faults.sweep import (
 from repro.harness import RetryPolicy, SweepRunResult, run_checkpointed_sweep
 from repro.harness.sweep import sweep_fingerprint
 from repro.obs.manifest import RunManifest, build_manifest
+from repro.obs.tracing import TraceContext, merge_shards, write_trace
 
 __all__ = [
     "JOB_KINDS",
@@ -290,6 +291,8 @@ def run_job(
     workers: int = 1,
     policy: Optional[RetryPolicy] = None,
     progress=None,
+    trace: Optional[TraceContext] = None,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> JobRunResult:
     """Execute one job under the crash-safe harness.
 
@@ -297,6 +300,9 @@ def run_job(
     workers, durable journalling when ``checkpoint_path`` is given,
     fingerprint-checked resume, quarantine instead of abort.  Results
     are byte-identical for any worker count and any kill/resume history.
+    ``trace``/``trace_dir`` enable per-repetition ``trace/v2`` span
+    shards for fig6/compare jobs (chaos repetitions are not sweep
+    points, so they are not traced).
     """
     if spec.kind == "chaos":
         result = run_chaos_sweep(
@@ -318,6 +324,8 @@ def run_job(
         workers=workers,
         policy=policy,
         progress=progress,
+        trace=trace,
+        trace_dir=trace_dir,
     )
     return JobRunResult(spec=spec, sweep=result)
 
@@ -361,7 +369,24 @@ def execute_job(
     :class:`~repro.obs.MetricsRecorder` (so the manifest describes *this*
     job, not the daemon's lifetime), and the snapshot is merged back into
     the ambient recorder afterwards so daemon-level totals still add up.
+
+    Non-chaos jobs are traced end to end: the trace id **is** the job
+    fingerprint, workers drop one ``trace/v2`` shard per repetition next
+    to the journal (``<base>/trace/``), and the shards merge — always in
+    submission order, whatever order workers finished in — into
+    ``<base>/trace.ndjson``, where ``<base>`` is the journal's directory
+    (or the artifact's, when running without a journal).
     """
+    trace_context: Optional[TraceContext] = None
+    trace_dir: Optional[Path] = None
+    base = (
+        Path(checkpoint_path).parent
+        if checkpoint_path is not None
+        else Path(artifact_path).parent
+    )
+    if spec.kind != "chaos":
+        trace_context = TraceContext.for_job(spec.fingerprint())
+        trace_dir = base / "trace"
     recorder = obs.MetricsRecorder()
     started = obs.monotonic_s()
     with obs.use_recorder(recorder):
@@ -372,6 +397,8 @@ def execute_job(
             workers=workers,
             policy=policy,
             progress=progress,
+            trace=trace_context,
+            trace_dir=trace_dir,
         )
         manifest_extra = result.manifest_extra(workers)
         if extra:
@@ -386,4 +413,11 @@ def execute_job(
     if obs.enabled():
         obs.merge_snapshot(recorder.snapshot(), recorder.profile())
     save_job_artifact(result, artifact_path, manifest=manifest)
+    if trace_context is not None and trace_dir is not None and trace_dir.exists():
+        shards = sorted(trace_dir.glob("point-*.rep-*.ndjson"))
+        if shards:
+            spans = merge_shards(
+                trace_context.trace_id, shards, job_name=spec.sweep_name()
+            )
+            write_trace(base / "trace.ndjson", trace_context.trace_id, spans)
     return result

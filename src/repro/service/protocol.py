@@ -7,6 +7,9 @@ clients can reject a daemon from a different era.  Requests:
 ========== ============================================================
 ``submit``   ``{"type", "job": {...JobSpec...}, "stream": bool}``
 ``status``   queue/cache/counter report
+``stats``    live telemetry: queue/cache/quarantine plus per-phase span
+             timings — answered from in-memory state, never pausing the
+             event loop or the running job
 ``result``   ``{"type", "fingerprint"}`` — fetch a finished artifact
 ``ping``     liveness probe
 ``shutdown`` graceful drain (same path as SIGTERM)
@@ -15,7 +18,7 @@ clients can reject a daemon from a different era.  Requests:
 Responses: ``accepted``, ``cache_hit``, ``retry_after`` (typed
 backpressure — a full queue *answers*, it never blocks), ``progress``,
 ``heartbeat``, ``completed``, ``failed``, ``pending``, ``status_report``,
-``pong``, ``draining``, and ``error``.
+``stats_report``, ``pong``, ``draining``, and ``error``.
 
 Malformed traffic raises :class:`~repro.errors.ProtocolError`; the daemon
 converts it into an ``error`` response for the offending client and keeps
@@ -44,6 +47,7 @@ __all__ = [
     "failed",
     "pending",
     "status_report",
+    "stats_report",
     "pong",
     "draining",
     "error_response",
@@ -51,7 +55,7 @@ __all__ = [
 
 SERVICE_SCHEMA = "service/v1"
 
-REQUEST_TYPES = ("submit", "status", "result", "ping", "shutdown")
+REQUEST_TYPES = ("submit", "status", "stats", "result", "ping", "shutdown")
 
 
 def encode_message(message: Dict) -> bytes:
@@ -144,12 +148,20 @@ def progress_event(fingerprint: str, done: int, total: int) -> Dict:
     )
 
 
-def heartbeat(queue_depth: int, inflight: int, jobs_completed: int) -> Dict:
+def heartbeat(
+    queue_depth: int,
+    inflight: int,
+    jobs_completed: int,
+    cache_hits: int = 0,
+    cache_misses: int = 0,
+) -> Dict:
     return _response(
         "heartbeat",
         queue_depth=int(queue_depth),
         inflight=int(inflight),
         jobs_completed=int(jobs_completed),
+        cache_hits=int(cache_hits),
+        cache_misses=int(cache_misses),
     )
 
 
@@ -174,6 +186,17 @@ def pending(fingerprint: str, position: int, running: bool) -> Dict:
 
 def status_report(report: Dict) -> Dict:
     return _response("status_report", **report)
+
+
+def stats_report(stats: Dict) -> Dict:
+    """Live telemetry: the ``stats`` verb's answer.
+
+    ``stats`` carries the service summary (queue depth, in-flight,
+    capacity, counters), the quarantine size, and ``phases`` — the
+    daemon recorder's span profile (``service.job``, ``engine.phase.*``,
+    ...) — all read from in-memory state without touching the worker.
+    """
+    return _response("stats_report", **stats)
 
 
 def pong() -> Dict:

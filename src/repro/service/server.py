@@ -220,6 +220,8 @@ class ServiceServer:
             self._send(conn, protocol.pong())
         elif kind == "status":
             self._send(conn, self.service.status_report())
+        elif kind == "stats":
+            self._send(conn, self.service.stats_report())
         elif kind == "result":
             self._send(conn, self.service.result(request["fingerprint"]))
         elif kind == "submit":

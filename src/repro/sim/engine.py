@@ -876,7 +876,8 @@ class SlottedEngine:
                 if self._has_faults:
                     self._process_faults()
                 self._inject_arrivals()
-                self._advance_pu_states()
+                with obs.span("engine.phase.pu_redraw"):
+                    self._advance_pu_states()
                 self._contend_and_transmit()
                 if self.slot_hook is not None:
                     self.slot_hook(self)
@@ -1034,131 +1035,133 @@ class SlottedEngine:
         extra_wait = self._extra_wait
         backoff = self._backoff
         node_channel = self._node_channel
-        if self._imperfect_sensing:
-            sensing_draws = self._sensing_rng.random(self._num_nodes)
-        if self.detector is not None:
-            # Energy detection: P(sensed busy) = 1 - P(miss every active
-            # in-range PU) * P(no false alarm), vectorized per slot.
-            miss_all = np.exp(self._miss_log @ self._pu_states.astype(float))
-            p_sensed_busy = 1.0 - miss_all * (
-                1.0 - self.detector.false_alarm_probability
-            )
-        ongoing = self._ongoing
-        # Readiness scan, vectorized over full per-node arrays.  Every
-        # step is a mask (order-independent), so no container iteration
-        # order can leak into results; the stable sort below pins the
-        # ordering to (expiry, node), exactly the old sorted-tuple order.
-        if self._active:
-            eligible = self._active_mask & (self._hold_until_slot <= self._slot)
-            if ongoing:
-                # Mid-transmission nodes (multi-slot packets) sit out.
-                eligible[
-                    np.fromiter(ongoing.keys(), dtype=np.int64, count=len(ongoing))
-                ] = False
+        with obs.span("engine.phase.sensing"):
+            if self._imperfect_sensing:
+                sensing_draws = self._sensing_rng.random(self._num_nodes)
             if self.detector is not None:
-                sensed = sensing_draws < p_sensed_busy
+                # Energy detection: P(sensed busy) = 1 - P(miss every active
+                # in-range PU) * P(no false alarm), vectorized per slot.
+                miss_all = np.exp(self._miss_log @ self._pu_states.astype(float))
+                p_sensed_busy = 1.0 - miss_all * (
+                    1.0 - self.detector.false_alarm_probability
+                )
+            ongoing = self._ongoing
+            # Readiness scan, vectorized over full per-node arrays.  Every
+            # step is a mask (order-independent), so no container iteration
+            # order can leak into results; the stable sort below pins the
+            # ordering to (expiry, node), exactly the old sorted-tuple order.
+            if self._active:
+                eligible = self._active_mask & (self._hold_until_slot <= self._slot)
+                if ongoing:
+                    # Mid-transmission nodes (multi-slot packets) sit out.
+                    eligible[
+                        np.fromiter(ongoing.keys(), dtype=np.int64, count=len(ongoing))
+                    ] = False
+                if self.detector is not None:
+                    sensed = sensing_draws < p_sensed_busy
+                else:
+                    if self._num_channels == 1:
+                        busy = self._pu_busy > 0
+                    else:
+                        busy = (
+                            self._busy_columns[node_channel, self._node_index] > 0
+                        )
+                    if self._imperfect_sensing:
+                        sensed = np.where(
+                            busy,
+                            sensing_draws >= self.p_missed_detection,
+                            sensing_draws < self.p_false_alarm,
+                        )
+                    else:
+                        sensed = busy
+                # Sensing faults pin the detector output, consuming no draws;
+                # a node under both faults senses busy (stuck-busy wins).
+                if self._stuck_idle:
+                    sensed = sensed.copy()
+                    sensed[
+                        np.fromiter(
+                            self._stuck_idle,
+                            dtype=np.int64,
+                            count=len(self._stuck_idle),
+                        )
+                    ] = False
+                if self._stuck_busy:
+                    sensed = sensed.copy()
+                    sensed[
+                        np.fromiter(
+                            self._stuck_busy,
+                            dtype=np.int64,
+                            count=len(self._stuck_busy),
+                        )
+                    ] = True
+                ready_nodes = np.nonzero(eligible & ~sensed)[0]
+                frozen_by_pu = int(np.count_nonzero(eligible)) - ready_nodes.size
             else:
-                if self._num_channels == 1:
-                    busy = self._pu_busy > 0
-                else:
-                    busy = (
-                        self._busy_columns[node_channel, self._node_index] > 0
-                    )
-                if self._imperfect_sensing:
-                    sensed = np.where(
-                        busy,
-                        sensing_draws >= self.p_missed_detection,
-                        sensing_draws < self.p_false_alarm,
-                    )
-                else:
-                    sensed = busy
-            # Sensing faults pin the detector output, consuming no draws;
-            # a node under both faults senses busy (stuck-busy wins).
-            if self._stuck_idle:
-                sensed = sensed.copy()
-                sensed[
-                    np.fromiter(
-                        self._stuck_idle,
-                        dtype=np.int64,
-                        count=len(self._stuck_idle),
-                    )
-                ] = False
-            if self._stuck_busy:
-                sensed = sensed.copy()
-                sensed[
-                    np.fromiter(
-                        self._stuck_busy,
-                        dtype=np.int64,
-                        count=len(self._stuck_busy),
-                    )
-                ] = True
-            ready_nodes = np.nonzero(eligible & ~sensed)[0]
-            frozen_by_pu = int(np.count_nonzero(eligible)) - ready_nodes.size
-        else:
-            ready_nodes = np.zeros(0, dtype=np.int64)
-            frozen_by_pu = 0
-        self._result.frozen_slot_count += frozen_by_pu
-        self._result.opportunity_slot_count += int(ready_nodes.size)
-        if ready_nodes.size:
-            self._result.contention_slot_count += 1
-        expiries = extra_wait[ready_nodes] + backoff[ready_nodes]
-        # ready_nodes is ascending, so a stable sort on expiry alone keeps
-        # equal expiries in ascending-node order: the (expiry, node) key.
-        order = np.argsort(expiries, kind="stable")
-        ready: List[Tuple[float, int]] = list(
-            zip(expiries[order].tolist(), ready_nodes[order].tolist())
-        )
+                ready_nodes = np.zeros(0, dtype=np.int64)
+                frozen_by_pu = 0
+            self._result.frozen_slot_count += frozen_by_pu
+            self._result.opportunity_slot_count += int(ready_nodes.size)
+            if ready_nodes.size:
+                self._result.contention_slot_count += 1
+            expiries = extra_wait[ready_nodes] + backoff[ready_nodes]
+            # ready_nodes is ascending, so a stable sort on expiry alone keeps
+            # equal expiries in ascending-node order: the (expiry, node) key.
+            order = np.argsort(expiries, kind="stable")
+            ready: List[Tuple[float, int]] = list(
+                zip(expiries[order].tolist(), ready_nodes[order].tolist())
+            )
 
-        neighbors = self.sense_map.su_neighbors
-        # One contention domain per channel: a transmission only freezes
-        # same-channel neighbors.
-        blocked_at: List[Dict[int, float]] = [
-            {} for _ in range(self._num_channels)
-        ]
-        # Transmissions still in flight from earlier slots hold their
-        # neighborhoods from the very start of this slot.
-        for node, (_, channel, _, _) in self._ongoing.items():
-            channel_blocks = blocked_at[channel]
-            for neighbor in neighbors[node]:
-                channel_blocks[neighbor] = 0.0
-        transmitters: List[Tuple[float, int, int, int]] = []
-        for expiry, node in ready:
-            channel = int(node_channel[node])
-            block_time = blocked_at[channel].get(node)
-            if block_time is not None and block_time <= expiry:
-                # Frozen mid-countdown (lines 6-7): keep the remainder.
-                consumed = max(0.0, block_time - extra_wait[node])
-                backoff[node] = max(backoff[node] - consumed, 1e-12)
+        with obs.span("engine.phase.backoff"):
+            neighbors = self.sense_map.su_neighbors
+            # One contention domain per channel: a transmission only freezes
+            # same-channel neighbors.
+            blocked_at: List[Dict[int, float]] = [
+                {} for _ in range(self._num_channels)
+            ]
+            # Transmissions still in flight from earlier slots hold their
+            # neighborhoods from the very start of this slot.
+            for node, (_, channel, _, _) in self._ongoing.items():
+                channel_blocks = blocked_at[channel]
+                for neighbor in neighbors[node]:
+                    channel_blocks[neighbor] = 0.0
+            transmitters: List[Tuple[float, int, int, int]] = []
+            for expiry, node in ready:
+                channel = int(node_channel[node])
+                block_time = blocked_at[channel].get(node)
+                if block_time is not None and block_time <= expiry:
+                    # Frozen mid-countdown (lines 6-7): keep the remainder.
+                    consumed = max(0.0, block_time - extra_wait[node])
+                    backoff[node] = max(backoff[node] - consumed, 1e-12)
+                    if self.trace is not None:
+                        self.trace.record(
+                            TraceEvent(
+                                slot=self._slot,
+                                kind=TraceKind.FREEZE,
+                                node=node,
+                                time_in_slot=block_time,
+                            )
+                        )
+                    continue
+
+                packet = self._queues[node][0]
+                receiver = self.policy.next_hop(node, packet)
+                transmitters.append((expiry, node, receiver, channel))
+                channel_blocks = blocked_at[channel]
+                for neighbor in neighbors[node]:
+                    current = channel_blocks.get(neighbor)
+                    if current is None or expiry < current:
+                        channel_blocks[neighbor] = expiry
                 if self.trace is not None:
                     self.trace.record(
                         TraceEvent(
                             slot=self._slot,
-                            kind=TraceKind.FREEZE,
+                            kind=TraceKind.TX_START,
                             node=node,
-                            time_in_slot=block_time,
+                            peer=receiver,
+                            packet_id=packet.packet_id,
+                            time_in_slot=expiry,
                         )
                     )
-                continue
-
-            packet = self._queues[node][0]
-            receiver = self.policy.next_hop(node, packet)
-            transmitters.append((expiry, node, receiver, channel))
-            channel_blocks = blocked_at[channel]
-            for neighbor in neighbors[node]:
-                current = channel_blocks.get(neighbor)
-                if current is None or expiry < current:
-                    channel_blocks[neighbor] = expiry
-            if self.trace is not None:
-                self.trace.record(
-                    TraceEvent(
-                        slot=self._slot,
-                        kind=TraceKind.TX_START,
-                        node=node,
-                        peer=receiver,
-                        packet_id=packet.packet_id,
-                        time_in_slot=expiry,
-                    )
-                )
         return transmitters
 
     def _adjudicate(
@@ -1308,7 +1311,8 @@ class SlottedEngine:
                 )
                 if finish == self._slot
             ]
-        outcomes = self._adjudicate(completing, concurrent)
+        with obs.span("engine.phase.adjudicate"):
+            outcomes = self._adjudicate(completing, concurrent)
 
         self.last_slot_su_links = [
             (node, receiver) for _, node, receiver, _ in concurrent
@@ -1320,6 +1324,18 @@ class SlottedEngine:
             histogram = self._result.concurrent_tx_histogram
             histogram[count] = histogram.get(count, 0) + 1
 
+        if completing:
+            with obs.span("engine.phase.deliver"):
+                self._finish_slot(completing, outcomes)
+        else:
+            with obs.span("engine.phase.frozen_wait"):
+                self._finish_slot(completing, outcomes)
+
+    def _finish_slot(
+        self,
+        completing: List[Tuple[float, int, int, int]],
+        outcomes: List[bool],
+    ) -> None:
         # Slot end: deliveries, fairness waits, backoff redraws.
         extra_wait = self._extra_wait
         if self._active:

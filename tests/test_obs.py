@@ -534,3 +534,204 @@ class TestCli:
         assert stats["events"] > 0 and stats["dropped"] == 0
         # The exported stream round-trips through the loader.
         assert len(obs.load_trace(out)) == stats["events"]
+
+
+# --------------------------------------------------------------------------- #
+# histogram percentiles
+# --------------------------------------------------------------------------- #
+
+
+class TestHistogramPercentile:
+    def test_empty_histogram_has_no_percentile(self):
+        assert obs.histogram_percentile((1.0, 2.0), (0, 0, 0), 0.5) is None
+
+    def test_bad_quantile_raises(self):
+        with pytest.raises(ConfigurationError, match="quantile"):
+            obs.histogram_percentile((1.0,), (1, 0), 1.5)
+
+    def test_linear_interpolation_inside_a_bucket(self):
+        # 10 observations, all in (1, 2]: the median is mid-bucket.
+        bounds = (1.0, 2.0, 4.0)
+        counts = (0, 10, 0, 0)
+        assert obs.histogram_percentile(bounds, counts, 0.5) == pytest.approx(
+            1.5
+        )
+        assert obs.histogram_percentile(bounds, counts, 1.0) == pytest.approx(
+            2.0
+        )
+
+    def test_overflow_bucket_yields_inf(self):
+        # The tail rank lands past the last bound: report inf, not a
+        # made-up number that would understate a tail regression.
+        bounds = (1.0, 2.0)
+        counts = (5, 4, 1)
+        assert obs.histogram_percentile(bounds, counts, 0.99) == float("inf")
+
+    def test_report_renders_histogram_percentiles(self):
+        recorder = MetricsRecorder()
+        for value in (1, 2, 3, 5, 8, 13, 210, 340, 550):
+            recorder.observe("engine.packet_delay_slots", float(value))
+        manifest = obs.build_manifest(recorder=recorder)
+        text = obs.render_report(manifest)
+        (line,) = [
+            l for l in text.splitlines() if "engine.packet_delay_slots" in l
+        ]
+        assert "p50=" in line and "p95=" in line and "p99=" in line
+
+
+# --------------------------------------------------------------------------- #
+# prometheus export
+# --------------------------------------------------------------------------- #
+
+
+class TestPrometheusExport:
+    def test_counters_gauges_and_spans(self):
+        from repro.obs.export import render_prometheus
+
+        recorder = MetricsRecorder()
+        recorder.counter_add("engine.slots", 42)
+        recorder.gauge_set("engine.max_backlog", 7.5)
+        recorder.span_add("engine.slot", 0.25)
+        text = render_prometheus(recorder.snapshot(), recorder.profile())
+        assert "# TYPE addc_engine_slots_total counter" in text
+        assert "addc_engine_slots_total 42" in text
+        assert "addc_engine_max_backlog 7.5" in text
+        assert 'addc_span_calls_total{span="engine.slot"} 1' in text
+        assert 'addc_span_seconds_total{span="engine.slot"} 0.25' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        from repro.obs.export import render_prometheus
+
+        snapshot = {
+            "histograms": {
+                "engine.delay": {
+                    "bounds": [1.0, 2.0],
+                    "bucket_counts": [3, 2, 1],
+                    "count": 6,
+                    "total": 9.0,
+                }
+            }
+        }
+        text = render_prometheus(snapshot)
+        assert 'addc_engine_delay_bucket{le="1"} 3' in text
+        assert 'addc_engine_delay_bucket{le="2"} 5' in text
+        assert 'addc_engine_delay_bucket{le="+Inf"} 6' in text
+        assert "addc_engine_delay_sum 9" in text
+        assert "addc_engine_delay_count 6" in text
+
+    def test_equal_snapshots_export_equal_bytes(self):
+        from repro.obs.export import render_prometheus
+
+        snapshot = {"counters": {"b.x": 1, "a.y": 2}}
+        assert render_prometheus(snapshot) == render_prometheus(
+            {"counters": {"a.y": 2, "b.x": 1}}
+        )
+        # sorted by metric name, so ordering is canonical
+        lines = render_prometheus(snapshot).splitlines()
+        assert lines[1].startswith("addc_a_y_total")
+
+
+# --------------------------------------------------------------------------- #
+# manifest diff: the perf ratchet
+# --------------------------------------------------------------------------- #
+
+
+def _ratchet_manifest(mean_ms: float, wall: float = 10.0) -> dict:
+    recorder = MetricsRecorder()
+    recorder.counter_add("engine.slots", 1000)
+    recorder.span_add("engine.slot", mean_ms / 1e3)
+    manifest = obs.build_manifest(recorder=recorder, wall_time_s=wall)
+    return json.loads(json.dumps(dataclasses.asdict(manifest)))
+
+
+class TestManifestDiff:
+    def test_equal_manifests_have_no_regression(self):
+        from repro.obs.diff import diff_manifests
+
+        manifest = _ratchet_manifest(2.0)
+        rows = diff_manifests(manifest, manifest, tolerance_pct=5.0)
+        assert rows
+        assert not any(row.regression for row in rows)
+        assert all(row.delta_pct == 0.0 for row in rows)
+
+    def test_synthetic_regression_is_flagged(self):
+        from repro.obs.diff import diff_manifests
+
+        rows = diff_manifests(
+            _ratchet_manifest(2.0), _ratchet_manifest(4.0), tolerance_pct=50.0
+        )
+        flagged = {row.name for row in rows if row.regression}
+        assert "profile.engine.slot.mean_ms" in flagged
+
+    def test_machine_shape_figures_never_gate(self):
+        from repro.obs.diff import diff_manifests
+
+        # wall_time_s doubles, but it is informational (machine-shape).
+        rows = diff_manifests(
+            _ratchet_manifest(2.0, wall=10.0),
+            _ratchet_manifest(2.0, wall=20.0),
+            tolerance_pct=5.0,
+        )
+        wall = next(row for row in rows if row.name == "wall_time_s")
+        assert not wall.gated
+        assert not wall.regression
+
+    def test_no_shared_figures_is_an_error(self):
+        from repro.obs.diff import diff_manifests
+
+        empty = json.loads(
+            json.dumps(dataclasses.asdict(obs.build_manifest()))
+        )
+        with pytest.raises(ObservabilityError, match="no comparable"):
+            diff_manifests(empty, empty, tolerance_pct=5.0)
+
+
+class TestRatchetCli:
+    def _write(self, tmp_path, name, mean_ms):
+        path = tmp_path / name
+        path.write_text(json.dumps(_ratchet_manifest(mean_ms)))
+        return path
+
+    def test_diff_exits_zero_without_regression(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", 2.0)
+        new = self._write(tmp_path, "new.json", 2.02)
+        code = cli_main(
+            ["obs", "diff", str(old), str(new), "--fail-on-regression", "5"]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_diff_exits_nonzero_on_regression(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", 2.0)
+        new = self._write(tmp_path, "new.json", 20.0)
+        code = cli_main(
+            ["obs", "diff", str(old), str(new), "--fail-on-regression", "5"]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_diff_json_output(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", 2.0)
+        code = cli_main(["obs", "diff", str(old), str(old), "--json"])
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert any(r["name"] == "profile.engine.slot.mean_ms" for r in rows)
+
+    def test_export_prometheus_from_manifest(self, tmp_path, capsys):
+        manifest = self._write(tmp_path, "run.manifest.json", 2.0)
+        code = cli_main(["obs", "export", str(manifest), "--format", "prom"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "addc_engine_slots_total 1000" in out
+        assert 'addc_span_seconds_total{span="engine.slot"}' in out
+
+    def test_export_writes_out_file(self, tmp_path, capsys):
+        manifest = self._write(tmp_path, "run.manifest.json", 2.0)
+        target = tmp_path / "metrics.prom"
+        assert (
+            cli_main(
+                ["obs", "export", str(manifest), "--out", str(target)]
+            )
+            == 0
+        )
+        assert "addc_engine_slots_total" in target.read_text()

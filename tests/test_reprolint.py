@@ -114,6 +114,23 @@ RULE_FIXTURES = {
             "start = monotonic_s()\n\n__all__ = []\n"
         ),
     ),
+    "OBS002": (
+        "repro/service/metrics_shim.py",
+        (
+            "import repro.obs as obs\n\n\n"
+            "def count(name: str) -> None:\n"
+            "    obs.counter_add(f'service.{name}')\n\n\n"
+            "__all__ = ['count']\n"
+        ),
+        (
+            "import repro.obs as obs\n\n"
+            "_METRICS = {'admitted': 'service.jobs_admitted'}\n\n\n"
+            "def count(name: str) -> None:\n"
+            "    obs.counter_add(_METRICS[name])\n"
+            "    obs.counter_add('service.requests')\n\n\n"
+            "__all__ = ['count']\n"
+        ),
+    ),
     "PERF001": (
         "repro/perf/fanout.py",
         (

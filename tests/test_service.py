@@ -539,6 +539,63 @@ class TestExperimentService:
             "retry_after"
         )
 
+    def test_stats_exposes_live_telemetry(self, tmp_path):
+        """The ``stats`` payload: summary, quarantine, per-phase timings —
+        all from in-memory state, no drain required."""
+        service = ExperimentService(tmp_path / "state", queue_capacity=4)
+        with obs.use_recorder(obs.MetricsRecorder()):
+            spec = tiny_spec()
+            service.submit(spec.to_dict())
+            service.run_next_job(timeout_s=0)
+            assert service.submit(spec.to_dict())["type"] == "cache_hit"
+            stats = service.stats()
+            phases = stats["phases"]
+        summary = stats["service"]
+        assert summary["queue_depth"] == 0
+        assert summary["inflight"] == 0
+        assert summary["capacity"] == 4
+        assert summary["jobs_completed"] == 1
+        assert summary["cache_misses"] == 1
+        assert summary["cache_hits"] == 1
+        assert stats["quarantined"] == 0
+        # The daemon recorder saw the job's span profile merged back in.
+        assert "service.job" in phases
+        assert "engine.slot" in phases
+        assert any(name.startswith("engine.phase.") for name in phases)
+        assert json.loads(json.dumps(stats)) == stats
+
+    def test_heartbeat_carries_queue_and_cache_counters(self, tmp_path):
+        service = ExperimentService(tmp_path / "state", queue_capacity=4)
+        spec = tiny_spec()
+        service.submit(spec.to_dict())
+        service.run_next_job(timeout_s=0)
+        service.submit(spec.to_dict())  # served from cache
+        beat = service.heartbeat()
+        assert beat["type"] == "heartbeat"
+        assert beat["queue_depth"] == 0
+        assert beat["jobs_completed"] == 1
+        assert beat["cache_hits"] == 1
+        assert beat["cache_misses"] == 1
+
+    def test_drained_manifest_renders_a_service_section(self, tmp_path):
+        """The manifest drain() writes next to the snapshot feeds
+        ``obs report`` a SERVICE section with the real counters."""
+        service = ExperimentService(tmp_path / "state", queue_capacity=2)
+        spec = tiny_spec()
+        service.submit(spec.to_dict())
+        service.run_next_job(timeout_s=0)
+        service.submit(spec.to_dict())  # cache hit
+        service.drain()
+        manifest_path = tmp_path / "state" / "service-state.manifest.json"
+        manifest = obs.load_manifest(manifest_path)
+        text = render_report(manifest)
+        assert "SERVICE" in text
+        section = text[text.index("SERVICE"):]
+        assert "jobs_completed: 1" in section
+        assert "cache_hits:     1" in section
+        assert "cache_misses:   1" in section
+        assert "queue_depth:    0" in section
+
 
 # --------------------------------------------------------------------------- #
 # crash recovery: the byte-identity contract
@@ -664,6 +721,21 @@ class TestServerTransport:
         raw.close()
         assert response["type"] == "error"
         assert client.ping()["type"] == "pong"
+
+    def test_stats_verb_answers_live(self, server):
+        _server, client = server
+        stats = client.stats()
+        assert stats["type"] == "stats_report"
+        assert stats["schema"] == protocol.SERVICE_SCHEMA
+        assert stats["service"]["capacity"] == 2
+        assert stats["quarantined"] == 0
+        assert isinstance(stats["phases"], dict)
+        spec = tiny_spec(seed=31)
+        final = client.submit(spec, stream=True)
+        assert final["type"] == "completed"
+        after = client.stats()
+        assert after["service"]["jobs_completed"] == 1
+        assert after["service"]["cache_misses"] == 1
 
     def test_streamed_submit_and_cached_resubmit(self, server):
         _server, client = server
