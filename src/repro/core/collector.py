@@ -60,6 +60,7 @@ def run_addc_collection(
     departure_schedule=None,
     fault_plan=None,
     max_slots: int = 2_000_000,
+    fast_forward: bool = True,
     contention_window_ms: float = 0.5,
     slot_duration_ms: float = 1.0,
     trace: Optional[TraceLog] = None,
@@ -137,6 +138,7 @@ def run_addc_collection(
         slot_duration_ms=slot_duration_ms,
         contention_window_ms=contention_window_ms,
         max_slots=max_slots,
+        fast_forward=fast_forward,
         trace=trace,
     )
     if rounds > 1:

@@ -154,7 +154,8 @@ def _run_fig6_sweep_parallel(
         for index, (_, config) in enumerate(points)
         for rep in range(reps_of[index])
     ]
-    outcomes = iter(ParallelSweepExecutor(workers).run_items(items))
+    with ParallelSweepExecutor(workers) as executor:
+        outcomes = iter(executor.run_items(items))
     results: List[Tuple[float, ComparisonPoint]] = []
     for index, (x_value, config) in enumerate(points):
         measurements = []

@@ -29,6 +29,7 @@ from repro.routing.coolest import run_coolest_collection
 __all__ = [
     "ComparisonPoint",
     "RepetitionMeasurement",
+    "deploy_for_repetition",
     "run_comparison_repetition",
     "assemble_comparison_point",
     "run_comparison_point",
@@ -104,8 +105,26 @@ class RepetitionMeasurement:
     rng_positions: Dict[str, Dict[str, str]] = field(default_factory=dict)
 
 
-def run_comparison_repetition(
+def deploy_for_repetition(
     config: ExperimentConfig, repetition: int
+) -> "CrnTopology":
+    """Deploy the exact CRN that repetition ``repetition`` would deploy.
+
+    Re-derives the repetition's stream factory from ``(seed, repetition)``
+    and runs the normal placement path, so the returned topology is
+    byte-identical to the one :func:`run_comparison_repetition` would
+    build itself.  The placement streams are throwaway (they never appear
+    in ``rng_positions()``), which is what lets the parallel executor
+    deploy in the parent and ship only the resulting arrays to workers.
+    """
+    factory = StreamFactory(config.seed).spawn(f"rep-{repetition}")
+    return deploy_crn(config.deployment_spec(), factory)
+
+
+def run_comparison_repetition(
+    config: ExperimentConfig,
+    repetition: int,
+    topology: "CrnTopology | None" = None,
 ) -> RepetitionMeasurement:
     """Run one repetition of the ADDC-vs-Coolest comparison.
 
@@ -114,11 +133,18 @@ def run_comparison_repetition(
     RNG lineage (``StreamFactory(seed).spawn(f"rep-{i}")``) from nothing
     but the picklable ``(config, repetition)`` pair — which is what makes
     parallel results byte-identical to serial order.
+
+    ``topology`` short-circuits deployment with a pre-built CRN (it must
+    equal what :func:`deploy_for_repetition` returns for the same pair) —
+    the shared-memory fast path for warm workers.  Engine streams are
+    derived by name, never by draw order, so skipping the placement draws
+    leaves every recorded RNG position untouched.
     """
     root = StreamFactory(config.seed)
     with obs.span("sweep.repetition"):
         factory = root.spawn(f"rep-{repetition}")
-        topology = deploy_crn(config.deployment_spec(), factory)
+        if topology is None:
+            topology = deploy_crn(config.deployment_spec(), factory)
         addc = run_addc_collection(
             topology,
             factory.spawn("addc"),
@@ -241,13 +267,14 @@ def _measure_parallel(
         )
         for rep in range(reps)
     ]
-    for outcome in ParallelSweepExecutor(workers).run_items(items):
-        if outcome.metrics is not None:
-            obs.merge_snapshot(outcome.metrics, outcome.profile)
-        obs.counter_add("sweep.repetitions")
-        if progress is not None:
-            progress.tick()
-        yield outcome.measurement
+    with ParallelSweepExecutor(workers) as executor:
+        for outcome in executor.run_items(items):
+            if outcome.metrics is not None:
+                obs.merge_snapshot(outcome.metrics, outcome.profile)
+            obs.counter_add("sweep.repetitions")
+            if progress is not None:
+                progress.tick()
+            yield outcome.measurement
 
 
 def run_comparison_point(

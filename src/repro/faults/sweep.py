@@ -290,6 +290,7 @@ def run_chaos_sweep(
     workers: int = 1,
     policy: Optional[RetryPolicy] = None,
     progress=None,
+    pool=None,
 ) -> ChaosSweepResult:
     """Run ``repetitions`` chaos collections under the crash-safe harness.
 
@@ -321,6 +322,7 @@ def run_chaos_sweep(
         resume=resume,
         workers=workers,
         policy=policy,
+        pool=pool,
     )
 
     records: List[Dict] = []

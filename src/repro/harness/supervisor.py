@@ -29,8 +29,7 @@ stopped.
 
 from __future__ import annotations
 
-import multiprocessing
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
@@ -38,6 +37,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import repro.obs as obs
 from repro.errors import ConfigurationError, error_record
 from repro.obs.clock import monotonic_s, sleep_s
+from repro.perf.pool import WarmWorkerPool
 
 __all__ = [
     "RetryPolicy",
@@ -234,6 +234,14 @@ class WorkerSupervisor:
     retry/backoff/quarantine policy, so checkpointing and serial runs
     share one code path; deadlines are pool-only (an inline call cannot
     be interrupted).  ``clock`` and ``sleep`` are injectable for tests.
+
+    ``pool`` injects a caller-owned :class:`~repro.perf.pool.WarmWorkerPool`
+    (e.g. the service daemon's process-lifetime pool): the supervisor
+    then leaves the processes warm at the end of ``run`` instead of
+    shutting them down, while crash/deadline recovery still rebuilds the
+    pool *in place* (same object, fresh processes) either way.  A
+    ``KeyboardInterrupt`` abandons the pool — injected or not — because
+    its workers may hold half-executed items.
     """
 
     def __init__(
@@ -243,6 +251,7 @@ class WorkerSupervisor:
         start_method: str = "spawn",
         clock: Callable[[], float] = monotonic_s,
         sleep: Callable[[float], None] = sleep_s,
+        pool: Optional[WarmWorkerPool] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -251,6 +260,7 @@ class WorkerSupervisor:
         self.start_method = start_method
         self._clock = clock
         self._sleep = sleep
+        self._injected_pool = pool
 
     # ------------------------------------------------------------------ #
     # Public API                                                          #
@@ -324,26 +334,6 @@ class WorkerSupervisor:
     # Pool path                                                           #
     # ------------------------------------------------------------------ #
 
-    def _new_pool(self) -> ProcessPoolExecutor:
-        context = multiprocessing.get_context(self.start_method)
-        return ProcessPoolExecutor(max_workers=self.workers, mp_context=context)
-
-    @staticmethod
-    def _abandon_pool(pool: ProcessPoolExecutor) -> None:
-        """Best-effort teardown of a pool we no longer trust.
-
-        A running future cannot be cancelled, so deadline enforcement
-        terminates the worker processes directly (via the executor's
-        process table) before dropping the pool.
-        """
-        processes = getattr(pool, "_processes", None) or {}
-        for process in list(processes.values()):
-            try:
-                process.terminate()
-            except (OSError, ValueError):
-                pass  # already-dead worker; nothing left to terminate
-        pool.shutdown(wait=False, cancel_futures=True)
-
     def _run_pool(
         self,
         fn: Callable,
@@ -357,21 +347,24 @@ class WorkerSupervisor:
         probe_queue: List[ItemTracker] = []
         in_flight: Dict[Future, ItemTracker] = {}
         probing: Optional[ItemTracker] = None
-        pool = self._new_pool()
+        # An injected pool stays warm across runs; an owned one lives for
+        # this run only.  Recovery rebuilds either *in place*.
+        pool = self._injected_pool
+        owned = pool is None
+        if owned:
+            pool = WarmWorkerPool(self.workers, self.start_method)
 
         def submit(tracker: ItemTracker) -> bool:
-            nonlocal pool
             now = self._clock()
             tracker.mark_submitted(now)
             try:
                 future = pool.submit(fn, tracker.item)
-            except (BrokenProcessPool, RuntimeError):
+            except BrokenProcessPool:
                 # The pool died between harvest and submit; rebuild and
                 # let the main loop retry the submission.
                 stats["pool_rebuilds"] += 1
                 obs.counter_add("harness.pool_rebuilds")
-                self._abandon_pool(pool)
-                pool = self._new_pool()
+                pool.rebuild()
                 return False
             in_flight[future] = tracker
             return True
@@ -484,8 +477,7 @@ class WorkerSupervisor:
                     in_flight.clear()
                     stats["pool_rebuilds"] += 1
                     obs.counter_add("harness.pool_rebuilds")
-                    self._abandon_pool(pool)
-                    pool = self._new_pool()
+                    pool.rebuild()
                     continue
                 # --- enforce deadlines -------------------------------- #
                 now = self._clock()
@@ -533,17 +525,19 @@ class WorkerSupervisor:
                             pending.insert(0, tracker)
                     stats["pool_rebuilds"] += 1
                     obs.counter_add("harness.pool_rebuilds")
-                    self._abandon_pool(pool)
-                    pool = self._new_pool()
+                    pool.rebuild()
         except KeyboardInterrupt:
             # Satellite: a Ctrl-C mid-sweep must not lose gathered work.
             # Completed results already reached on_result (the journal);
             # cancel everything pending and surface the interrupt so the
-            # caller can flush and the user can --resume later.
-            self._abandon_pool(pool)
+            # caller can flush and the user can --resume later.  The
+            # pool's workers may hold half-executed items, so even an
+            # injected pool is abandoned, not kept warm.
+            pool.abandon()
             raise
         else:
-            pool.shutdown(wait=True)
+            if owned:
+                pool.close()
         return SupervisedRun(outcomes=outcomes, failures=failures, stats=stats)
 
     # ------------------------------------------------------------------ #

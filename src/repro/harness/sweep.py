@@ -202,6 +202,7 @@ def run_journalled_items(
     resume: bool = False,
     workers: int = 1,
     policy: Optional[RetryPolicy] = None,
+    pool=None,
 ) -> JournalledRun:
     """Run picklable work items under supervision with a shared journal.
 
@@ -213,6 +214,11 @@ def run_journalled_items(
     records, and a resume replays every journalled key instead of
     re-executing it.  ``executor`` must be a module-level callable so the
     spawn-based worker pool can pickle it (PERF001).
+
+    ``pool`` injects a caller-owned
+    :class:`~repro.perf.pool.WarmWorkerPool` whose processes stay warm
+    after the run (the daemon's cross-job pool); by default the
+    supervisor owns a pool for this run only.
     """
     items = list(items)
     cached: Dict[Tuple[int, int], CheckpointEntry] = {}
@@ -244,7 +250,7 @@ def run_journalled_items(
                 profile=outcome.profile,
             )
 
-    supervisor = WorkerSupervisor(workers=workers, policy=policy)
+    supervisor = WorkerSupervisor(workers=workers, policy=policy, pool=pool)
     try:
         run = supervisor.run(executor, todo, on_result=journal_result)
         if writer is not None:
@@ -286,6 +292,7 @@ def run_checkpointed_sweep(
     progress: Optional[Heartbeat] = None,
     trace: Optional[TraceContext] = None,
     trace_dir: Optional[Union[str, Path]] = None,
+    pool=None,
 ) -> SweepRunResult:
     """Run a sweep under supervision, journalling every repetition.
 
@@ -347,6 +354,7 @@ def run_checkpointed_sweep(
         resume=resume,
         workers=workers,
         policy=policy,
+        pool=pool,
     )
 
     # ---- assemble, strictly in submission order ----------------------- #

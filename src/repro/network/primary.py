@@ -67,6 +67,17 @@ class BernoulliActivity:
     def next_states(self, states: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         return rng.random(states.shape[0]) < self._p_t
 
+    def next_states_batch(self, states: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        """Vectorized multi-slot advancement from pre-drawn uniforms.
+
+        ``draws`` has shape ``(count, N)`` — row ``t`` holds the uniforms
+        one :meth:`next_states` call would have drawn — and row ``t`` of
+        the result equals the state after ``t + 1`` sequential calls.
+        Callers own the RNG bookkeeping: a single ``rng.random((count, N))``
+        consumes the stream exactly like ``count`` sequential calls.
+        """
+        return draws < self._p_t
+
     def __repr__(self) -> str:
         return f"BernoulliActivity(p_t={self._p_t})"
 
@@ -117,6 +128,24 @@ class MarkovActivity:
         stay = states & (draws < self._stay_on)
         start = ~states & (draws < self._turn_on)
         return stay | start
+
+    def next_states_batch(self, states: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        """Multi-slot advancement from pre-drawn uniforms (chain semantics).
+
+        Same contract as :meth:`BernoulliActivity.next_states_batch`; the
+        chain dependence makes each row a function of the previous one, so
+        the rows are computed sequentially over the batched draws.
+        """
+        count = draws.shape[0]
+        rows = np.empty((count, states.shape[0]), dtype=bool)
+        current = states
+        for index in range(count):
+            slot_draws = draws[index]
+            current = (current & (slot_draws < self._stay_on)) | (
+                ~current & (slot_draws < self._turn_on)
+            )
+            rows[index] = current
+        return rows
 
     def __repr__(self) -> str:
         return (

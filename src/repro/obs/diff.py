@@ -13,7 +13,10 @@ ratchet compares rates and per-unit means only:
   costs, whatever the repetition count);
 * ``wall_us_per_slot`` — total wall time over ``engine.slots``;
 * ``sweep_serial_s_per_rep`` / ``spatial_scalar_s_per_loop`` (and their
-  vectorized/parallel counterparts) from the bench ``extra`` blocks.
+  vectorized/parallel/warm counterparts) from the bench ``extra`` blocks;
+* ``engine_wall_us_per_slot`` / ``engine_fastforward_ratio`` — per-slot
+  cost and the frozen-slot fast-forward win, both measured within one
+  run on one machine.
 
 Machine-shape figures (``parallel_speedup``, ``spatial_speedup``,
 ``wall_time_s``) are reported for context but never gate: a 1-core
@@ -107,14 +110,27 @@ def _figures(manifest: Dict) -> Dict[str, _Figure]:
     if isinstance(sweep, dict):
         reps = sweep.get("repetitions") or 0
         if reps:
-            for key in ("serial_s", "parallel_s"):
+            for key in ("serial_s", "parallel_s", "warm_parallel_s"):
                 if isinstance(sweep.get(key), (int, float)):
                     figures[f"sweep_{key}_per_rep"] = _Figure(
                         float(sweep[key]) / float(reps)
                     )
-        if isinstance(sweep.get("parallel_speedup"), (int, float)):
-            figures["sweep_parallel_speedup"] = _Figure(
-                float(sweep["parallel_speedup"]), higher_better=True, gated=False
+        for key in ("parallel_speedup", "warm_parallel_speedup"):
+            if isinstance(sweep.get(key), (int, float)):
+                figures[f"sweep_{key}"] = _Figure(
+                    float(sweep[key]), higher_better=True, gated=False
+                )
+    engine = extra.get("engine")
+    if isinstance(engine, dict):
+        # Both engine figures are same-machine normalized — per-slot cost
+        # and an on/off ratio measured in one run — so both gate.
+        if isinstance(engine.get("wall_us_per_slot"), (int, float)):
+            figures["engine_wall_us_per_slot"] = _Figure(
+                float(engine["wall_us_per_slot"])
+            )
+        if isinstance(engine.get("fastforward_ratio"), (int, float)):
+            figures["engine_fastforward_ratio"] = _Figure(
+                float(engine["fastforward_ratio"]), higher_better=True
             )
     spatial = extra.get("spatial")
     if isinstance(spatial, dict):

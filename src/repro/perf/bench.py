@@ -1,12 +1,14 @@
-"""``addc-repro perf bench`` — serial vs parallel, scalar vs vectorized.
+"""``addc-repro perf bench`` — serial vs cold/warm parallel, fast-forward
+on vs off, scalar vs vectorized.
 
 Everything is measured via the :mod:`repro.obs` clock facade on the same
 machine in the same run, and every timed comparison is also an equality
-check: the parallel executor must reproduce the serial measurements
-byte-for-byte (delays, RNG stream positions, merged metric counters),
-and the vectorized CSR :class:`~repro.geometry.GridIndex` must return
-exactly what the scalar reference returns.  A benchmark that drifts is a
-bug, not a data point.
+check: the parallel executor (cold and warm) must reproduce the serial
+measurements byte-for-byte (delays, RNG stream positions, merged metric
+counters), the fast-forwarded engine must reproduce the plain engine's
+result and stream positions exactly, and the vectorized CSR
+:class:`~repro.geometry.GridIndex` must return exactly what the scalar
+reference returns.  A benchmark that drifts is a bug, not a data point.
 
 The output (``BENCH_perf.json``) is a ``manifest/v1`` run manifest whose
 ``extra`` block carries the benchmark numbers, including ``cpu_count`` —
@@ -51,12 +53,43 @@ def _measurement_key(measurement: RepetitionMeasurement) -> tuple:
     )
 
 
+def _run_parallel_once(
+    executor: ParallelSweepExecutor,
+    items: List[SweepWorkItem],
+    serial: List[RepetitionMeasurement],
+    serial_recorder: obs.MetricsRecorder,
+    label: str,
+) -> float:
+    """One timed, equality-checked pass through the executor."""
+    recorder = obs.MetricsRecorder()
+    start = obs.monotonic_s()
+    with obs.use_recorder(recorder):
+        outcomes = executor.run_items(items)
+        for outcome in outcomes:
+            obs.merge_snapshot(outcome.metrics, outcome.profile)
+    elapsed = obs.monotonic_s() - start
+    parallel = [outcome.measurement for outcome in outcomes]
+    if list(map(_measurement_key, parallel)) != list(
+        map(_measurement_key, serial)
+    ):
+        raise PerfBenchError(f"{label} measurements diverged from serial")
+    if recorder.snapshot() != serial_recorder.snapshot():
+        raise PerfBenchError(
+            f"merged {label} metric snapshot diverged from the serial one"
+        )
+    return elapsed
+
+
 def _bench_sweep(config: ExperimentConfig, reps: int, workers: int) -> Dict:
     """Time the comparison repetitions serially and through the pool.
 
-    Returns the timings plus the serial measurements; raises
-    :class:`PerfBenchError` unless the parallel run is bit-identical
-    (measurements, RNG positions, and merged metric snapshots).
+    Three timed passes: serial, cold parallel (transient pool — spawn
+    cost included, the pre-warm-pool behaviour), and warm parallel (a
+    context-entered executor whose pool was already primed by a previous
+    ``run_items`` call, which is what sweeps and the daemon actually
+    pay per point/job).  Every parallel pass is equality-checked against
+    serial — measurements, RNG positions, and merged metric snapshots —
+    so a drifting kernel fails the bench rather than skewing it.
     """
     serial_recorder = obs.MetricsRecorder()
     start = obs.monotonic_s()
@@ -72,34 +105,77 @@ def _bench_sweep(config: ExperimentConfig, reps: int, workers: int) -> Dict:
         )
         for rep in range(reps)
     ]
-    executor = ParallelSweepExecutor(workers)
-    parallel_recorder = obs.MetricsRecorder()
-    start = obs.monotonic_s()
-    with obs.use_recorder(parallel_recorder):
-        outcomes = executor.run_items(items)
-        for outcome in outcomes:
-            obs.merge_snapshot(outcome.metrics, outcome.profile)
-    parallel_s = obs.monotonic_s() - start
-
-    parallel = [outcome.measurement for outcome in outcomes]
-    if list(map(_measurement_key, parallel)) != list(
-        map(_measurement_key, serial)
-    ):
-        raise PerfBenchError(
-            f"parallel (workers={workers}) measurements diverged from serial"
-        )
-    if parallel_recorder.snapshot() != serial_recorder.snapshot():
-        raise PerfBenchError(
-            "merged parallel metric snapshot diverged from the serial one"
+    cold_s = _run_parallel_once(
+        ParallelSweepExecutor(workers), items, serial, serial_recorder, "cold"
+    )
+    with ParallelSweepExecutor(workers) as executor:
+        # Prime the pool (checked, untimed), then time the warm pass.
+        _run_parallel_once(executor, items, serial, serial_recorder, "prime")
+        warm_s = _run_parallel_once(
+            executor, items, serial, serial_recorder, "warm"
         )
     return {
         "repetitions": reps,
         "workers": workers,
         "serial_s": serial_s,
-        "parallel_s": parallel_s,
-        "parallel_speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+        "parallel_s": cold_s,
+        "warm_parallel_s": warm_s,
+        "parallel_speedup": serial_s / cold_s if cold_s > 0 else 0.0,
+        "warm_parallel_speedup": serial_s / warm_s if warm_s > 0 else 0.0,
         "serial_recorder": serial_recorder,
         "measurements": serial,
+    }
+
+
+def _bench_engine(config: ExperimentConfig) -> Dict:
+    """Time one ADDC collection with fast-forward off, then on.
+
+    Both runs share one deployment and re-derive identical engine
+    streams; the fast-forward run must reproduce the plain run exactly —
+    the full :class:`~repro.sim.results.SimulationResult` *and* the
+    post-run RNG stream positions — or the bench fails.  The ratio is a
+    same-machine figure, so the ratchet gates it.
+    """
+    from repro.core.collector import run_addc_collection
+    from repro.network.deployment import deploy_crn
+
+    topology = deploy_crn(
+        config.deployment_spec(), StreamFactory(config.seed).spawn("rep-0")
+    )
+
+    def run(fast_forward: bool):
+        streams = StreamFactory(config.seed).spawn("rep-0").spawn("addc")
+        start = obs.monotonic_s()
+        outcome = run_addc_collection(
+            topology,
+            streams,
+            eta_p_db=config.eta_p_db,
+            eta_s_db=config.eta_s_db,
+            alpha=config.alpha,
+            zeta_bound=config.zeta_bound,
+            blocking=config.blocking,
+            max_slots=config.max_slots,
+            fast_forward=fast_forward,
+            contention_window_ms=config.contention_window_ms,
+            slot_duration_ms=config.slot_duration_ms,
+            with_bounds=False,
+        )
+        return obs.monotonic_s() - start, outcome
+
+    off_s, off = run(fast_forward=False)
+    on_s, on = run(fast_forward=True)
+    if on.result != off.result:
+        raise PerfBenchError("fast-forward changed the simulation result")
+    if on.engine.rng_positions() != off.engine.rng_positions():
+        raise PerfBenchError("fast-forward changed the RNG stream positions")
+    slots = max(int(on.result.slots_simulated), 1)
+    return {
+        "slots": slots,
+        "plain_s": off_s,
+        "fastforward_s": on_s,
+        "wall_us_per_slot": on_s / slots * 1e6,
+        "fastforward_ratio": off_s / on_s if on_s > 0 else 0.0,
+        "fastforward_fraction": float(on.engine.fastforward_slots) / slots,
     }
 
 
@@ -168,6 +244,7 @@ def run_perf_bench(
 
     total_start = obs.monotonic_s()
     sweep = _bench_sweep(config, reps, workers)
+    engine = _bench_engine(config)
     spatial = _bench_spatial(config, spatial_loops)
     wall_time_s = obs.monotonic_s() - total_start
 
@@ -177,6 +254,7 @@ def run_perf_bench(
         "benchmark": "perf",
         "cpu_count": os.cpu_count(),
         "sweep": sweep,
+        "engine": engine,
         "spatial": spatial,
     }
     manifest = obs.build_manifest(
@@ -190,15 +268,26 @@ def run_perf_bench(
 
     print(
         f"sweep   : {reps} repetition(s) serial {sweep['serial_s']:.2f} s, "
-        f"{workers} worker(s) {sweep['parallel_s']:.2f} s "
-        f"({sweep['parallel_speedup']:.2f}x, {os.cpu_count()} cpu)"
+        f"{workers} worker(s) cold {sweep['parallel_s']:.2f} s "
+        f"({sweep['parallel_speedup']:.2f}x) warm "
+        f"{sweep['warm_parallel_s']:.2f} s "
+        f"({sweep['warm_parallel_speedup']:.2f}x, {os.cpu_count()} cpu)"
+    )
+    print(
+        f"engine  : {engine['slots']} slots plain {engine['plain_s']:.2f} s, "
+        f"fast-forward {engine['fastforward_s']:.2f} s "
+        f"({engine['fastforward_ratio']:.2f}x, "
+        f"{engine['fastforward_fraction']:.0%} of slots skipped)"
     )
     print(
         f"spatial : scalar {spatial['scalar_s']:.3f} s, vectorized "
         f"{spatial['vectorized_s']:.3f} s ({spatial['speedup']:.2f}x, "
         f"{spatial['points']} points x {spatial['loops']} loop(s))"
     )
-    print(f"parallel == serial and vectorized == scalar; written to {out}")
+    print(
+        "parallel == serial, fast-forward == plain, vectorized == scalar; "
+        f"written to {out}"
+    )
     if smoke:
         print("perf smoke OK")
     return 0

@@ -1,0 +1,210 @@
+"""Shared-memory publication of numpy arrays for warm sweep workers.
+
+Work batches ship *descriptors* (segment name + per-array offsets/shapes)
+instead of pickled numpy payloads: the parent publishes the arrays once
+per batch into one ``multiprocessing.shared_memory`` segment, and every
+worker maps the same pages read-only-by-convention.  For the sweep this
+carries the pre-deployed topology positions, so workers skip the
+placement rejection-sampling entirely (the placement streams are
+throwaway — they never appear in ``rng_positions()`` — which is what
+makes shipping their output RNG-safe).
+
+Ownership rules (enforced by reprolint rule PERF003)
+----------------------------------------------------
+* The **parent** owns every segment it creates: :class:`SharedArrayStore`
+  is a context manager whose exit closes *and unlinks* everything it
+  published, even when a worker crashed mid-batch.  Nothing may outlive
+  the ``with`` block, so a SIGKILL'd sweep leaks at most one process
+  lifetime, never ``/dev/shm`` entries past parent exit.
+* **Workers** only ever attach, and must close the mapping when evicting
+  it from their cache.  Pool workers share the parent's resource tracker
+  (the ``spawn`` machinery passes the tracker fd down), so the re-register
+  an attach performs on CPython < 3.13 (bpo-39959) is a harmless
+  duplicate — and doubles as crash-safe cleanup: if the parent dies
+  before unlinking, the tracker unlinks every registered segment at exit.
+"""
+
+from __future__ import annotations
+
+import secrets
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ArraySpec",
+    "SegmentDescriptor",
+    "SharedArrayStore",
+    "attach_segment",
+    "detach_all",
+]
+
+#: Offsets are aligned so every published array starts on a boundary
+#: that satisfies any dtype numpy will hand us.
+_ALIGN = 16
+
+#: Worker-side attach cache size; segments are per-batch, so a handful
+#: of live entries covers pipelined batches with room to spare.
+_ATTACH_CACHE_LIMIT = 32
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Where one array lives inside a shared segment (picklable)."""
+
+    name: str
+    offset: int
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class SegmentDescriptor:
+    """A shared segment plus the arrays packed into it (picklable)."""
+
+    segment: str
+    specs: Tuple[ArraySpec, ...]
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedArrayStore:
+    """Parent-side owner of shared-memory segments.
+
+    ``publish`` packs a dict of arrays into one fresh segment and returns
+    its picklable descriptor; ``close`` (or context-manager exit) closes
+    and unlinks every segment ever published, tolerating segments already
+    gone.  The store never reuses names, so descriptors stay valid until
+    the store closes.
+    """
+
+    def __init__(self) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._closed = False
+
+    def __enter__(self) -> "SharedArrayStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def publish(self, arrays: Dict[str, np.ndarray]) -> SegmentDescriptor:
+        """Copy ``arrays`` into one new segment; returns its descriptor."""
+        if self._closed:
+            raise RuntimeError("SharedArrayStore is closed")
+        specs: List[ArraySpec] = []
+        offset = 0
+        ordered = [
+            (name, np.ascontiguousarray(arrays[name]))
+            for name in sorted(arrays)
+        ]
+        for name, array in ordered:
+            offset = _aligned(offset)
+            specs.append(
+                ArraySpec(
+                    name=name,
+                    offset=offset,
+                    shape=tuple(array.shape),
+                    dtype=array.dtype.str,
+                )
+            )
+            offset += array.nbytes
+        size = max(offset, 1)
+        segment_name = f"repro-{secrets.token_hex(8)}"
+        shm = shared_memory.SharedMemory(
+            name=segment_name, create=True, size=size
+        )
+        try:
+            for spec, (_, array) in zip(specs, ordered):
+                view = np.ndarray(
+                    spec.shape,
+                    dtype=np.dtype(spec.dtype),
+                    buffer=shm.buf,
+                    offset=spec.offset,
+                )
+                view[...] = array
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        self._segments.append(shm)
+        return SegmentDescriptor(segment=shm.name, specs=tuple(specs))
+
+    def close(self) -> None:
+        """Close and unlink every published segment (idempotent)."""
+        self._closed = True
+        segments, self._segments = self._segments, []
+        for shm in segments:
+            try:
+                shm.close()
+            except (OSError, ValueError):
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass  # already unlinked (e.g. double close across forks)
+
+
+#: Worker-side attach cache: segment name -> (mapping, arrays).  Mutated
+#: in place only (never rebound), so it is spawn-safe: each worker
+#: process starts with its own empty cache.
+_ATTACHED: "OrderedDict[str, Tuple[shared_memory.SharedMemory, Dict[str, np.ndarray]]]" = (
+    OrderedDict()
+)
+
+
+def attach_segment(descriptor: SegmentDescriptor) -> Dict[str, np.ndarray]:
+    """Map a published segment and return its arrays (worker side, cached).
+
+    The returned arrays are views into shared pages — callers that mutate
+    or outlive the segment must ``.copy()``.  The mapping is cached per
+    segment name so repeated work items from one batch attach once; old
+    entries are evicted (and closed) beyond :data:`_ATTACH_CACHE_LIMIT`.
+    """
+    cached = _ATTACHED.get(descriptor.segment)
+    if cached is not None:
+        _ATTACHED.move_to_end(descriptor.segment)
+        return cached[1]
+    # Attaching re-registers the segment with the resource tracker on
+    # CPython < 3.13 (bpo-39959).  Pool workers share the parent's
+    # tracker (spawn passes the tracker fd), so the duplicate register
+    # is a set-add no-op and the parent's unlink unregisters it exactly
+    # once — do NOT unregister here, that would strip the parent's own
+    # registration and turn a clean unlink into a tracker error.
+    shm = shared_memory.SharedMemory(name=descriptor.segment)
+    try:
+        arrays = {
+            spec.name: np.ndarray(
+                spec.shape,
+                dtype=np.dtype(spec.dtype),
+                buffer=shm.buf,
+                offset=spec.offset,
+            )
+            for spec in descriptor.specs
+        }
+    except BaseException:
+        shm.close()
+        raise
+    while len(_ATTACHED) >= _ATTACH_CACHE_LIMIT:
+        _, (old_shm, _) = _ATTACHED.popitem(last=False)
+        try:
+            old_shm.close()
+        except (OSError, ValueError):
+            pass
+    _ATTACHED[descriptor.segment] = (shm, arrays)
+    return arrays
+
+
+def detach_all() -> None:
+    """Close every cached worker-side mapping (test hook / pool teardown)."""
+    while _ATTACHED:
+        _, (shm, _) = _ATTACHED.popitem(last=False)
+        try:
+            shm.close()
+        except (OSError, ValueError):
+            pass

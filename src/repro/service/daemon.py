@@ -34,6 +34,7 @@ import repro.obs as obs
 from repro.errors import ReproError, ServiceError, error_record
 from repro.harness import RetryPolicy
 from repro.obs.manifest import build_manifest, manifest_path_for, write_manifest
+from repro.perf.pool import WarmWorkerPool
 from repro.service import protocol
 from repro.service.cache import ResultCache
 from repro.service.jobs import JobSpec, execute_job
@@ -100,6 +101,11 @@ class ExperimentService:
         )
         self.workers = workers
         self.policy = policy
+        # One warm worker pool for the daemon's whole lifetime: processes
+        # spawn on the first parallel job and are reused by every job
+        # after (crash recovery rebuilds them in place).  Serial daemons
+        # never pay for a pool.
+        self.pool = WarmWorkerPool(workers) if workers > 1 else None
         self._lock = threading.Lock()
         self._subscribers: Dict[str, List[Callable[[Dict], None]]] = {}
         self._failed: Dict[str, Dict] = {}
@@ -303,6 +309,7 @@ class ExperimentService:
                     policy=self.policy,
                     progress=progress,
                     extra={"service": {"fingerprint": fingerprint}},
+                    pool=self.pool,
                 )
             self.cache.sync()
         except Exception as exc:  # noqa: BLE001 — quarantine, don't crash the daemon
@@ -335,6 +342,8 @@ class ExperimentService:
         Returns the snapshot payload's summary.
         """
         self.queue.close()
+        if self.pool is not None:
+            self.pool.close()
         queued = self.queue.pending_fingerprints()
         inflight = self.queue.running_fingerprint()
         self.state.write_snapshot(queued, inflight, self.counters())

@@ -293,6 +293,7 @@ def run_job(
     progress=None,
     trace: Optional[TraceContext] = None,
     trace_dir: Optional[Union[str, Path]] = None,
+    pool=None,
 ) -> JobRunResult:
     """Execute one job under the crash-safe harness.
 
@@ -302,7 +303,9 @@ def run_job(
     are byte-identical for any worker count and any kill/resume history.
     ``trace``/``trace_dir`` enable per-repetition ``trace/v2`` span
     shards for fig6/compare jobs (chaos repetitions are not sweep
-    points, so they are not traced).
+    points, so they are not traced).  ``pool`` injects a caller-owned
+    :class:`~repro.perf.pool.WarmWorkerPool` that stays warm across jobs
+    (the daemon's cross-job pool).
     """
     if spec.kind == "chaos":
         result = run_chaos_sweep(
@@ -313,6 +316,7 @@ def run_job(
             workers=workers,
             policy=policy,
             progress=progress,
+            pool=pool,
         )
         return JobRunResult(spec=spec, chaos=result)
     result = run_checkpointed_sweep(
@@ -326,6 +330,7 @@ def run_job(
         progress=progress,
         trace=trace,
         trace_dir=trace_dir,
+        pool=pool,
     )
     return JobRunResult(spec=spec, sweep=result)
 
@@ -362,6 +367,7 @@ def execute_job(
     policy: Optional[RetryPolicy] = None,
     progress=None,
     extra: Optional[Dict] = None,
+    pool=None,
 ) -> JobRunResult:
     """Run one job start-to-finish and persist its artifact + manifest.
 
@@ -399,6 +405,7 @@ def execute_job(
             progress=progress,
             trace=trace_context,
             trace_dir=trace_dir,
+            pool=pool,
         )
         manifest_extra = result.manifest_extra(workers)
         if extra:

@@ -61,6 +61,7 @@ import numpy as np
 import repro.obs as obs
 from repro.errors import ConfigurationError, SimulationError
 from repro.faults.plan import FaultEvent, FaultPlan
+from repro.network.primary import BernoulliActivity, MarkovActivity
 from repro.network.topology import CrnTopology
 from repro.rng import StreamFactory
 from repro.sim.packet import Packet
@@ -73,6 +74,12 @@ __all__ = ["SlottedEngine"]
 
 #: Distances below this are clamped when evaluating SIR.
 _MIN_DISTANCE = 1e-6
+
+#: Fast-forward peek chunk bounds: start small (a failed peek rewinds and
+#: re-consumes, so short frozen runs should waste little), double while the
+#: frozen run keeps going, and cap the per-chunk draw matrix size.
+_FF_MIN_CHUNK = 16
+_FF_MAX_CHUNK = 4096
 
 
 class SlottedEngine:
@@ -171,6 +178,21 @@ class SlottedEngine:
         half the slot so a fairness wait plus a backoff fits in one slot.
     max_slots:
         Safety cap; a run that exceeds it returns ``completed=False``.
+    fast_forward:
+        Enable the frozen-slot fast-forward (default).  When the previous
+        slot put nothing on the air, the engine looks ahead for the run of
+        slots in which provably nothing can happen — no backoff timer can
+        expire (every eligible node senses busy), no hold-off window ends,
+        no packet completes, no arrival is born, and no fault event fires —
+        and advances the slot counter over that whole run in one vectorized
+        step.  The skipped slots' PU-activity and sensing draws are batch-
+        consumed (``random((k, n))`` advances a generator exactly like
+        ``k`` sequential ``random(n)`` calls), so results *and* post-run
+        RNG stream positions are bit-identical to the slot-by-slot loop.
+        Scenarios outside the proof obligations (multi-channel plans,
+        energy detectors, slot hooks, replayed activity traces, pinned
+        sensing faults, in-flight multi-slot packets) fall back to the
+        ordinary loop automatically.
     trace:
         Optional :class:`~repro.sim.trace.TraceLog` to record events into.
     departure_schedule:
@@ -232,6 +254,7 @@ class SlottedEngine:
         slot_duration_ms: float = 1.0,
         contention_window_ms: float = 0.5,
         max_slots: int = 2_000_000,
+        fast_forward: bool = True,
         trace: Optional[TraceLog] = None,
         slot_hook=None,
     ) -> None:
@@ -475,6 +498,28 @@ class SlottedEngine:
         )
         self._slot = 0
         self._started = False
+
+        # Frozen-slot fast-forward: statically eligible scenarios only;
+        # dynamic hazards (in-flight packets, fault windows, pinned
+        # sensing) are re-checked per attempt in _try_fast_forward.
+        self.fast_forward = bool(fast_forward)
+        if blocking == "homogeneous":
+            activity_supported = True
+        else:
+            activity_supported = isinstance(
+                topology.primary.activity, (BernoulliActivity, MarkovActivity)
+            )
+        self._ff_enabled = (
+            self.fast_forward
+            and slot_hook is None
+            and detector is None
+            and self._num_channels == 1
+            and activity_supported
+        )
+        #: Armed after any slot with nothing on the air; slot 0 always
+        #: runs the ordinary loop (its PU states come from run()).
+        self._ff_armed = False
+        self._ff_slots = 0
 
         self._result = SimulationResult(
             num_packets=0, slot_duration_ms=self.slot_duration_ms
@@ -872,6 +917,10 @@ class SlottedEngine:
                 self._result.completed = False
                 self._result.slots_simulated = self._slot
                 return self._result
+            if self._ff_armed:
+                self._try_fast_forward()
+                if self._slot >= self.max_slots:
+                    continue
             with obs.span("engine.slot"):
                 if self._has_faults:
                     self._process_faults()
@@ -902,6 +951,7 @@ class SlottedEngine:
         obs.counter_add("engine.handoffs", result.handoffs)
         obs.counter_add("engine.pu_violations", result.pu_violations)
         obs.counter_add("engine.frozen_slots", result.frozen_slot_count)
+        obs.counter_add("engine.fastforward_slots", self._ff_slots)
         obs.counter_add("engine.fault_events", result.fault_event_count)
         obs.gauge_set("engine.max_backlog", result.max_backlog)
         for record in result.deliveries:
@@ -964,6 +1014,166 @@ class SlottedEngine:
         if self._num_channels == 1:
             return self._pu_busy[node] > 0
         return self._busy_columns[channel][node] > 0
+
+    # ------------------------------------------------------------------ #
+    # Frozen-slot fast-forward                                            #
+    # ------------------------------------------------------------------ #
+
+    def _try_fast_forward(self) -> None:
+        """Advance over a maximal run of provably frozen slots in one step.
+
+        Called only when armed (the previous slot put nothing on the air)
+        and in statically eligible scenarios (``_ff_enabled``).  The
+        *horizon* is the first slot at which anything other than a frozen
+        wait could possibly happen: a hold-off window expires, a scheduled
+        arrival is born, or a fault event fires.  Inside the window the
+        eligible-waiter set is constant, so a slot is frozen exactly when
+        every waiter senses busy — a pure function of that slot's
+        PU-activity and sensing-error draws, evaluated here in batches.
+
+        RNG contract: every skipped slot consumes exactly the draws the
+        ordinary loop would have consumed (one ``random(n)`` per stream
+        per slot, batch-drawn), and a peek past the end of the frozen run
+        is rewound via ``bit_generator.state`` and re-consumed to the
+        exact prefix.  Post-run ``rng_positions()`` are bit-identical.
+        """
+        slot = self._slot
+        if (
+            slot == 0
+            or self._ongoing
+            or self._rejoin_at
+            or self._stuck_busy
+            or self._stuck_idle
+        ):
+            return
+        horizon = self.max_slots
+        if self._fault_onsets:
+            horizon = min(horizon, min(self._fault_onsets))
+        if self._fault_expiries:
+            horizon = min(horizon, min(self._fault_expiries))
+        if self._pending_arrivals:
+            horizon = min(horizon, int(self._pending_arrivals[0][0]))
+        holding = self._active_mask & (self._hold_until_slot > slot)
+        if holding.any():
+            horizon = min(horizon, int(self._hold_until_slot[holding].min()))
+        if horizon <= slot:
+            return
+        waiters = np.nonzero(self._active_mask & ~holding)[0]
+        window = horizon - slot
+        if waiters.size:
+            skipped = self._scan_frozen_prefix(waiters, window)
+        else:
+            # No waiter can even contend before the horizon (everyone is
+            # holding, or nobody is backlogged): skip the window blind.
+            self._consume_frozen_draws(window)
+            skipped = window
+        if skipped == 0:
+            return
+        self._ff_slots += skipped
+        self._slot = slot + skipped
+        # Per-slot bookkeeping of a frozen wait, applied in bulk: each
+        # skipped slot counted every eligible waiter as frozen-by-PU and
+        # zeroed the fairness carry-over of every active node.
+        self._result.frozen_slot_count += skipped * int(waiters.size)
+        if self._active:
+            self._extra_wait[self._active_mask] = 0.0
+        if self.blocking != "homogeneous":
+            self._recompute_pu_busy()
+        self.last_slot_su_links = []
+        self.last_slot_su_channels = []
+        self.last_slot_active_pus = list(self._active_pu_list)
+
+    def _advance_pu_chunk(self, count: int) -> np.ndarray:
+        """Batch-advance geometric PU states by ``count`` slots.
+
+        One ``random((count, num_pus))`` fill consumes the pu-activity
+        stream exactly like ``count`` sequential ``next_states`` calls;
+        returns the per-slot state rows and leaves ``_pu_states`` at the
+        final row.
+        """
+        activity = self.topology.primary.activity
+        draws = self._pu_rng.random((count, self.topology.primary.num_pus))
+        states = activity.next_states_batch(self._pu_states, draws)
+        self._pu_states = states[-1]
+        return states
+
+    def _homogeneous_blocked_chunk(self, count: int) -> np.ndarray:
+        """Batch-draw ``count`` slots of mean-field blocking (single channel)."""
+        draws = self._pu_rng.random((count, self._num_nodes))
+        blocked = draws >= self.homogeneous_p_o
+        self._pu_busy = blocked[-1].astype(np.uint8)
+        return blocked
+
+    def _consume_frozen_draws(self, count: int) -> None:
+        """Consume ``count`` slots' PU/sensing draws with no one contending."""
+        remaining = count
+        while remaining > 0:
+            chunk = min(remaining, _FF_MAX_CHUNK)
+            if self.blocking == "homogeneous":
+                self._homogeneous_blocked_chunk(chunk)
+            else:
+                self._advance_pu_chunk(chunk)
+            if self._imperfect_sensing:
+                self._sensing_rng.random((chunk, self._num_nodes))
+            remaining -= chunk
+
+    def _scan_frozen_prefix(self, waiters: np.ndarray, window: int) -> int:
+        """Length of the frozen-slot run starting now, capped at ``window``.
+
+        Peeks in doubling chunks; when the run ends mid-chunk, rewinds the
+        streams to the chunk start and re-consumes exactly the frozen
+        prefix so the generators land where the serial loop would.
+        """
+        skipped = 0
+        chunk = _FF_MIN_CHUNK
+        remaining = window
+        homogeneous = self.blocking == "homogeneous"
+        while remaining > 0:
+            count = min(chunk, remaining)
+            pu_rng_state = self._pu_rng.bit_generator.state
+            pu_states_before = self._pu_states
+            if self._imperfect_sensing:
+                sensing_rng_state = self._sensing_rng.bit_generator.state
+            if homogeneous:
+                busy = self._homogeneous_blocked_chunk(count)[:, waiters]
+            else:
+                states = self._advance_pu_chunk(count)
+                busy = (
+                    states.astype(np.uint8) @ self._pu_incidence[waiters].T
+                ) > 0
+            if self._imperfect_sensing:
+                sensing = self._sensing_rng.random(
+                    (count, self._num_nodes)
+                )[:, waiters]
+                sensed = np.where(
+                    busy,
+                    sensing >= self.p_missed_detection,
+                    sensing < self.p_false_alarm,
+                )
+            else:
+                sensed = busy
+            frozen = sensed.all(axis=1)
+            if frozen.all():
+                skipped += count
+                remaining -= count
+                chunk = min(chunk * 2, _FF_MAX_CHUNK)
+                continue
+            prefix = int(frozen.argmin())
+            # The run ends inside this chunk: rewind both streams to the
+            # chunk start, then re-consume exactly the frozen prefix.
+            self._pu_rng.bit_generator.state = pu_rng_state
+            self._pu_states = pu_states_before
+            if self._imperfect_sensing:
+                self._sensing_rng.bit_generator.state = sensing_rng_state
+            if prefix:
+                if homogeneous:
+                    self._homogeneous_blocked_chunk(prefix)
+                else:
+                    self._advance_pu_chunk(prefix)
+                if self._imperfect_sensing:
+                    self._sensing_rng.random((prefix, self._num_nodes))
+            return skipped + prefix
+        return skipped
 
     # ------------------------------------------------------------------ #
     # SU contention                                                       #
@@ -1330,6 +1540,9 @@ class SlottedEngine:
         else:
             with obs.span("engine.phase.frozen_wait"):
                 self._finish_slot(completing, outcomes)
+        # A slot with nothing on the air arms the fast-forward: the next
+        # slots are frozen candidates until someone transmits again.
+        self._ff_armed = self._ff_enabled and not concurrent
 
     def _finish_slot(
         self,
@@ -1512,6 +1725,16 @@ class SlottedEngine:
     def slot(self) -> int:
         """The next slot index to be simulated."""
         return self._slot
+
+    @property
+    def fastforward_slots(self) -> int:
+        """Slots advanced by the frozen-slot fast-forward.
+
+        Pure telemetry (also published as ``engine.fastforward_slots``):
+        deliberately *not* part of :class:`SimulationResult`, so results
+        compare equal between fast-forwarded and slot-by-slot runs.
+        """
+        return self._ff_slots
 
     def rng_positions(self) -> Dict[str, str]:
         """Stable fingerprints of the engine's RNG stream states.

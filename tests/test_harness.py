@@ -586,6 +586,47 @@ class TestCheckpointedSweep:
             point.rng_positions for _, point in plain_points
         ]
 
+    def test_injected_warm_pool_survives_run_and_resume(
+        self, tmp_path, plain_points
+    ):
+        """One caller-owned pool serves a kill-and-resume cycle warm.
+
+        The supervisor must borrow an injected pool — never close it — so
+        a daemon can reuse one set of spawned workers across jobs; the
+        resumed sweep on the same warm pool stays byte-identical.
+        """
+        from repro.perf import WarmWorkerPool
+
+        journal = tmp_path / "sweep.ckpt"
+        with WarmWorkerPool(2) as pool:
+            run_checkpointed_sweep(
+                "fig6c",
+                tiny_points(),
+                checkpoint_path=journal,
+                workers=2,
+                pool=pool,
+            )
+            assert pool.alive  # borrowed, not closed
+            lines = journal.read_bytes().split(b"\n")
+            journal.write_bytes(b"\n".join(lines[:2]) + b"\n")
+            resumed = run_checkpointed_sweep(
+                "fig6c",
+                tiny_points(),
+                checkpoint_path=journal,
+                resume=True,
+                workers=2,
+                pool=pool,
+            )
+            assert pool.alive
+        assert resumed.resumed
+        assert resumed.status == "complete"
+        assert _artifact_bytes(
+            tmp_path, "warm-resumed", "fig6c", resumed.points
+        ) == _artifact_bytes(tmp_path, "warm-plain", "fig6c", plain_points)
+        assert [point.rng_positions for _, point in resumed.points] == [
+            point.rng_positions for _, point in plain_points
+        ]
+
     def test_resume_with_mismatched_sweep_refused(self, tmp_path):
         journal = tmp_path / "sweep.ckpt"
         run_checkpointed_sweep(

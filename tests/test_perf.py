@@ -10,12 +10,15 @@ CSR ``GridIndex`` must return exactly what a brute-force distance scan
 from __future__ import annotations
 
 import json
+import os
 import pickle
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 import pytest
 
 import repro.obs as obs
+from repro.core.collector import run_addc_collection
 from repro.errors import ConfigurationError, GeometryError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.fig6 import FIG6_SWEEPS, run_fig6_sweep
@@ -25,15 +28,23 @@ from repro.experiments.runner import (
     run_comparison_repetition,
 )
 from repro.geometry import GridIndex
+from repro.network.deployment import deploy_crn
+from repro.network.primary import BernoulliActivity, MarkovActivity
 from repro.obs.manifest import manifest_path_for
 from repro.obs.recorder import MetricsRecorder, NullRecorder
 from repro.perf import (
     ParallelSweepExecutor,
     ScalarGridIndex,
+    SharedArrayStore,
     SweepWorkItem,
+    WarmWorkerPool,
+    attach_segment,
+    execute_work_batch,
     execute_work_item,
 )
+from repro.perf.shm import detach_all
 from repro.rng import StreamFactory
+from repro.routing.coolest import run_coolest_collection
 
 
 @pytest.fixture(autouse=True)
@@ -334,3 +345,329 @@ class TestParallelDeterminism:
             serial_manifest
         )
         assert parallel_manifest["extra"]["workers"] == workers
+
+
+# --------------------------------------------------------------------- #
+# Warm worker pool lifecycle                                            #
+# --------------------------------------------------------------------- #
+
+
+def _pool_square(value):
+    return value * value
+
+
+def _attach_then_die(descriptor):
+    attach_segment(descriptor)
+    os._exit(17)  # simulates an OOM kill with the mapping still open
+
+
+def _shm_segments():
+    """Names of live repro shared-memory segments (empty off-Linux)."""
+    try:
+        return {
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith("repro-")
+        }
+    except OSError:
+        return set()
+
+
+class TestWarmWorkerPool:
+    def test_invalid_worker_count_raises(self):
+        with pytest.raises(ConfigurationError):
+            WarmWorkerPool(0)
+
+    def test_lazy_spawn_submit_rebuild_close(self):
+        pool = WarmWorkerPool(2)
+        assert not pool.alive  # nothing spawns until the first submit
+        assert pool.submit(_pool_square, 7).result() == 49
+        assert pool.alive
+        # rebuild() replaces the processes in place; the pool object
+        # stays valid and the next submit respawns transparently.
+        pool.rebuild()
+        assert pool.submit(_pool_square, 9).result() == 81
+        pool.close()
+        assert not pool.alive
+        with pytest.raises(RuntimeError):
+            pool.submit(_pool_square, 1)
+        pool.close()  # idempotent
+
+    def test_context_manager_closes_on_exit(self):
+        with WarmWorkerPool(2) as pool:
+            assert pool.submit(_pool_square, 3).result() == 9
+        assert not pool.alive
+        with pytest.raises(RuntimeError):
+            pool.submit(_pool_square, 1)
+
+
+# --------------------------------------------------------------------- #
+# Shared-memory topology store                                          #
+# --------------------------------------------------------------------- #
+
+
+class TestSharedArrayStore:
+    def test_publish_attach_round_trip_and_unlink(self):
+        before = _shm_segments()
+        arrays = {
+            "a": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "b": np.array([], dtype=np.int64),
+            "c": np.arange(5, dtype=np.int64),
+        }
+        with SharedArrayStore() as store:
+            descriptor = store.publish(arrays)
+            views = attach_segment(descriptor)
+            assert set(views) == set(arrays)
+            for name, array in arrays.items():
+                assert views[name].dtype == array.dtype
+                assert views[name].shape == array.shape
+                np.testing.assert_array_equal(views[name], array)
+            # The attach cache returns the same mapping for the same
+            # segment instead of re-mapping it.
+            assert attach_segment(descriptor) is views
+        detach_all()
+        # close() unlinked the segment: nothing leaked, nothing to attach.
+        assert _shm_segments() == before
+        with pytest.raises(FileNotFoundError):
+            attach_segment(descriptor)
+
+    def test_close_is_idempotent_and_tolerates_empty(self):
+        store = SharedArrayStore()
+        store.close()
+        store.close()
+
+    def test_worker_crash_leaves_no_segments(self):
+        """A worker dying mid-batch must not leak the parent's segment.
+
+        The parent owns every segment it published: after ``rebuild()``
+        replaces the crashed processes, ``store.close()`` still unlinks
+        everything — /dev/shm ends exactly where it started.
+        """
+        before = _shm_segments()
+        store = SharedArrayStore()
+        pool = WarmWorkerPool(2)
+        try:
+            descriptor = store.publish({"x": np.arange(8.0)})
+            with pytest.raises(BrokenProcessPool):
+                pool.submit(_attach_then_die, descriptor).result()
+            pool.rebuild()
+            # The rebuilt pool is immediately usable again.
+            assert pool.submit(_pool_square, 5).result() == 25
+        finally:
+            pool.close()
+            store.close()
+        assert _shm_segments() == before
+
+
+# --------------------------------------------------------------------- #
+# Batching: one pickle per point, outcomes identical to per-item path   #
+# --------------------------------------------------------------------- #
+
+
+class TestBatching:
+    def test_plan_batches_never_spans_points(self):
+        executor = ParallelSweepExecutor(2)
+        config_a = tiny_config()
+        config_b = tiny_config(seed=7)
+        items = [SweepWorkItem(0, rep, config_a) for rep in range(3)]
+        items += [SweepWorkItem(1, rep, config_b) for rep in range(2)]
+        batches = executor._plan_batches(items)
+        # Flattened batches preserve exact submission order.
+        assert [item for batch in batches for item in batch] == items
+        for batch in batches:
+            assert len({(i.point_index, i.config) for i in batch}) == 1
+
+    def test_plan_batches_chunks_large_points_for_pipelining(self):
+        executor = ParallelSweepExecutor(2)
+        items = [SweepWorkItem(0, rep, tiny_config()) for rep in range(8)]
+        batches = executor._plan_batches(items)
+        # 8 items / (2 * 2 workers) = chunks of 2: the single point is
+        # split so the pool is never serialized onto one worker.
+        assert len(batches) == 4
+        assert all(len(batch) == 2 for batch in batches)
+
+    def test_batch_with_shm_topology_matches_per_item_path(self):
+        """Parent-deployed shm topology reproduces worker-deployed runs.
+
+        Runs the batched entry point inline with a published segment and
+        compares against ``execute_work_item`` (which deploys its own
+        topology from the placement streams): the measurements must be
+        indistinguishable, proving the CSR graph round-trip and
+        ``install_graph`` rebuild are exact.
+        """
+        config = tiny_config()
+        items = [SweepWorkItem(0, rep, config) for rep in range(2)]
+        reference = [execute_work_item(item) for item in items]
+        with SharedArrayStore() as store:
+            batch = ParallelSweepExecutor._publish_batch(store, items)
+            outcomes = execute_work_batch(batch)
+        detach_all()
+        assert [o.measurement for o in outcomes] == [
+            o.measurement for o in reference
+        ]
+        assert [(o.point_index, o.repetition) for o in outcomes] == [
+            (0, 0),
+            (0, 1),
+        ]
+
+
+# --------------------------------------------------------------------- #
+# Warm executor: byte-identity across reuse, no shm leaks               #
+# --------------------------------------------------------------------- #
+
+
+class TestWarmExecutorDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_context_entered_executor_is_byte_identical(self, workers):
+        """A reused warm pool changes wall-clock and nothing else.
+
+        Two sweep points (different configs) exercise batching across
+        point boundaries; two consecutive ``run_items`` calls inside one
+        ``with`` block exercise pool/store reuse.  Every measurement —
+        including post-run RNG stream positions — must equal the serial
+        reference on both passes.
+        """
+        before = _shm_segments()
+        config_a = tiny_config()
+        config_b = tiny_config(p_t=0.2)
+        serial = [
+            run_comparison_repetition(config, rep)
+            for config in (config_a, config_b)
+            for rep in range(2)
+        ]
+        items = [
+            SweepWorkItem(index, rep, config)
+            for index, config in enumerate((config_a, config_b))
+            for rep in range(2)
+        ]
+        with ParallelSweepExecutor(workers) as executor:
+            first = executor.run_items(items)
+            second = executor.run_items(items)  # warm reuse, same pool
+        assert [o.measurement for o in first] == serial
+        assert [o.measurement for o in second] == serial
+        assert [m.rng_positions for m in serial] == [
+            o.measurement.rng_positions for o in first
+        ]
+        assert _shm_segments() == before
+
+    def test_injected_pool_is_borrowed_never_closed(self):
+        config = tiny_config()
+        items = [SweepWorkItem(0, rep, config) for rep in range(2)]
+        serial = [run_comparison_repetition(config, rep) for rep in range(2)]
+        with WarmWorkerPool(2) as pool:
+            with ParallelSweepExecutor(2, pool=pool) as executor:
+                outcomes = executor.run_items(items)
+            # Exiting the executor must leave the injected pool warm —
+            # it belongs to the caller (e.g. the service daemon).
+            assert pool.alive
+            assert [o.measurement for o in outcomes] == serial
+            # And usable again outside any executor context.
+            transient = ParallelSweepExecutor(2, pool=pool).run_items(items)
+            assert [o.measurement for o in transient] == serial
+        assert not pool.alive
+
+    def test_reentering_executor_raises(self):
+        executor = ParallelSweepExecutor(2)
+        with executor:
+            with pytest.raises(RuntimeError):
+                executor.__enter__()
+
+
+# --------------------------------------------------------------------- #
+# Frozen-slot fast-forward: on == off, bit for bit                      #
+# --------------------------------------------------------------------- #
+
+
+class TestFastForwardEquivalence:
+    """``fast_forward=True`` must be invisible everywhere but wall-clock.
+
+    Each case runs one collection twice over the same deployment — plain
+    loop, then fast-forwarded — and requires the identical
+    ``SimulationResult`` *and* identical post-run RNG stream positions:
+    every skipped slot consumed exactly the draws the ordinary loop would
+    have consumed.
+    """
+
+    def _pair(self, run, activity=None, **kwargs):
+        config = tiny_config()
+        topology = deploy_crn(
+            config.deployment_spec(),
+            StreamFactory(config.seed).spawn("rep-0"),
+            activity=activity,
+        )
+
+        def go(fast_forward):
+            streams = StreamFactory(config.seed).spawn("rep-0").spawn("algo")
+            return run(
+                topology, streams, fast_forward=fast_forward, **kwargs
+            )
+
+        return go(False), go(True)
+
+    def _assert_identical(self, off, on):
+        assert on.result == off.result
+        assert on.engine.rng_positions() == off.engine.rng_positions()
+        assert off.engine.fastforward_slots == 0
+
+    def test_addc_geometric_bernoulli(self):
+        off, on = self._pair(run_addc_collection, with_bounds=False)
+        self._assert_identical(off, on)
+        # The tiny scenario is dominated by frozen spectrum waits, so the
+        # fast path must actually engage here — equality alone would also
+        # hold for a fast-forward that never fires.
+        assert on.engine.fastforward_slots > 0
+
+    def test_addc_homogeneous_blocking(self):
+        off, on = self._pair(
+            run_addc_collection, with_bounds=False, blocking="homogeneous"
+        )
+        self._assert_identical(off, on)
+
+    def test_addc_markov_activity(self):
+        off, on = self._pair(
+            run_addc_collection,
+            with_bounds=False,
+            activity=MarkovActivity(0.3, burstiness=4.0),
+        )
+        self._assert_identical(off, on)
+
+    def test_addc_imperfect_sensing(self):
+        off, on = self._pair(
+            run_addc_collection,
+            with_bounds=False,
+            p_false_alarm=0.05,
+            p_missed_detection=0.1,
+        )
+        self._assert_identical(off, on)
+
+    def test_coolest_baseline(self):
+        off, on = self._pair(run_coolest_collection)
+        self._assert_identical(off, on)
+
+
+class TestBatchDrawEquivalence:
+    """``next_states_batch`` must consume the stream like N serial calls."""
+
+    @pytest.mark.parametrize(
+        "model",
+        [BernoulliActivity(0.3), MarkovActivity(0.3, burstiness=4.0)],
+        ids=["bernoulli", "markov"],
+    )
+    def test_batch_rows_equal_sequential_calls(self, model):
+        count, n = 17, 6
+        serial_rng = StreamFactory(5).stream("activity")
+        batch_rng = StreamFactory(5).stream("activity")
+        states = model.initial_states(n, serial_rng)
+        model.initial_states(n, batch_rng)  # keep the streams aligned
+        expected = []
+        current = states
+        for _ in range(count):
+            current = model.next_states(current, serial_rng)
+            expected.append(current)
+        rows = model.next_states_batch(states, batch_rng.random((count, n)))
+        np.testing.assert_array_equal(rows, np.array(expected))
+        # One (count, n) fill left the generator exactly where count
+        # sequential next_states calls left the serial one.
+        np.testing.assert_array_equal(
+            serial_rng.random(4), batch_rng.random(4)
+        )

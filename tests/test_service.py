@@ -496,6 +496,20 @@ class TestExperimentService:
         service = ExperimentService(tmp_path / "state")
         assert service.result("no-such-job")["type"] == "error"
 
+    def test_daemon_owns_one_warm_pool_for_its_lifetime(self, tmp_path):
+        # Serial daemons never pay for a pool; parallel daemons keep one
+        # lazy warm pool that drain() closes with the queue.
+        serial = ExperimentService(tmp_path / "serial")
+        assert serial.pool is None
+        serial.drain()
+
+        service = ExperimentService(tmp_path / "state", workers=2)
+        assert service.pool is not None
+        assert not service.pool.alive  # lazy: spawns on first parallel job
+        service.drain()
+        with pytest.raises(RuntimeError):
+            service.pool.submit(print)
+
     def test_subscribers_get_progress_and_completed(self, tmp_path):
         service = ExperimentService(tmp_path / "state")
         spec = tiny_spec(repetitions=2)
