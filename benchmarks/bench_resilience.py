@@ -15,6 +15,11 @@ trades against exactly the accumulation that makes the delay low.
 
 from __future__ import annotations
 
+from repro.chaos.contracts import (
+    DeliveryBooksBalanceContract,
+    MonotoneDegradationContract,
+    render_contracts,
+)
 from repro.core.collector import run_addc_collection
 from repro.faults import chaos_plan
 from repro.metrics.resilience import resilience_report
@@ -92,21 +97,38 @@ def test_delivery_under_fault_intensity(benchmark, base_config):
 
     for intensity, addc, coolest in rows:
         assert addc.completed and coolest.completed
-        # The delivery books balance exactly for both algorithms.
-        assert addc.delivered + addc.packets_lost == n
+        # Coolest is outside the contract evidence; check its books here.
         assert coolest.delivered + coolest.packets_lost == n
-    # Fault-free sanity: full delivery, no fault bookkeeping.
-    assert reports[0].delivery_ratio == 1.0
-    assert reports[0].fault_events == 0
-    assert reports[0].availability == 1.0
-    # Delivery degrades monotonically with intensity, within noise.
-    ratios = [report.delivery_ratio for report in reports]
-    for previous, current in zip(ratios, ratios[1:]):
-        assert current <= previous + RATIO_NOISE
-    # The heaviest chaos actually bites ...
-    assert reports[-1].fault_events > 0
+    # The ADDC side speaks the gate's contract vocabulary: the same
+    # monotone-degradation and books-balance invariants `addc-repro
+    # chaos gate` enforces, evaluated over this sweep's evidence rows.
+    evidence = {
+        "degradation": {
+            "ratio_noise": RATIO_NOISE,
+            "rows": [
+                {
+                    "intensity": intensity,
+                    "delivery_ratio": report.delivery_ratio,
+                    "fault_events": report.fault_events,
+                    "availability": report.availability,
+                    "delivered": addc.delivered,
+                    "packets_lost": addc.packets_lost,
+                    "num_packets": n,
+                    "packets_orphaned": report.packets_orphaned,
+                }
+                for (intensity, addc, _), report in zip(rows, reports)
+            ],
+        }
+    }
+    checks = [
+        check
+        for contract in (
+            MonotoneDegradationContract(),
+            DeliveryBooksBalanceContract(),
+        )
+        for check in contract.evaluate(evidence)
+    ]
+    assert all(check.passed for check in checks), render_contracts(checks)
+    # The heaviest chaos left availability scars the contracts don't
+    # cover (they bound delivery, not uptime).
     assert reports[-1].availability < 1.0
-    # ... and every ADDC loss traces back to a fault event: with
-    # drop-queue outages and no crashes, orphans account for all losses.
-    for (_, addc, _), report in zip(rows, reports):
-        assert report.packets_orphaned == addc.packets_lost

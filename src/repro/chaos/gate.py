@@ -1,0 +1,227 @@
+"""The chaos gate: scenario grid -> contracts -> ratcheted manifest.
+
+``addc-repro chaos gate`` runs the fixed scenario grid
+(:mod:`repro.chaos.scenarios`), evaluates every registered resilience
+contract (:mod:`repro.chaos.contracts`) over the evidence, and writes a
+``manifest/v1`` file whose ``extra["resilience"]`` block carries the
+gate's figures and verdicts — the same file format the perf ratchet
+diffs, so ``BENCH_resilience.json`` ratchets through the exact
+machinery of :mod:`repro.obs.diff`.  The gate fails (exit 1) on
+
+* any failed contract check, or
+* any gated resilience figure regressing beyond the tolerance against
+  the committed baseline.
+
+Every figure in the manifest is a deterministic simulation output (no
+wall times gate), so the ratchet is machine-independent: re-running the
+same grid at the same seed reproduces the baseline figures exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import repro.obs as obs
+from repro.chaos.contracts import (
+    ContractCheck,
+    evaluate_contracts,
+    render_contracts,
+)
+from repro.chaos.scenarios import GATE_SEED, run_scenario_grid
+from repro.errors import ObservabilityError, ResilienceContractError
+from repro.obs.diff import DiffRow, diff_manifests, load_manifest_dict
+from repro.obs.manifest import RunManifest, build_manifest, write_manifest
+
+__all__ = [
+    "GateReport",
+    "run_gate",
+    "gate_manifest",
+    "diff_against_baseline",
+    "apply_synthetic_violation",
+    "write_gate_baseline",
+    "render_gate",
+    "require_passed",
+]
+
+
+@dataclass
+class GateReport:
+    """Everything one gate run produced."""
+
+    figures: Dict
+    evidence: Dict
+    checks: List[ContractCheck]
+    seed: int
+    smoke: bool
+    include_service: bool
+    wall_time_s: float
+    #: Baseline comparison rows; ``None`` when no baseline was diffed.
+    diff_rows: Optional[List[DiffRow]] = field(default=None)
+
+    @property
+    def contract_failures(self) -> int:
+        return sum(1 for check in self.checks if not check.passed)
+
+    @property
+    def regressions(self) -> int:
+        if not self.diff_rows:
+            return 0
+        return sum(1 for row in self.diff_rows if row.regression)
+
+    @property
+    def passed(self) -> bool:
+        return not self.contract_failures and not self.regressions
+
+
+def apply_synthetic_violation(evidence: Dict) -> Dict:
+    """Poison the evidence so exactly one contract check must fail.
+
+    The CI canary: a gate that cannot fail is not a gate, so one
+    pipeline step runs with this injection and asserts exit 1.  The
+    ``empty-schedule-purity`` contract is the victim because it is a
+    single self-contained check.
+    """
+    poisoned = dict(evidence)
+    degradation = dict(poisoned.get("degradation") or {})
+    degradation["empty_schedule"] = {
+        "identical": False,
+        "detail": "synthetic violation injected (--synthetic-violation)",
+    }
+    poisoned["degradation"] = degradation
+    return poisoned
+
+
+def gate_manifest(report: GateReport) -> RunManifest:
+    """The ``manifest/v1`` record one gate run commits to.
+
+    Built against a **fresh** recorder so no machine-local timing figure
+    (span profile, wall-per-slot) leaks into the ratchet: the only
+    comparable figures are the deterministic ``resilience.*`` entries.
+    """
+    grid = {
+        "name": "chaos-gate",
+        "seed": report.seed,
+        "smoke": report.smoke,
+        "include_service": report.include_service,
+    }
+    return build_manifest(
+        seed=report.seed,
+        config=grid,
+        recorder=obs.MetricsRecorder(),
+        extra={
+            "resilience": {
+                "figures": report.figures,
+                "contracts": [check.to_dict() for check in report.checks],
+                "grid": dict(grid, wall_time_s=report.wall_time_s),
+            }
+        },
+    )
+
+
+def run_gate(
+    workdir: Union[str, Path],
+    seed: int = GATE_SEED,
+    smoke: bool = False,
+    include_service: bool = True,
+    synthetic_violation: bool = False,
+    progress=None,
+) -> GateReport:
+    """Run the grid and evaluate every contract; never raises on failure.
+
+    Contract failures are *findings*, reported in the returned
+    :class:`GateReport`; only harness breakage (a scenario that cannot
+    run at all) raises.
+    """
+    started = obs.monotonic_s()
+    figures, evidence = run_scenario_grid(
+        Path(workdir),
+        seed=seed,
+        smoke=smoke,
+        include_service=include_service,
+        progress=progress,
+    )
+    if synthetic_violation:
+        evidence = apply_synthetic_violation(evidence)
+    checks = evaluate_contracts(evidence)
+    return GateReport(
+        figures=figures,
+        evidence=evidence,
+        checks=checks,
+        seed=seed,
+        smoke=smoke,
+        include_service=include_service,
+        wall_time_s=obs.monotonic_s() - started,
+    )
+
+
+def diff_against_baseline(
+    report: GateReport,
+    baseline_path: Union[str, Path],
+    tolerance_pct: Optional[float],
+) -> List[DiffRow]:
+    """Ratchet this run against the committed baseline manifest.
+
+    Returns the comparison rows (also stored on ``report.diff_rows``).
+    A baseline sharing no resilience figures with this run — wrong grid,
+    pre-gate manifest — raises :class:`ObservabilityError`, and a
+    missing baseline raises too: the gate never silently skips its
+    ratchet half.
+    """
+    baseline = load_manifest_dict(baseline_path)
+    current = gate_manifest(report).to_dict()
+    try:
+        rows = diff_manifests(baseline, current, tolerance_pct)
+    except ObservabilityError:
+        rows = []  # no shared figures at all; refused below, by name
+    resilience_rows = [
+        row for row in rows if row.name.startswith("resilience.")
+    ]
+    if not resilience_rows:
+        raise ObservabilityError(
+            f"baseline {baseline_path} shares no resilience figures with "
+            "this gate run (was it written by `chaos gate`?)"
+        )
+    report.diff_rows = resilience_rows
+    return resilience_rows
+
+
+def write_gate_baseline(
+    path: Union[str, Path], report: GateReport
+) -> None:
+    """Write this run's manifest as the new committed baseline."""
+    write_manifest(Path(path), gate_manifest(report))
+
+
+def render_gate(report: GateReport, tolerance_pct: Optional[float]) -> str:
+    """The gate's full human report: contracts, then the ratchet."""
+    from repro.obs.diff import render_diff
+
+    parts = [render_contracts(report.checks)]
+    if report.diff_rows is not None:
+        parts.append(render_diff(report.diff_rows, tolerance_pct))
+    verdict = (
+        "CHAOS GATE: PASS"
+        if report.passed
+        else (
+            f"CHAOS GATE: FAIL ({report.contract_failures} contract "
+            f"failures, {report.regressions} ratchet regressions)"
+        )
+    )
+    parts.append(verdict)
+    return "\n\n".join(parts)
+
+
+def require_passed(report: GateReport) -> None:
+    """Raise :class:`ResilienceContractError` unless the gate passed."""
+    if report.passed:
+        return
+    failed = sorted(
+        {check.contract for check in report.checks if not check.passed}
+    )
+    raise ResilienceContractError(
+        f"chaos gate failed: {report.contract_failures} contract check(s) "
+        f"down ({', '.join(failed) if failed else 'none'}), "
+        f"{report.regressions} ratcheted figure(s) regressed"
+    )

@@ -6,7 +6,11 @@ Commands
 ``bounds``     the analytic delay/capacity bounds for a scenario
 ``collect``    run one ADDC collection and print the outcome
 ``compare``    ADDC vs Coolest over repeated deployments
-``chaos``      one ADDC collection under fault injection (repro.faults)
+``chaos``      one ADDC collection under fault injection (repro.faults);
+               ``chaos gate`` runs the full resilience scenario grid,
+               evaluates every resilience contract, and ratchets the
+               result against ``BENCH_resilience.json`` (exit 1 on a
+               contract violation or a gated regression)
 ``fig4``       regenerate Figure 4 (PCR sweeps)
 ``fig6``       regenerate one Figure 6 sub-figure (a-f), optionally --save
 ``scenario``   list or run a named scenario preset
@@ -441,6 +445,58 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print("chaos smoke OK")
         return 0
     return 0 if result.completed else 1
+
+
+def _cmd_chaos_gate(args: argparse.Namespace) -> int:
+    """Run the resilience scenario grid, contracts, and the ratchet."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.chaos import (
+        diff_against_baseline,
+        run_gate,
+        write_gate_baseline,
+    )
+    from repro.chaos.gate import render_gate
+    from repro.errors import ReproError
+
+    def progress(name: str) -> None:
+        print(f"chaos gate: running {name} scenario ...", flush=True)
+
+    try:
+        with tempfile.TemporaryDirectory(prefix="chaos-gate-") as scratch:
+            workdir = Path(args.workdir) if args.workdir else Path(scratch)
+            report = run_gate(
+                workdir,
+                seed=args.seed,
+                smoke=args.smoke,
+                include_service=not args.no_service,
+                synthetic_violation=args.synthetic_violation,
+                progress=progress,
+            )
+            if args.update_baseline:
+                write_gate_baseline(args.baseline, report)
+                print(render_gate(report, None))
+                print(f"baseline written to {args.baseline}")
+                return 0 if not report.contract_failures else 1
+            if Path(args.baseline).exists():
+                diff_against_baseline(
+                    report, args.baseline, args.fail_on_regression
+                )
+            elif args.fail_on_regression is not None:
+                print(
+                    f"ERROR: baseline {args.baseline} does not exist; "
+                    "generate it with `chaos gate --update-baseline`",
+                    file=sys.stderr,
+                )
+                return 1
+            if args.out:
+                write_gate_baseline(args.out, report)
+            print(render_gate(report, args.fail_on_regression))
+    except ReproError as error:
+        print(f"ERROR [{error.code}]: {error}", file=sys.stderr)
+        return 1
+    return 0 if report.passed else 1
 
 
 def _collect_once(config: ExperimentConfig, label: str, trace=None):
@@ -1532,6 +1588,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_harness_options(chaos)
     chaos.set_defaults(handler=_cmd_chaos)
+    chaos_sub = chaos.add_subparsers(dest="chaos_command")
+    gate = chaos_sub.add_parser(
+        "gate",
+        help="run the resilience scenario grid, contracts, and ratchet",
+    )
+    gate.add_argument(
+        "--seed",
+        type=int,
+        default=20120612,
+        help="grid seed (the committed baseline pins the default)",
+    )
+    gate.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI grid: smaller degradation horizon, no hang injection",
+    )
+    gate.add_argument(
+        "--no-service",
+        action="store_true",
+        help="skip the daemon/proxy scenario (no subprocesses spawned; "
+        "the service contracts then FAIL for missing evidence)",
+    )
+    gate.add_argument(
+        "--baseline",
+        default="BENCH_resilience.json",
+        help="committed baseline manifest to ratchet against",
+    )
+    gate.add_argument(
+        "--out",
+        default=None,
+        help="also write this run's manifest to a file",
+    )
+    gate.add_argument(
+        "--fail-on-regression",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail when a gated resilience figure moves more than PCT%% "
+        "the wrong way vs the baseline",
+    )
+    gate.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write this run's manifest to --baseline instead of diffing",
+    )
+    gate.add_argument(
+        "--workdir",
+        default=None,
+        help="scenario scratch directory (default: a temp dir)",
+    )
+    gate.add_argument(
+        "--synthetic-violation",
+        action="store_true",
+        help="poison one contract so the gate must exit 1 (the CI canary "
+        "proving the gate can fail)",
+    )
+    gate.set_defaults(handler=_cmd_chaos_gate)
 
     fig4 = commands.add_parser("fig4", help="regenerate Figure 4")
     fig4.set_defaults(handler=_cmd_fig4)

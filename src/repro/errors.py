@@ -41,6 +41,9 @@ __all__ = [
     "WorkerCrashError",
     "ServiceError",
     "ProtocolError",
+    "ServiceUnavailableError",
+    "ChaosError",
+    "ResilienceContractError",
     "error_record",
 ]
 
@@ -226,6 +229,44 @@ class ProtocolError(ServiceError):
     """
 
     code = "service-protocol"
+
+
+class ServiceUnavailableError(ServiceError):
+    """The daemon stopped talking: no heartbeat/progress within the deadline.
+
+    Raised by :class:`repro.service.client.ServiceClient` when a streamed
+    submission goes silent for longer than its configured heartbeat
+    deadline — the typed signal that the daemon (or the path to it) is
+    dead, as opposed to a job that is merely slow.  Callers react by
+    reconnecting, polling ``result`` against a restarted daemon, or
+    surfacing the outage; they never block forever on a dead socket.
+    """
+
+    code = "service-unavailable"
+
+
+class ChaosError(ReproError):
+    """The chaos harness itself failed (not the system under test).
+
+    Distinguishes broken scenario plumbing — a proxy that cannot bind, a
+    fault schedule that references writes that never happen, a scenario
+    that produced no evidence — from genuine resilience findings, which
+    are reported as :class:`ResilienceContractError` or as failed
+    contract checks in the gate output.
+    """
+
+    code = "chaos"
+
+
+class ResilienceContractError(ChaosError):
+    """A declared resilience invariant does not hold.
+
+    Raised when ``addc-repro chaos gate`` is asked to enforce contracts
+    programmatically; the message names the contract id and the scenario
+    evidence that violated it (see docs/ROBUSTNESS.md).
+    """
+
+    code = "chaos-contract"
 
 
 def error_record(exc: BaseException) -> Dict[str, str]:

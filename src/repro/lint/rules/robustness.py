@@ -13,6 +13,13 @@ by an injected clock in tests and every retry test costs real seconds.
 The supervisor's backoff is deterministic precisely because its ``sleep``
 is a constructor argument; ROB002 bans wall-clock waiting everywhere
 outside the :mod:`repro.obs.clock` facade.
+
+Durable writes have the same shape of problem: a hand-rolled
+``tempfile`` + ``os.replace`` dance usually forgets the fsync (of the
+file, of the parent directory, or both), leaving exactly the torn
+artifacts the chaos gate's ``cache-never-serves-stale`` contract exists
+to catch.  ROB003 bans the raw ingredients everywhere outside
+:mod:`repro.storage`, the one audited implementation.
 """
 
 from __future__ import annotations
@@ -23,7 +30,11 @@ from typing import Iterator
 from repro.lint.diagnostics import Diagnostic, Severity
 from repro.lint.registry import ModuleContext, Rule, dotted_name, register_rule
 
-__all__ = ["SilentBroadExceptRule", "WallClockBackoffRule"]
+__all__ = [
+    "SilentBroadExceptRule",
+    "WallClockBackoffRule",
+    "AtomicWriteBypassRule",
+]
 
 _BROAD_NAMES = {"Exception", "BaseException"}
 
@@ -192,3 +203,69 @@ class WallClockBackoffRule(Rule):
                             "repro.obs.clock.monotonic_s and inject it",
                         )
                         break
+
+
+# The raw ingredients of a hand-rolled "atomic" write.
+_REPLACE_SUFFIXES = ("os.replace", "os.rename")
+_TEMPFILE_SUFFIXES = ("tempfile.NamedTemporaryFile", "tempfile.mkstemp")
+
+
+@register_rule
+class AtomicWriteBypassRule(Rule):
+    """ROB003: durable writes go through ``repro.storage``, nowhere else.
+
+    Flags calls to ``os.replace``/``os.rename`` and to
+    ``tempfile.NamedTemporaryFile``/``tempfile.mkstemp`` (including
+    aliases bound by ``from os import replace`` etc.) outside the
+    allow-listed storage module.  A temp-file-plus-rename written by hand
+    almost always skips one of the three syncs atomicity needs — file
+    fsync before the rename, and parent-directory fsync after — so a
+    crash can leave an empty or torn artifact under the final name,
+    which downstream loaders then trust.
+    :func:`repro.storage.atomic_write_text` is the one audited
+    implementation; build the payload string and hand it over.  Scratch
+    *directories* (``tempfile.mkdtemp``/``TemporaryDirectory``) are not
+    write-rename patterns and stay legal.
+    """
+
+    id = "ROB003"
+    name = "atomic-write-bypass"
+    description = (
+        "os.replace/os.rename and tempfile file factories are banned "
+        "outside repro/storage.py; use repro.storage.atomic_write_text"
+    )
+    default_severity = Severity.ERROR
+    default_options = {"allow": ["repro/storage.py"]}
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        if module.in_paths(module.option(self, "allow")):
+            return
+        # Aliases bound by `from os import replace` / `from tempfile
+        # import mkstemp` and friends.
+        aliases = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module not in ("os", "tempfile"):
+                    continue
+                for alias in node.names:
+                    dotted = f"{node.module}.{alias.name}"
+                    if dotted in _REPLACE_SUFFIXES + _TEMPFILE_SUFFIXES:
+                        aliases[alias.asname or alias.name] = dotted
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            resolved = aliases.get(name, name)
+            if any(
+                _suffix_match(resolved, suffix)
+                for suffix in _REPLACE_SUFFIXES + _TEMPFILE_SUFFIXES
+            ):
+                yield module.diagnostic(
+                    self,
+                    node,
+                    f"call to `{name}` hand-rolls an atomic write; a "
+                    "missed fsync here becomes a torn artifact — use "
+                    "repro.storage.atomic_write_text",
+                )

@@ -16,7 +16,10 @@ ratchet compares rates and per-unit means only:
   vectorized/parallel/warm counterparts) from the bench ``extra`` blocks;
 * ``engine_wall_us_per_slot`` / ``engine_fastforward_ratio`` — per-slot
   cost and the frozen-slot fast-forward win, both measured within one
-  run on one machine.
+  run on one machine;
+* ``resilience.*`` — the chaos gate's figures from
+  ``BENCH_resilience.json`` (deterministic simulation outputs; each
+  entry declares its own direction and whether it gates).
 
 Machine-shape figures (``parallel_speedup``, ``spatial_speedup``,
 ``wall_time_s``) are reported for context but never gate: a 1-core
@@ -132,6 +135,21 @@ def _figures(manifest: Dict) -> Dict[str, _Figure]:
             figures["engine_fastforward_ratio"] = _Figure(
                 float(engine["fastforward_ratio"]), higher_better=True
             )
+    resilience = extra.get("resilience")
+    if isinstance(resilience, dict):
+        # Chaos-gate figures declare their own direction and gating at
+        # the source (repro.chaos.scenarios); they are deterministic
+        # simulation outputs, so the ratchet is machine-independent.
+        for name, entry in (resilience.get("figures") or {}).items():
+            if not isinstance(entry, dict):
+                continue
+            value = entry.get("value")
+            if isinstance(value, (int, float)):
+                figures[f"resilience.{name}"] = _Figure(
+                    float(value),
+                    higher_better=bool(entry.get("higher_better", False)),
+                    gated=bool(entry.get("gated", True)),
+                )
     spatial = extra.get("spatial")
     if isinstance(spatial, dict):
         loops = spatial.get("loops") or 0

@@ -22,12 +22,12 @@ missing.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple, Union
 
 from repro.errors import ObservabilityError
 from repro.sim.trace import TraceEvent, TraceKind, TraceLog
+from repro.storage import atomic_write_text
 
 __all__ = [
     "TRACE_SCHEMA",
@@ -73,29 +73,25 @@ def event_from_dict(line: Dict) -> TraceEvent:
 def export_trace(log: TraceLog, path: Union[str, Path]) -> None:
     """Write a complete :class:`TraceLog` to ``path`` as ``trace/v1`` NDJSON.
 
-    The write is atomic (temp sibling + ``os.replace``), mirroring
+    The write is atomic and durable
+    (:func:`repro.storage.atomic_write_text`), mirroring
     :func:`repro.experiments.io.save_sweep`.  A truncated log's ``dropped``
     count lands in the header.
     """
     target = Path(path)
-    temporary = target.with_name(target.name + ".tmp")
     header = {
         "schema": TRACE_SCHEMA,
         "events": len(log),
         "dropped": log.dropped,
         "max_events": log.max_events,
     }
+    lines = [json.dumps(header, sort_keys=True)]
+    lines.extend(
+        json.dumps(event_to_dict(event), sort_keys=True) for event in log
+    )
     try:
-        with temporary.open("w", encoding="utf-8") as handle:
-            handle.write(json.dumps(header, sort_keys=True) + "\n")
-            for event in log:
-                handle.write(json.dumps(event_to_dict(event), sort_keys=True) + "\n")
-        os.replace(temporary, target)
+        atomic_write_text(target, "\n".join(lines) + "\n")
     except OSError as exc:
-        try:
-            temporary.unlink()
-        except OSError:
-            pass
         raise ObservabilityError(f"cannot write trace file {target}: {exc}") from exc
 
 

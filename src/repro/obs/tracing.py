@@ -42,13 +42,13 @@ schemas, so mixed-era tooling fails loudly instead of misparsing.
 from __future__ import annotations
 
 import json
-import os
 import re
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ObservabilityError
+from repro.storage import atomic_write_text
 
 __all__ = [
     "TRACE_V2_SCHEMA",
@@ -230,25 +230,17 @@ def write_shard(
 ) -> None:
     """Atomically write one worker shard as ``trace/v2`` NDJSON."""
     target = Path(path)
-    temporary = target.with_name(target.name + ".tmp")
     header = {
         "schema": TRACE_V2_SCHEMA,
         "trace_id": str(trace_id),
         "shard": f"point-{int(point_index)}.rep-{int(repetition)}",
         "spans": len(spans),
     }
+    lines = [json.dumps(header, sort_keys=True)]
+    lines.extend(json.dumps(span.to_dict(), sort_keys=True) for span in spans)
     try:
-        with temporary.open("w", encoding="utf-8") as handle:
-            handle.write(json.dumps(header, sort_keys=True) + "\n")
-            for span in spans:
-                handle.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
-        os.replace(temporary, target)
+        atomic_write_text(target, "\n".join(lines) + "\n")
     except OSError as exc:
-        try:
-            temporary.unlink()
-        except OSError:
-            # Best-effort cleanup; the original OSError is the real story.
-            pass
         raise ObservabilityError(
             f"cannot write trace shard {target}: {exc}"
         ) from exc
@@ -411,24 +403,17 @@ def write_trace(
 ) -> None:
     """Atomically write one merged ``trace/v2`` file."""
     target = Path(path)
-    temporary = target.with_name(target.name + ".tmp")
     header = {
         "schema": TRACE_V2_SCHEMA,
         "trace_id": str(trace_id),
         "merged": True,
         "spans": len(spans),
     }
+    lines = [json.dumps(header, sort_keys=True)]
+    lines.extend(json.dumps(span.to_dict(), sort_keys=True) for span in spans)
     try:
-        with temporary.open("w", encoding="utf-8") as handle:
-            handle.write(json.dumps(header, sort_keys=True) + "\n")
-            for span in spans:
-                handle.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
-        os.replace(temporary, target)
+        atomic_write_text(target, "\n".join(lines) + "\n")
     except OSError as exc:
-        try:
-            temporary.unlink()
-        except OSError:
-            pass
         raise ObservabilityError(
             f"cannot write trace file {target}: {exc}"
         ) from exc

@@ -7,6 +7,14 @@ of the experiment — and nothing else — an identical request is served
 from disk with **zero** engine compute, and every hit is appended to a
 durable ``cache-log.ndjson`` provenance trail recording exactly which
 spec was answered from which artifact, when.
+
+The provenance log shares the torn-tail discipline of ``checkpoint/v1``
+journals: a ``SIGKILL`` landing inside one append can tear at most the
+final line, so opening the cache truncates a torn tail (counted on
+``service.cache.torn_tail``) instead of refusing to load — while
+corruption anywhere *before* the tail still raises
+:class:`~repro.errors.ServiceError`, because a mangled interior record
+means something other than a crash touched the log.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ class ResultCache:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.log_path = self.root / "cache-log.ndjson"
+        self._repair_log_tail()
 
     def artifact_path(self, fingerprint: str) -> Path:
         return self.root / f"{fingerprint}.json"
@@ -77,14 +86,64 @@ class ResultCache:
             ) from exc
         return record
 
+    def _scan_log(self) -> tuple:
+        """``(records, valid_bytes, torn)`` for the provenance log.
+
+        Mirrors the ``checkpoint/v1`` loader: a record is valid only when
+        it parses as a JSON object *and* its line ends in a newline.  The
+        final line failing either test is a torn tail (the one write a
+        crash can lose); any earlier line failing is corruption and
+        raises :class:`ServiceError`.
+        """
+        raw = self.log_path.read_bytes()
+        lines = raw.splitlines(keepends=True)
+        records: list = []
+        valid_bytes = 0
+        for index, line in enumerate(lines):
+            body = line.rstrip(b"\r\n")
+            if not body.strip():
+                valid_bytes += len(line)
+                continue
+            record = None
+            try:
+                record = json.loads(body)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                record = None
+            complete = line.endswith(b"\n")
+            if isinstance(record, dict) and complete:
+                records.append(record)
+                valid_bytes += len(line)
+                continue
+            if index == len(lines) - 1:
+                return records, valid_bytes, True
+            raise ServiceError(
+                f"cache provenance log {self.log_path} is corrupt at "
+                f"record {index + 1}: not a complete JSON object"
+            )
+        return records, valid_bytes, False
+
+    def _repair_log_tail(self) -> None:
+        """Truncate a torn final line so the cache loads after a crash."""
+        if not self.log_path.exists():
+            return
+        _records, valid_bytes, torn = self._scan_log()
+        if not torn:
+            return
+        with open(self.log_path, "r+b") as handle:
+            handle.truncate(valid_bytes)
+            handle.flush()
+            os.fsync(handle.fileno())
+        obs.counter_add("service.cache.torn_tail")
+
     def hit_records(self) -> list:
-        """All provenance records, oldest first (empty if no hits yet)."""
+        """All provenance records, oldest first (empty if no hits yet).
+
+        Tolerates a torn final line (returns the valid prefix); interior
+        corruption raises :class:`ServiceError`.
+        """
         if not self.log_path.exists():
             return []
-        records = []
-        for line in self.log_path.read_text().splitlines():
-            if line.strip():
-                records.append(json.loads(line))
+        records, _valid_bytes, _torn = self._scan_log()
         return records
 
     def sync(self) -> None:

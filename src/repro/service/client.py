@@ -6,6 +6,15 @@ to a callback until the terminal ``completed``/``failed`` (or the
 daemon's ``draining`` farewell) arrives.  All waiting is bounded by the
 socket timeout — a dead daemon produces a :class:`ServiceError`, never
 a hang.
+
+A streamed submission can additionally arm a **heartbeat deadline**: the
+daemon emits ``heartbeat``/``progress`` frames while a job runs, so a
+connection that stays open but goes silent past
+``heartbeat_deadline_s`` means the daemon is stalled (wedged worker,
+yanked disk, a proxy eating frames) rather than busy.  That case raises
+the typed :class:`~repro.errors.ServiceUnavailableError` instead of
+waiting out the full socket timeout.  The deadline clock is injectable
+for tests.
 """
 
 from __future__ import annotations
@@ -14,7 +23,8 @@ import socket
 from pathlib import Path
 from typing import Callable, Dict, Optional, Union
 
-from repro.errors import ProtocolError, ServiceError
+from repro.errors import ProtocolError, ServiceError, ServiceUnavailableError
+from repro.obs.clock import monotonic_s
 from repro.service import protocol
 from repro.service.jobs import JobSpec
 
@@ -28,10 +38,21 @@ class ServiceClient:
     """Talk ``service/v1`` to a daemon on a local socket."""
 
     def __init__(
-        self, socket_path: Union[str, Path], timeout_s: float = 300.0
+        self,
+        socket_path: Union[str, Path],
+        timeout_s: float = 300.0,
+        heartbeat_deadline_s: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
+        if heartbeat_deadline_s is not None and heartbeat_deadline_s <= 0:
+            raise ServiceError(
+                f"heartbeat_deadline_s must be positive, got "
+                f"{heartbeat_deadline_s}"
+            )
         self.socket_path = Path(socket_path)
         self.timeout_s = timeout_s
+        self.heartbeat_deadline_s = heartbeat_deadline_s
+        self._clock = clock
 
     # ---- plumbing ------------------------------------------------------- #
 
@@ -63,6 +84,42 @@ class ServiceClient:
                     "service closed the connection mid-response"
                 )
             buffer += chunk
+        line, rest = buffer.split(b"\n", 1)
+        return line, rest
+
+    def _read_frame(self, sock: socket.socket, buffer: bytes) -> tuple:
+        """Read one frame, bounded by the heartbeat deadline when armed.
+
+        Without a deadline this is :meth:`_read_line`.  With one, the
+        socket timeout becomes a polling granularity: every quiet
+        interval checks how long the daemon has been silent, and silence
+        past ``heartbeat_deadline_s`` raises
+        :class:`ServiceUnavailableError` — any arriving byte resets the
+        clock, so a slow-but-alive daemon is never misdiagnosed.
+        """
+        if self.heartbeat_deadline_s is None:
+            return self._read_line(sock, buffer)
+        clock = self._clock if self._clock is not None else monotonic_s
+        last_byte_at = clock()
+        while b"\n" not in buffer:
+            try:
+                chunk = sock.recv(65536)
+            except socket.timeout as exc:
+                silent_s = clock() - last_byte_at
+                if silent_s >= self.heartbeat_deadline_s:
+                    raise ServiceUnavailableError(
+                        f"no heartbeat or progress frame from the service "
+                        f"for {silent_s:.1f}s (deadline "
+                        f"{self.heartbeat_deadline_s}s) — the daemon looks "
+                        "dead or stalled"
+                    ) from exc
+                continue
+            if not chunk:
+                raise ServiceError(
+                    "service closed the connection mid-response"
+                )
+            buffer += chunk
+            last_byte_at = clock()
         line, rest = buffer.split(b"\n", 1)
         return line, rest
 
@@ -115,16 +172,22 @@ class ServiceClient:
             return self.request(message)
         sock = self._connect()
         try:
+            if self.heartbeat_deadline_s is not None:
+                # The socket timeout becomes the silence-poll interval;
+                # it must tick faster than the deadline it enforces.
+                sock.settimeout(
+                    min(self.timeout_s, self.heartbeat_deadline_s / 4)
+                )
             sock.sendall(protocol.encode_message(message))
             buffer = b""
-            line, buffer = self._read_line(sock, buffer)
+            line, buffer = self._read_frame(sock, buffer)
             response = protocol.decode_message(line)
             if response.get("type") != "accepted":
                 return response
             if on_event is not None:
                 on_event(response)
             while True:
-                line, buffer = self._read_line(sock, buffer)
+                line, buffer = self._read_frame(sock, buffer)
                 event = protocol.decode_message(line)
                 if event.get("type") in _TERMINAL:
                     return event

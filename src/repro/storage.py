@@ -17,9 +17,31 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Union
+from typing import Callable, Optional, Union
 
-__all__ = ["fsync_dir", "atomic_write_text"]
+__all__ = ["fsync_dir", "atomic_write_text", "set_chaos_hook"]
+
+#: Chaos injection point (:mod:`repro.chaos.storage`): ``None`` in
+#: production.  When installed, the hook observes every durable write
+#: *before* it happens and may raise :class:`OSError` to simulate a full
+#: disk, an I/O fault, or a torn write.  The hook must never consume
+#: experiment RNG — fault schedules are precomputed on named chaos
+#: streams — so an installed-but-empty schedule leaves runs bit-identical.
+_chaos_hook: Optional[Callable[[str, Path, Optional[str]], None]] = None
+
+
+def set_chaos_hook(
+    hook: Optional[Callable[[str, Path, Optional[str]], None]],
+) -> Optional[Callable[[str, Path, Optional[str]], None]]:
+    """Install (or, with ``None``, remove) the storage chaos hook.
+
+    Returns the previously installed hook so scoped installers
+    (:class:`repro.chaos.storage.StorageChaos`) can restore it.
+    """
+    global _chaos_hook
+    previous = _chaos_hook
+    _chaos_hook = hook
+    return previous
 
 
 def fsync_dir(path: Union[str, Path]) -> None:
@@ -29,6 +51,8 @@ def fsync_dir(path: Union[str, Path]) -> None:
     the page cache until the directory itself is fsynced; without this a
     power loss can silently undo an ``os.replace`` that already returned.
     """
+    if _chaos_hook is not None:
+        _chaos_hook("fsync_dir", Path(path), None)
     fd = os.open(str(path), os.O_RDONLY)
     try:
         os.fsync(fd)
@@ -48,6 +72,8 @@ def atomic_write_text(
     is removed and the original ``OSError`` propagates.
     """
     target = Path(path)
+    if _chaos_hook is not None:
+        _chaos_hook("atomic_write_text", target, text)
     temporary = target.with_name(target.name + ".tmp")
     try:
         with open(temporary, "w", encoding=encoding) as handle:

@@ -1,0 +1,86 @@
+"""Integration tests for repro.chaos.scenarios: the evidence grid, live.
+
+Only the two in-process scenarios run here (degradation and storage);
+the worker and service scenarios need real subprocesses and are covered
+by the CI ``chaos gate --smoke`` step.  What these tests pin is that the
+scenarios produce *passing* evidence on a healthy tree — most
+importantly the empty-schedule purity comparison, which is the
+determinism contract for the entire chaos layer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+from repro.chaos.contracts import (
+    CacheNeverServesStaleContract,
+    DeliveryBooksBalanceContract,
+    EmptySchedulePurityContract,
+    MonotoneDegradationContract,
+    ResumeIdentityContract,
+)
+from repro.chaos.scenarios import (
+    GATE_SEED,
+    run_degradation_scenario,
+    run_storage_scenario,
+    scenario_config,
+)
+
+
+@pytest.fixture(autouse=True)
+def _null_recorder_between_tests():
+    obs.set_recorder(None)
+    yield
+    obs.set_recorder(None)
+
+
+def test_scenario_config_is_tiny_and_seeded():
+    config = scenario_config(101)
+    assert config.seed == 101
+    assert config.num_sus == 20  # the fast fixture, not the paper scale
+
+
+def test_degradation_scenario_produces_passing_evidence():
+    figures, evidence = run_degradation_scenario(
+        seed=GATE_SEED, intensities=(0.0, 0.5), horizon_slots=800
+    )
+    degradation = evidence["degradation"]
+    rows = degradation["rows"]
+    assert [row["intensity"] for row in rows] == [0.0, 0.5]
+    # The purity comparison ran and held: empty-schedule chaos is the
+    # plain path, bit for bit, RNG positions included.
+    assert degradation["empty_schedule"]["identical"], degradation[
+        "empty_schedule"
+    ]["detail"]
+    assert rows[0]["delivery_ratio"] == 1.0
+    assert rows[0]["fault_events"] == 0
+    for name in (
+        "delivery_ratio_heaviest",
+        "availability_heaviest",
+        "fault_events_heaviest",
+    ):
+        assert name in figures
+    # The degradation-facing contracts accept this evidence as-is.
+    for contract in (
+        MonotoneDegradationContract(),
+        DeliveryBooksBalanceContract(),
+        EmptySchedulePurityContract(),
+    ):
+        for check in contract.evaluate(evidence):
+            assert check.passed, f"{contract.id}: {check.detail}"
+
+
+def test_storage_scenario_produces_passing_evidence(tmp_path):
+    figures, evidence = run_storage_scenario(tmp_path, seed=GATE_SEED)
+    storage = evidence["storage"]
+    assert storage["write_failures_loud"]
+    assert storage["faults_injected"] >= 1
+    assert "storage_faults_injected" in figures
+    # The storage-facing contracts accept this evidence as-is.
+    for contract in (
+        ResumeIdentityContract(),
+        CacheNeverServesStaleContract(),
+    ):
+        for check in contract.evaluate(evidence):
+            assert check.passed, f"{contract.id}: {check.detail}"

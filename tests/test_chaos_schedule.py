@@ -1,0 +1,132 @@
+"""Tests for repro.chaos.schedule: kill/hang-at-point worker chaos.
+
+The wrapper must be invisible when the schedule is empty, misbehave on
+exactly the first attempt of scheduled items (marker files, not process
+memory — the crash is the point), and refuse to ``os._exit`` the main
+process when the supervisor runs inline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+import repro.chaos.schedule as schedule_module
+from repro.chaos import ChaosSchedule, ChaosWorker, item_key
+from repro.errors import ChaosError
+from repro.rng import StreamFactory
+
+
+def _double(item):
+    return item * 2
+
+
+def _describe(item):
+    return repr(item)
+
+
+@dataclass(frozen=True)
+class _Item:
+    repetition: int
+    payload: str = "x"
+
+
+class TestItemKey:
+    def test_repetition_attribute_is_the_natural_key(self):
+        assert item_key(_Item(repetition=7)) == 7
+
+    def test_fallback_digest_is_stable_and_distinct(self):
+        assert item_key("abc") == item_key("abc")
+        assert item_key("abc") != item_key("abd")
+        assert item_key(5) >= 0
+
+
+class TestChaosSchedule:
+    def test_kill_and_hang_must_not_overlap(self):
+        with pytest.raises(ChaosError, match="both kill and hang"):
+            ChaosSchedule(
+                kill_first_attempt=(1, 2), hang_first_attempt=(2, 3)
+            )
+
+    def test_hang_duration_must_be_positive(self):
+        with pytest.raises(ChaosError, match="hang_s"):
+            ChaosSchedule(hang_s=0.0)
+
+    def test_fraction_validation(self):
+        keys = tuple(range(10))
+        with pytest.raises(ChaosError, match=">= 0"):
+            ChaosSchedule.from_stream(
+                StreamFactory(1), keys, kill_fraction=-0.1
+            )
+        with pytest.raises(ChaosError, match="exceed 1"):
+            ChaosSchedule.from_stream(
+                StreamFactory(1), keys, kill_fraction=0.6, hang_fraction=0.6
+            )
+
+    def test_zero_fractions_yield_an_empty_schedule(self):
+        schedule = ChaosSchedule.from_stream(
+            StreamFactory(9), tuple(range(8))
+        )
+        assert schedule.empty
+
+    def test_same_seed_same_victims(self):
+        keys = tuple(range(20))
+        draw = lambda: ChaosSchedule.from_stream(  # noqa: E731
+            StreamFactory(42), keys, kill_fraction=0.2, hang_fraction=0.1
+        )
+        first, second = draw(), draw()
+        assert first == second
+        assert len(first.kill_first_attempt) == 4
+        assert len(first.hang_first_attempt) == 2
+        victims = set(first.kill_first_attempt) | set(
+            first.hang_first_attempt
+        )
+        assert victims <= set(keys)
+
+
+class TestChaosWorker:
+    def test_empty_schedule_is_a_pure_passthrough(self, tmp_path):
+        worker = ChaosWorker(_double, ChaosSchedule(), str(tmp_path))
+        assert worker(21) == 42
+        assert list(tmp_path.iterdir()) == []  # no markers written
+
+    def test_kill_in_the_main_process_is_refused_loudly(self, tmp_path):
+        schedule = ChaosSchedule(kill_first_attempt=(3,))
+        worker = ChaosWorker(_describe, schedule, str(tmp_path))
+        # Inline execution (workers=1) must never os._exit the run.
+        with pytest.raises(ChaosError, match="main process"):
+            worker(_Item(repetition=3))
+
+    def test_second_attempt_behaves(self, tmp_path):
+        item = _Item(repetition=5)
+        schedule = ChaosSchedule(kill_first_attempt=(5,))
+        worker = ChaosWorker(_describe, schedule, str(tmp_path))
+        with pytest.raises(ChaosError):
+            worker(item)  # first attempt misbehaves (refused inline)
+        # The marker survives the "crash"; the retry runs clean.
+        assert (tmp_path / "chaos-item-5.attempted").exists()
+        assert worker(item) == repr(item)
+
+    def test_hang_sleeps_once_then_proceeds(self, tmp_path, monkeypatch):
+        naps = []
+        monkeypatch.setattr(schedule_module, "sleep_s", naps.append)
+        schedule = ChaosSchedule(hang_first_attempt=(7,), hang_s=3.0)
+        worker = ChaosWorker(_describe, schedule, str(tmp_path))
+        item = _Item(repetition=7)
+        assert worker(item) == repr(item)
+        assert worker(item) == repr(item)
+        assert naps == [3.0]  # slept exactly once, on the first attempt
+        assert (tmp_path / "chaos-item-7.attempted").exists()
+
+    def test_labels_keep_marker_namespaces_apart(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(schedule_module, "sleep_s", lambda _s: None)
+        schedule = ChaosSchedule(hang_first_attempt=(1,), hang_s=0.001)
+        first = ChaosWorker(_describe, schedule, str(tmp_path), label="run-a")
+        second = ChaosWorker(_describe, schedule, str(tmp_path), label="run-b")
+        first(_Item(repetition=1))
+        # run-b has its own first-attempt ledger: its marker is fresh.
+        assert (tmp_path / "run-a-item-1.attempted").exists()
+        assert not (tmp_path / "run-b-item-1.attempted").exists()
+        second(_Item(repetition=1))
+        assert (tmp_path / "run-b-item-1.attempted").exists()

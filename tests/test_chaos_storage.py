@@ -1,0 +1,224 @@
+"""Tests for repro.chaos.storage: scheduled durable-write faults.
+
+The contract under test: fault schedules are drawn once from a *named*
+chaos stream (deterministic, replayable), an empty schedule leaves the
+write path untouched, and an injected fault looks exactly like the real
+failure — ``ENOSPC``/``EIO`` errno, torn debris in the target file —
+so the recovery code exercised is the code production would run.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.chaos import (
+    FAULT_KINDS,
+    StorageChaos,
+    StorageFault,
+    StorageFaultPlan,
+    storage_fault_plan,
+    tear_ndjson_tail,
+)
+from repro.errors import ChaosError
+from repro.obs.recorder import MetricsRecorder
+from repro.rng import StreamFactory
+from repro.storage import atomic_write_text
+
+
+@pytest.fixture(autouse=True)
+def _null_recorder_between_tests():
+    obs.set_recorder(None)
+    yield
+    obs.set_recorder(None)
+
+
+class TestPlanValidation:
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ChaosError, match="unknown storage fault kind"):
+            StorageFault(0, "cosmic-ray")
+
+    def test_negative_index_is_rejected(self):
+        with pytest.raises(ChaosError, match="write_index"):
+            StorageFault(-1, "eio")
+
+    def test_payload_fraction_bounds(self):
+        with pytest.raises(ChaosError, match="payload_fraction"):
+            StorageFault(0, "torn", payload_fraction=1.0)
+        StorageFault(0, "torn", payload_fraction=0.0)  # legal edge
+
+    def test_duplicate_index_is_rejected(self):
+        with pytest.raises(ChaosError, match="more than once"):
+            StorageFaultPlan(
+                (StorageFault(2, "eio"), StorageFault(2, "enospc"))
+            )
+
+    def test_plan_round_trips_to_dict(self):
+        plan = StorageFaultPlan(
+            (StorageFault(1, "torn", 0.25),), match="artifact"
+        )
+        payload = plan.to_dict()
+        assert payload["match"] == "artifact"
+        assert payload["faults"] == [
+            {"write_index": 1, "kind": "torn", "payload_fraction": 0.25}
+        ]
+
+
+class TestPlanGeneration:
+    def test_zero_intensity_yields_empty_plan(self):
+        plan = storage_fault_plan(StreamFactory(7), 100, 0.0)
+        assert plan.empty
+        assert plan.fault_at(0) is None
+
+    def test_zero_writes_yields_empty_plan(self):
+        assert storage_fault_plan(StreamFactory(7), 0, 1.0).empty
+
+    def test_same_seed_same_plan(self):
+        draw = lambda: storage_fault_plan(  # noqa: E731
+            StreamFactory(42), 50, 0.3
+        )
+        assert draw().to_dict() == draw().to_dict()
+
+    def test_plan_shape_respects_the_menu(self):
+        plan = storage_fault_plan(StreamFactory(3), 40, 0.25)
+        assert len(plan.faults) == 10
+        indices = [fault.write_index for fault in plan.faults]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)
+        for fault in plan.faults:
+            assert 0 <= fault.write_index < 40
+            assert fault.kind in FAULT_KINDS
+            assert 0.1 <= fault.payload_fraction < 0.9
+
+    def test_validation_errors(self):
+        with pytest.raises(ChaosError, match="writes_expected"):
+            storage_fault_plan(StreamFactory(1), -1, 0.5)
+        with pytest.raises(ChaosError, match="intensity"):
+            storage_fault_plan(StreamFactory(1), 10, -0.1)
+        with pytest.raises(ChaosError, match="unknown storage fault kind"):
+            storage_fault_plan(StreamFactory(1), 10, 0.5, kinds=("gamma",))
+
+
+class TestStorageChaos:
+    def test_enospc_fires_at_the_scheduled_write_only(self, tmp_path):
+        recorder = MetricsRecorder()
+        obs.set_recorder(recorder)
+        plan = StorageFaultPlan((StorageFault(1, "enospc"),))
+        with StorageChaos(plan) as chaos:
+            atomic_write_text(tmp_path / "a.json", "{}")
+            with pytest.raises(OSError) as caught:
+                atomic_write_text(tmp_path / "b.json", "{}")
+            atomic_write_text(tmp_path / "c.json", "{}")
+        assert caught.value.errno == errno.ENOSPC
+        assert "chaos: injected enospc" in str(caught.value)
+        assert (tmp_path / "a.json").exists()
+        assert not (tmp_path / "b.json").exists()  # atomicity held
+        assert (tmp_path / "c.json").exists()
+        assert chaos.writes_seen == 3
+        assert chaos.injected == [(1, "enospc", str(tmp_path / "b.json"))]
+        assert recorder.counters["chaos.storage.injected"] == 1
+
+    def test_torn_fault_leaves_unparseable_debris_in_the_target(
+        self, tmp_path
+    ):
+        payload = json.dumps({"name": "comparison", "rows": list(range(40))})
+        plan = StorageFaultPlan(
+            (StorageFault(0, "torn", payload_fraction=0.5),)
+        )
+        target = tmp_path / "artifact.json"
+        with StorageChaos(plan):
+            with pytest.raises(OSError) as caught:
+                atomic_write_text(target, payload)
+        assert caught.value.errno == errno.EIO
+        # The killed-writer debris: a strict payload prefix, not valid JSON.
+        debris = target.read_text()
+        assert debris == payload[: len(debris)]
+        assert 0 < len(debris) < len(payload)
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(debris)
+
+    def test_match_filter_does_not_advance_the_counter(self, tmp_path):
+        plan = StorageFaultPlan(
+            (StorageFault(0, "eio"),), match="artifact"
+        )
+        with StorageChaos(plan) as chaos:
+            atomic_write_text(tmp_path / "manifest.json", "{}")
+            atomic_write_text(tmp_path / "other.json", "{}")
+            with pytest.raises(OSError):
+                atomic_write_text(tmp_path / "artifact.json", "{}")
+        assert chaos.writes_seen == 1
+        assert chaos.injected == [(0, "eio", str(tmp_path / "artifact.json"))]
+
+    def test_empty_plan_is_invisible(self, tmp_path):
+        with StorageChaos(StorageFaultPlan()) as chaos:
+            atomic_write_text(tmp_path / "a.json", "{}")
+        assert chaos.writes_seen == 1
+        assert chaos.injected == []
+        assert (tmp_path / "a.json").read_text() == "{}"
+
+    def test_hook_is_restored_on_exit(self, tmp_path):
+        plan = StorageFaultPlan((StorageFault(0, "enospc"),))
+        with StorageChaos(plan):
+            with pytest.raises(OSError):
+                atomic_write_text(tmp_path / "a.json", "{}")
+        atomic_write_text(tmp_path / "a.json", "{}")  # hook gone
+        assert (tmp_path / "a.json").read_text() == "{}"
+
+    def test_not_reentrant(self):
+        chaos = StorageChaos(StorageFaultPlan())
+        with chaos:
+            with pytest.raises(ChaosError, match="not re-entrant"):
+                chaos.__enter__()
+
+    def test_nested_scopes_restore_the_outer_hook(self, tmp_path):
+        outer = StorageFaultPlan((StorageFault(2, "eio"),))
+        with StorageChaos(outer) as outer_chaos:
+            with StorageChaos(StorageFaultPlan()) as inner:
+                atomic_write_text(tmp_path / "inner.json", "{}")
+            assert inner.writes_seen == 1
+            # Back on the outer plan: its counter resumes from where the
+            # inner scope shadowed it.
+            atomic_write_text(tmp_path / "after.json", "{}")
+            assert outer_chaos.writes_seen == 1
+
+
+class TestTearNdjsonTail:
+    def test_tears_only_the_final_line(self, tmp_path):
+        path = tmp_path / "journal.ndjson"
+        lines = [json.dumps({"record": index}) for index in range(3)]
+        path.write_text("\n".join(lines) + "\n")
+        removed = tear_ndjson_tail(path)
+        assert removed > 0
+        raw = path.read_bytes()
+        assert not raw.endswith(b"\n")
+        kept = raw.split(b"\n")
+        # The first two records survive intact; the last is a torn prefix.
+        assert [json.loads(line) for line in kept[:2]] == [
+            {"record": 0},
+            {"record": 1},
+        ]
+        assert kept[2] == lines[2].encode()[: len(kept[2])]
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(kept[2])
+
+    def test_single_line_file_can_be_torn_to_nothing(self, tmp_path):
+        path = tmp_path / "one.ndjson"
+        path.write_text('{"only": 1}\n')
+        removed = tear_ndjson_tail(path, keep_fraction=0.0)
+        assert removed == 12
+        assert path.read_bytes() == b""
+
+    def test_empty_file_has_nothing_to_tear(self, tmp_path):
+        path = tmp_path / "empty.ndjson"
+        path.write_text("")
+        with pytest.raises(ChaosError, match="no record line"):
+            tear_ndjson_tail(path)
+
+    def test_keep_fraction_bounds(self, tmp_path):
+        path = tmp_path / "j.ndjson"
+        path.write_text('{"a": 1}\n')
+        with pytest.raises(ChaosError, match="keep_fraction"):
+            tear_ndjson_tail(path, keep_fraction=1.0)

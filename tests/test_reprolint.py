@@ -192,6 +192,26 @@ RULE_FIXTURES = {
             "__all__ = ['wait_until']\n"
         ),
     ),
+    "ROB003": (
+        "repro/experiments/export.py",
+        (
+            "import json\n"
+            "import os\n\n\n"
+            "def save(path, payload):\n"
+            "    tmp = str(path) + '.tmp'\n"
+            "    with open(tmp, 'w') as handle:\n"
+            "        handle.write(json.dumps(payload))\n"
+            "    os.replace(tmp, path)\n\n\n"
+            "__all__ = ['save']\n"
+        ),
+        (
+            "import json\n\n"
+            "from repro.storage import atomic_write_text\n\n\n"
+            "def save(path, payload):\n"
+            "    atomic_write_text(path, json.dumps(payload))\n\n\n"
+            "__all__ = ['save']\n"
+        ),
+    ),
     "RNG010": (
         "repro/sim/nodes.py",
         (
@@ -507,6 +527,44 @@ class TestRuleFixtures:
             lint_source(source, path="repro/obs/clock.py")
         )
         assert "ROB002" in rule_ids(lint_source(source, path="repro/cli.py"))
+
+    def test_rob003_flags_from_import_rename_alias(self):
+        source = (
+            "from os import rename as mv\n\n\n"
+            "def save(path, text):\n"
+            "    with open(str(path) + '.tmp', 'w') as handle:\n"
+            "        handle.write(text)\n"
+            "    mv(str(path) + '.tmp', path)\n\n\n"
+            "__all__ = ['save']\n"
+        )
+        assert "ROB003" in rule_ids(lint_source(source, path="repro/x.py"))
+
+    def test_rob003_flags_tempfile_file_factories(self):
+        source = (
+            "import tempfile\n\n\n"
+            "def scratch():\n"
+            "    return tempfile.mkstemp()\n\n\n"
+            "__all__ = ['scratch']\n"
+        )
+        assert "ROB003" in rule_ids(lint_source(source, path="repro/x.py"))
+
+    def test_rob003_allows_scratch_directories(self):
+        source = (
+            "import tempfile\n\n\n"
+            "def scratch():\n"
+            "    return tempfile.mkdtemp()\n\n\n"
+            "__all__ = ['scratch']\n"
+        )
+        assert "ROB003" not in rule_ids(lint_source(source, path="repro/x.py"))
+
+    def test_rob003_exempts_the_storage_module(self):
+        source = "import os\n\nos.replace('a', 'b')\n\n__all__ = []\n"
+        assert "ROB003" not in rule_ids(
+            lint_source(source, path="repro/storage.py")
+        )
+        assert "ROB003" in rule_ids(
+            lint_source(source, path="repro/obs/tracing.py")
+        )
 
     def test_rob002_allows_injected_sleep(self):
         source = (

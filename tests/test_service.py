@@ -363,6 +363,126 @@ class TestResultCache:
         with pytest.raises(ServiceError, match="unreadable"):
             cache.load_artifact("f")
 
+    def test_torn_log_tail_is_repaired_on_open(self, tmp_path):
+        from repro.chaos import tear_ndjson_tail
+        from repro.obs.recorder import MetricsRecorder
+
+        cache = ResultCache(tmp_path / "cache")
+        cache.record_hit("a" * 8, tiny_spec())
+        cache.record_hit("b" * 8, tiny_spec(seed=1))
+        # A SIGKILL lands inside the final append: the last line tears.
+        tear_ndjson_tail(cache.log_path)
+        recorder = MetricsRecorder()
+        obs.set_recorder(recorder)
+        reopened = ResultCache(tmp_path / "cache")
+        assert recorder.counters["service.cache.torn_tail"] == 1
+        trail = reopened.hit_records()
+        assert [record["fingerprint"] for record in trail] == ["a" * 8]
+        # The repaired log keeps accepting appends on a clean boundary.
+        reopened.record_hit("c" * 8, tiny_spec(seed=2))
+        assert [
+            record["fingerprint"] for record in reopened.hit_records()
+        ] == ["a" * 8, "c" * 8]
+
+    def test_interior_log_corruption_raises_not_repairs(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.record_hit("a" * 8, tiny_spec())
+        cache.record_hit("b" * 8, tiny_spec(seed=1))
+        lines = cache.log_path.read_text().splitlines()
+        lines[0] = lines[0][: len(lines[0]) // 2]  # mangle an interior record
+        cache.log_path.write_text("\n".join(lines) + "\n")
+        # Only the *final* line can tear in a crash; damage anywhere else
+        # means tampering, and the cache must refuse to open over it.
+        with pytest.raises(ServiceError, match="corrupt at record 1"):
+            ResultCache(tmp_path / "cache")
+
+    def test_clean_log_open_counts_nothing(self, tmp_path):
+        from repro.obs.recorder import MetricsRecorder
+
+        cache = ResultCache(tmp_path / "cache")
+        cache.record_hit("a" * 8, tiny_spec())
+        recorder = MetricsRecorder()
+        obs.set_recorder(recorder)
+        reopened = ResultCache(tmp_path / "cache")
+        assert "service.cache.torn_tail" not in recorder.counters
+        assert len(reopened.hit_records()) == 1
+
+
+# --------------------------------------------------------------------------- #
+# client heartbeat deadline (injected clock, no daemon required)
+# --------------------------------------------------------------------------- #
+
+
+class _ScriptedSocket:
+    """A socket stub: ``None`` entries raise timeout, bytes arrive as-is."""
+
+    def __init__(self, script):
+        self.script = list(script)
+
+    def recv(self, _size):
+        import socket as socket_module
+
+        item = self.script.pop(0)
+        if item is None:
+            raise socket_module.timeout()
+        return item
+
+
+class _SteppingClock:
+    """A fake monotonic clock advancing a fixed step per reading."""
+
+    def __init__(self, step_s):
+        self.now_s = 0.0
+        self.step_s = step_s
+
+    def __call__(self):
+        self.now_s += self.step_s
+        return self.now_s
+
+
+class TestClientHeartbeat:
+    def _client(self, tmp_path, **kwargs):
+        from repro.service.client import ServiceClient
+
+        return ServiceClient(tmp_path / "service.sock", **kwargs)
+
+    def test_deadline_must_be_positive(self, tmp_path):
+        with pytest.raises(ServiceError, match="heartbeat_deadline_s"):
+            self._client(tmp_path, heartbeat_deadline_s=0.0)
+
+    def test_silence_past_the_deadline_raises_typed_error(self, tmp_path):
+        from repro.errors import ServiceUnavailableError
+
+        client = self._client(
+            tmp_path,
+            timeout_s=1.0,
+            heartbeat_deadline_s=1.0,
+            clock=_SteppingClock(0.4),
+        )
+        sock = _ScriptedSocket([None] * 10)
+        with pytest.raises(ServiceUnavailableError, match="heartbeat"):
+            client._read_frame(sock, b"")
+
+    def test_arriving_bytes_reset_the_silence_clock(self, tmp_path):
+        client = self._client(
+            tmp_path,
+            timeout_s=1.0,
+            heartbeat_deadline_s=1.0,
+            clock=_SteppingClock(0.4),
+        )
+        # Quiet intervals interleave with progress bytes; no single gap
+        # reaches the deadline, so the slow-but-alive daemon is trusted.
+        sock = _ScriptedSocket([None, b"xy", None, None, b"z\n", b"junk"])
+        line, rest = client._read_frame(sock, b"")
+        assert line == b"xyz"
+        assert rest == b""
+
+    def test_without_deadline_the_plain_timeout_path_rules(self, tmp_path):
+        client = self._client(tmp_path, timeout_s=0.1)
+        sock = _ScriptedSocket([None])
+        with pytest.raises(ServiceError, match="timed out"):
+            client._read_frame(sock, b"")
+
 
 class TestServiceState:
     def test_persist_load_round_trip(self, tmp_path):
